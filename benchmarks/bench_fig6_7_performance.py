@@ -1,0 +1,98 @@
+"""Figures 6 + 7 — slowdown vs NOED for every benchmark over the full
+(issue width 1-4) x (inter-cluster delay 1-4) grid, plus the §IV-B summary
+statistics the paper quotes in prose."""
+
+from repro.eval.figures import fig6_7_data, render_fig6_7
+from repro.eval.metrics import (
+    casted_vs_best_fixed,
+    overall_reduction_vs,
+    summarize_scheme_slowdowns,
+)
+from repro.pipeline import Scheme
+from repro.utils.tables import format_table
+
+
+def test_fig6_7_full_grid(benchmark, ev, workloads, save_result):
+    data = benchmark.pedantic(
+        lambda: fig6_7_data(ev, workloads), rounds=1, iterations=1
+    )
+    save_result("fig6_7_performance", render_fig6_7(data))
+
+    # Paper shapes, asserted over the full grid:
+    for w in workloads:
+        sced_by_delay = [data[w][d]["sced"] for d in (1, 2, 3, 4)]
+        # SCED is delay-independent
+        assert all(row == sced_by_delay[0] for row in sced_by_delay), w
+        # DCED slowdown grows with delay at every issue width
+        for iw_idx in range(4):
+            dced = [data[w][d]["dced"][iw_idx] for d in (1, 2, 3, 4)]
+            assert dced[-1] >= dced[0] - 1e-9, (w, iw_idx)
+
+
+def test_crossover_analysis(benchmark, ev, workloads, save_result):
+    """The §II-B/§IV-B5 story in one grid per workload: who wins where,
+    and whether CASTED tracks the winner."""
+    from repro.eval.crossover import (
+        crossover_map,
+        render_crossover_grid,
+        summarize_crossovers,
+    )
+
+    def compute():
+        grids = [render_crossover_grid(crossover_map(ev, w)) for w in workloads]
+        return grids, summarize_crossovers(ev, workloads)
+
+    grids, summary = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_result("fig6_7_crossover", "\n\n".join(grids) + "\n\n" + summary)
+
+    # at least one benchmark must exhibit a genuine crossover
+    assert any(
+        crossover_map(ev, w).has_crossover for w in workloads
+    )
+
+
+def test_summary_statistics(benchmark, ev, workloads, save_result):
+    def compute():
+        rows = []
+        for scheme in (Scheme.SCED, Scheme.DCED, Scheme.CASTED):
+            s = summarize_scheme_slowdowns(ev, workloads, scheme)
+            rows.append(
+                [
+                    scheme.name,
+                    f"{s.stats.minimum:.2f}",
+                    f"{s.stats.maximum:.2f}",
+                    f"{s.stats.mean:.2f}",
+                    f"{s.stats.geomean:.2f}",
+                ]
+            )
+        comp = casted_vs_best_fixed(ev, workloads)
+        red_sced = overall_reduction_vs(ev, workloads, Scheme.SCED)
+        red_dced = overall_reduction_vs(ev, workloads, Scheme.DCED)
+        return rows, comp, red_sced, red_dced
+
+    rows, comp, red_sced, red_dced = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    table = format_table(
+        ["scheme", "min", "max", "mean", "geomean"],
+        rows,
+        title="Slowdown vs NOED over the full grid "
+        "(paper: SCED 1.34-2.22 avg 1.7; DCED 1.31-3.32 avg 2.1; "
+        "CASTED 1.19-2.1 avg 1.58)",
+    )
+    extra = (
+        f"\nCASTED vs best fixed: beats {len(comp['beats'])}, matches "
+        f"{comp['matches']}, loses {len(comp['losses'])} of {comp['points']} "
+        f"configs; max gain {comp['max_gain'] * 100:.1f}% "
+        f"(paper: up to 21.2%)\n"
+        f"Average reduction vs SCED: {red_sced * 100:.1f}% (paper 7.5%); "
+        f"vs DCED: {red_dced * 100:.1f}% (paper 24.7%)"
+    )
+    save_result("fig6_7_summary", table + extra)
+
+    sced_mean = float(rows[0][3])
+    dced_mean = float(rows[1][3])
+    casted_mean = float(rows[2][3])
+    assert casted_mean < sced_mean < dced_mean  # the paper's ordering
+    assert comp["max_gain"] > 0.0
+    assert red_sced > 0 and red_dced > 0

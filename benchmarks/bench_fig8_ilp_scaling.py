@@ -1,0 +1,29 @@
+"""Figure 8 — ILP scaling: speedup of each scheme as issue width grows."""
+
+from repro.eval.figures import fig8_data, render_fig8
+from repro.utils.stats import mean
+
+
+def test_fig8_ilp_scaling(benchmark, ev, workloads, save_result):
+    data = benchmark.pedantic(
+        lambda: fig8_data(ev, workloads, delay=1), rounds=1, iterations=1
+    )
+    save_result("fig8_ilp_scaling", render_fig8(data))
+
+    # Paper shapes:
+    for w in workloads:
+        # monotone non-decreasing speedups for the single-cluster schemes
+        for scheme in ("noed", "sced"):
+            series = data[w][scheme]
+            assert all(b >= a - 1e-9 for a, b in zip(series, series[1:])), (w, scheme)
+        # §IV-B2: SCED scales better than NOED (the redundant code's ILP)
+        assert data[w]["sced"][-1] >= data[w]["noed"][-1] - 1e-9, w
+
+    # §IV-B4: DCED has a head start and scales worst on average
+    sced_avg = mean(data[w]["sced"][-1] for w in workloads)
+    dced_avg = mean(data[w]["dced"][-1] for w in workloads)
+    assert dced_avg < sced_avg
+
+    # §IV-B2: low-ILP 181.mcf — NOED scales poorly, SCED clearly better
+    assert data["mcf"]["noed"][-1] < 1.5
+    assert data["mcf"]["sced"][-1] > data["mcf"]["noed"][-1]

@@ -1,0 +1,36 @@
+"""Figure 9 — fault-coverage breakdown for all benchmarks at issue 2 /
+delay 2 (Monte-Carlo, REPRO_TRIALS trials per campaign; paper uses 300)."""
+
+from benchmarks.conftest import TRIALS
+from repro.eval.figures import fig9_data, render_fig9
+from repro.utils.stats import mean
+
+
+def test_fig9_fault_coverage(benchmark, ev, workloads, save_result):
+    data = benchmark.pedantic(
+        lambda: fig9_data(ev, workloads, trials=TRIALS), rounds=1, iterations=1
+    )
+    save_result(
+        "fig9_fault_coverage",
+        render_fig9(data) + f"\n({TRIALS} Monte-Carlo trials per campaign)",
+    )
+
+    for w in workloads:
+        noed = data[w]["noed"]
+        assert noed["detected"] == 0.0
+        for scheme in ("sced", "dced", "casted"):
+            prot = data[w][scheme]
+            # detection replaces silent corruption
+            assert prot["data-corrupt"] < noed["data-corrupt"], (w, scheme)
+            assert prot["detected"] > 0.2, (w, scheme)
+            # residual SDC exists (library code) but is small
+            assert prot["data-corrupt"] < 0.25, (w, scheme)
+
+    # §IV-C: encoders mask more faults than the rest (NOED benign fraction)
+    enc = mean(data[w]["noed"]["benign"] for w in ("cjpeg", "h263enc"))
+    rest = mean(
+        data[w]["noed"]["benign"]
+        for w in workloads
+        if w not in ("cjpeg", "h263enc")
+    )
+    assert enc > rest

@@ -1,0 +1,62 @@
+"""Table I — processor configuration (plus substrate micro-benchmarks).
+
+Regenerates the configuration table and measures the simulation substrate's
+raw speed (instructions/second of the reference interpreter and the
+cycle-level executor, accesses/second of the cache model) so performance
+regressions in the simulator itself are visible.
+"""
+
+from repro.eval.tables import render_table1
+from repro.ir.interp import Interpreter
+from repro.machine.config import MachineConfig, itanium2_cache
+from repro.pipeline import Scheme, compile_program
+from repro.sim.cache import CacheHierarchy
+from repro.sim.executor import VLIWExecutor
+from repro.workloads import get_workload
+
+
+def test_table1_render(benchmark, save_result):
+    text = benchmark(render_table1)
+    save_result("table1_machine", text)
+    assert "16KB" in text
+
+
+def test_interpreter_throughput(benchmark):
+    interp = Interpreter(get_workload("mcf").program)
+
+    result = benchmark(interp.run)
+    assert result.kind.value == "ok"
+
+
+def test_executor_throughput(benchmark):
+    machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+    cp = compile_program(get_workload("mcf").program, Scheme.NOED, machine)
+    executor = VLIWExecutor(cp)
+
+    result = benchmark(executor.run)
+    assert result.kind.value == "ok"
+
+
+def test_cache_throughput(benchmark):
+    cache = CacheHierarchy(itanium2_cache())
+
+    def scan():
+        total = 0
+        for w in range(0, 20_000, 3):
+            total += cache.access(w + 1, False)
+        return total
+
+    assert benchmark(scan) > 0
+
+
+def test_compile_casted_speed(benchmark):
+    """Compilation cost of the full CASTED pipeline on one workload."""
+    machine = MachineConfig(issue_width=2, inter_cluster_delay=2)
+    program = get_workload("h263dec").program
+
+    cp = benchmark.pedantic(
+        lambda: compile_program(program, Scheme.CASTED, machine),
+        rounds=3,
+        iterations=1,
+    )
+    assert cp.stats.n_instructions > 0

@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+The benchmarks regenerate the paper's tables/figures; results are cached in
+``.repro_cache/`` (delete it to force re-simulation) and the rendered text
+is written under ``results/`` and echoed to the terminal (run with ``-s``).
+
+``REPRO_TRIALS`` controls the Monte-Carlo campaign size (default 120; the
+paper uses 300 — set ``REPRO_TRIALS=300`` to match it exactly).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiment import Evaluator
+from repro.workloads import workload_names
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Monte-Carlo trials per (workload, scheme, config) campaign.
+TRIALS = int(os.environ.get("REPRO_TRIALS", "120"))
+
+
+@pytest.fixture(scope="session")
+def ev() -> Evaluator:
+    return Evaluator(seed=2013)
+
+
+@pytest.fixture(scope="session")
+def workloads() -> list[str]:
+    return workload_names()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to results/{name}.txt]")
+
+    return _save

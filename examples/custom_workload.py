@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Bring your own workload: write minic, protect it, inspect the result.
+
+Shows the full user journey for protecting custom code:
+
+1. compile minic source to IR,
+2. run the error-detection + CASTED pipeline,
+3. inspect the transformed code (replicas, shadow copies, checks and their
+   cluster placement),
+4. verify fault coverage with a quick campaign.
+
+Run:  python examples/custom_workload.py
+"""
+
+from collections import Counter
+
+from repro import (
+    FaultInjector,
+    MachineConfig,
+    Outcome,
+    Scheme,
+    compile_program,
+    compile_source,
+)
+from repro.ir.printer import format_instruction
+
+SOURCE = """
+global histogram[16];
+
+lib func noise(s) {
+    return s * 2862933555777941757 + 3037000493;
+}
+
+func bucket(v) {
+    var b = v & 15;
+    if (b < 0) { b = 0; }
+    return b;
+}
+
+func main() {
+    var seed = 99;
+    for (var i = 0; i < 300; i = i + 1) {
+        seed = noise(seed);
+        var b = bucket(seed >> 33);
+        histogram[b] = histogram[b] + 1;
+    }
+    var peak = 0;
+    for (var j = 0; j < 16; j = j + 1) {
+        out(histogram[j]);
+        if (histogram[j] > peak) { peak = histogram[j]; }
+    }
+    out(peak);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE, name="histogram")
+    machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+    compiled = compile_program(program, Scheme.CASTED, machine)
+
+    # 1. What did the pipeline do?
+    print("pipeline statistics:")
+    for key, value in sorted(compiled.stats.n_by_role.items()):
+        print(f"  {key:8s} instructions: {value}")
+    print(f"  code growth: {compiled.stats.code_growth:.2f}x, "
+          f"spilled registers: {compiled.stats.n_spilled}")
+
+    # 2. Where did CASTED put the code?
+    placement = Counter(
+        (insn.role.value, insn.cluster)
+        for _, _, insn in compiled.program.main.all_instructions()
+    )
+    print("\nplacement (role, cluster) -> count:")
+    for (role, cluster), count in sorted(placement.items()):
+        print(f"  {role:8s} cluster {cluster}: {count}")
+
+    # 3. A peek at the protected hot block.
+    hot = max(compiled.program.main.blocks(), key=len)
+    print(f"\nfirst 14 instructions of the largest block ({hot.label}):")
+    for insn in hot.instructions[:14]:
+        print(f"  {format_instruction(insn)}")
+
+    # 4. Does it actually detect faults?
+    injector = FaultInjector(
+        compiled.program,
+        mem_words=compiled.mem_words,
+        frame_words=compiled.frame_words,
+    )
+    campaign = injector.run_campaign(trials=150, seed=5)
+    print(
+        f"\nfault campaign (150 single-flip trials): "
+        f"detected {campaign.fraction(Outcome.DETECTED) * 100:.0f}%, "
+        f"silent corruption {campaign.fraction(Outcome.SDC) * 100:.0f}%, "
+        f"coverage {campaign.coverage * 100:.0f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

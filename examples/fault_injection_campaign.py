@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Run a Monte-Carlo fault-injection campaign (paper §IV-C methodology).
+
+Injects single-bit flips into instruction output registers of a workload
+compiled without protection (NOED) and with CASTED, classifies each trial
+as benign / detected / exception / silent corruption / timeout, and prints
+the comparison — the protected binary turns silent corruptions into
+detections, leaving only the unprotected-library residue.
+
+Run:  python examples/fault_injection_campaign.py [workload] [trials]
+"""
+
+import sys
+
+from repro import FaultInjector, MachineConfig, Scheme, compile_program
+from repro.faults.classify import OUTCOME_ORDER
+from repro.sim.executor import VLIWExecutor
+from repro.utils.tables import format_table
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "h263dec"
+    trials = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+    machine = MachineConfig(issue_width=2, inter_cluster_delay=2)
+    program = get_workload(name).program
+
+    print(f"workload={name}, {trials} trials per scheme\n")
+
+    # Reference dynamic instruction count (the "original binary") pins the
+    # fault *rate* for the larger protected binary.
+    noed = compile_program(program, Scheme.NOED, machine)
+    reference_dyn = VLIWExecutor(noed).run().dyn_instructions
+
+    rows = []
+    for scheme in (Scheme.NOED, Scheme.CASTED):
+        compiled = compile_program(program, scheme, machine)
+        injector = FaultInjector(
+            compiled.program,
+            mem_words=compiled.mem_words,
+            frame_words=compiled.frame_words,
+        )
+        result = injector.run_campaign(
+            trials=trials,
+            seed=1234,
+            reference_dyn=None if scheme is Scheme.NOED else reference_dyn,
+        )
+        rows.append(
+            [scheme.name]
+            + [f"{result.fraction(o) * 100:5.1f}%" for o in OUTCOME_ORDER]
+            + [f"{result.total_faults_injected / trials:.2f}"]
+        )
+
+    print(
+        format_table(
+            ["scheme"] + [o.value for o in OUTCOME_ORDER] + ["flips/trial"],
+            rows,
+            title="Fault-injection outcomes",
+        )
+    )
+    print(
+        "\nResidual data corruption under CASTED comes from the inlined\n"
+        "'lib func' code, which stays outside the sphere of replication —\n"
+        "exactly the paper's explanation for its Fig. 9 residue."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Recovery extension: restart-on-detection turns coverage into availability.
+
+Transient faults strike once (paper §I), so a detected error simply needs a
+re-execution from a safe checkpoint — here, program start (memory is inside
+its own ECC-protected sphere, and every store was checked before commit).
+This demo injects faults into a CASTED-protected workload and compares the
+plain detection taxonomy against the outcome with restart enabled.
+
+Run:  python examples/recovery_demo.py [workload] [trials]
+"""
+
+import sys
+
+from repro import MachineConfig, Scheme, compile_program
+from repro.faults.classify import OUTCOME_ORDER
+from repro.faults.injector import FaultInjector
+from repro.recovery import run_recovery_campaign
+from repro.sim.executor import VLIWExecutor
+from repro.utils.tables import format_table
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "parser"
+    trials = int(sys.argv[2]) if len(sys.argv) > 2 else 150
+    machine = MachineConfig(issue_width=2, inter_cluster_delay=2)
+    program = get_workload(name).program
+
+    noed = compile_program(program, Scheme.NOED, machine)
+    reference = VLIWExecutor(noed).run().dyn_instructions
+    compiled = compile_program(program, Scheme.CASTED, machine)
+
+    # Detection only (the paper's methodology).
+    injector = FaultInjector(
+        compiled.program, mem_words=compiled.mem_words, frame_words=compiled.frame_words
+    )
+    plain = injector.run_campaign(trials, seed=31, reference_dyn=reference)
+
+    # Detection + restart.
+    rec = run_recovery_campaign(
+        compiled.program,
+        trials=trials,
+        seed=31,
+        mem_words=compiled.mem_words,
+        frame_words=compiled.frame_words,
+        reference_dyn=reference,
+    )
+
+    rows = [
+        ["detection only"]
+        + [f"{plain.fraction(o) * 100:5.1f}%" for o in OUTCOME_ORDER]
+        + ["-", f"{plain.fraction(OUTCOME_ORDER[0]) * 100:5.1f}%"],
+        ["with restart"]
+        + [
+            f"{rec.fraction(k) * 100:5.1f}%"
+            for k in ("benign", "detected", "exception", "data-corrupt", "timeout")
+        ]
+        + [
+            f"{rec.fraction('recovered') * 100:5.1f}%",
+            f"{rec.correct_completion_rate * 100:5.1f}%",
+        ],
+    ]
+    print(
+        format_table(
+            ["policy"] + [o.value for o in OUTCOME_ORDER] + ["recovered", "correct"],
+            rows,
+            title=f"{name} under CASTED, {trials} fault trials",
+        )
+    )
+    print(
+        f"\nre-execution overhead: {rec.recovery_overhead * 100:.1f}% of a "
+        f"golden run per trial on average\n"
+        "('detected' is 0 with restart because every detected transient\n"
+        " completes correctly on the second attempt)"
+    )
+
+
+if __name__ == "__main__":
+    main()

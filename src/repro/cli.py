@@ -1,0 +1,412 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``workloads``
+    List the built-in benchmark programs.
+``compile FILE|workload:NAME``
+    Run the full pipeline and print statistics (optionally the final IR).
+``run FILE|workload:NAME``
+    Compile and execute on the cycle-level simulator.
+``inject FILE|workload:NAME``
+    Monte-Carlo fault-injection campaign with outcome breakdown.
+``sweep workload:NAME``
+    Slowdown table over the (issue width x delay) grid, all schemes.
+``report {table1,table2,table3,fig6,fig8,fig9,fig10}``
+    Regenerate a paper table/figure (uses the result cache).
+
+Every command accepts ``--scheme/--issue/--delay`` where meaningful; see
+``python -m repro <command> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.frontend import compile_source
+from repro.ir.printer import print_program
+from repro.ir.program import Program
+from repro.machine.config import MachineConfig
+from repro.pipeline import Scheme, compile_program
+from repro.sim.executor import VLIWExecutor
+from repro.utils.tables import format_table
+
+
+def _load_program(spec: str) -> Program:
+    if spec.startswith("workload:"):
+        from repro.workloads import get_workload
+
+        return get_workload(spec.split(":", 1)[1]).program
+    path = Path(spec)
+    if not path.exists():
+        raise ReproError(f"no such file: {spec}")
+    return compile_source(path.read_text(), name=path.stem)
+
+
+def _machine(args) -> MachineConfig:
+    return MachineConfig(
+        issue_width=args.issue, inter_cluster_delay=args.delay
+    )
+
+
+def _add_common(p: argparse.ArgumentParser, scheme: bool = True) -> None:
+    p.add_argument("program", help="minic source file or workload:NAME")
+    if scheme:
+        p.add_argument(
+            "--scheme",
+            choices=[s.value for s in Scheme],
+            default="casted",
+            help="protection scheme (default: casted)",
+        )
+    p.add_argument("--issue", type=int, default=2, help="issue width per cluster")
+    p.add_argument("--delay", type=int, default=1, help="inter-cluster delay")
+
+
+def cmd_workloads(_args) -> int:
+    from repro.workloads import all_workloads
+
+    rows = [[w.name, w.paper_benchmark, w.suite, w.description] for w in all_workloads()]
+    print(format_table(["name", "paper benchmark", "suite", "description"], rows,
+                       align_right=False))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    program = _load_program(args.program)
+    compiled = compile_program(program, Scheme(args.scheme), _machine(args))
+    stats = compiled.stats
+    rows = [["instructions", stats.n_instructions]]
+    rows += [[f"role: {k}", v] for k, v in sorted(stats.n_by_role.items())]
+    rows += [
+        ["code growth", f"{stats.code_growth:.2f}x"],
+        ["spilled registers", stats.n_spilled],
+        ["static schedule cycles", stats.static_cycles],
+    ]
+    rows += [
+        [f"cluster {c} instructions", n]
+        for c, n in sorted(stats.per_cluster_instructions.items())
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{args.program} under {args.scheme}"))
+    if args.print_ir:
+        print()
+        print(print_program(compiled.program))
+    if args.show_schedule:
+        from repro.viz import render_block_schedule, render_occupancy
+
+        print()
+        if args.show_schedule == "all":
+            for block in compiled.program.main.blocks():
+                print(render_block_schedule(
+                    block, compiled.schedules.blocks[block.label], compiled.machine
+                ))
+                print()
+        else:
+            block = compiled.program.main.block(args.show_schedule)
+            print(render_block_schedule(
+                block, compiled.schedules.blocks[block.label], compiled.machine
+            ))
+        print(render_occupancy(compiled))
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = _load_program(args.program)
+    compiled = compile_program(program, Scheme(args.scheme), _machine(args))
+    result = VLIWExecutor(compiled).run()
+    print(f"exit: {result.kind.value} (code {result.exit_code})")
+    print(f"cycles: {result.cycles} ({result.stall_cycles} memory stalls)")
+    print(f"dynamic instructions: {result.dyn_instructions}")
+    ipc = result.dyn_instructions / result.cycles if result.cycles else 0.0
+    print(f"IPC: {ipc:.2f}")
+    if args.show_output:
+        print(f"output ({len(result.output)} values): {list(result.output)}")
+    l1 = result.cache.hit_rate("L1")
+    print(f"L1 hit rate: {l1 * 100:.1f}% over {result.cache.accesses} accesses")
+    return 0 if result.kind.value == "ok" else 1
+
+
+def cmd_inject(args) -> int:
+    from repro.faults.classify import OUTCOME_ORDER
+    from repro.faults.injector import FaultInjector
+
+    program = _load_program(args.program)
+    machine = _machine(args)
+    scheme = Scheme(args.scheme)
+    compiled = compile_program(program, scheme, machine)
+    reference = None
+    if scheme is not Scheme.NOED:
+        noed = compile_program(program, Scheme.NOED, machine)
+        reference = VLIWExecutor(noed).run().dyn_instructions
+    injector = FaultInjector(
+        compiled.program,
+        mem_words=compiled.mem_words,
+        frame_words=compiled.frame_words,
+    )
+    res = injector.run_campaign(args.trials, args.seed, reference_dyn=reference)
+    rows = [
+        [o.value, res.counts.get(o, 0), f"{res.fraction(o) * 100:.1f}%"]
+        for o in OUTCOME_ORDER
+    ]
+    print(
+        format_table(
+            ["outcome", "trials", "fraction"],
+            rows,
+            title=f"{args.program} / {args.scheme}: {args.trials} trials, "
+            f"{res.total_faults_injected} bit flips",
+        )
+    )
+    print(f"coverage (1 - SDC - timeout): {res.coverage * 100:.1f}%")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    program = _load_program(args.program)
+    rows = []
+    for iw in args.issues:
+        for d in args.delays:
+            machine = MachineConfig(issue_width=iw, inter_cluster_delay=d)
+            cycles = {}
+            for scheme in Scheme:
+                compiled = compile_program(program, scheme, machine)
+                cycles[scheme] = VLIWExecutor(compiled).run().cycles
+            noed = cycles[Scheme.NOED]
+            rows.append(
+                [f"iw{iw} d{d}", noed]
+                + [f"{cycles[s] / noed:.2f}" for s in (Scheme.SCED, Scheme.DCED, Scheme.CASTED)]
+            )
+    print(
+        format_table(
+            ["config", "NOED cycles", "SCED", "DCED", "CASTED"],
+            rows,
+            title=f"{args.program}: slowdown vs NOED",
+        )
+    )
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.sim.tracing import render_issue_trace
+
+    program = _load_program(args.program)
+    compiled = compile_program(program, Scheme(args.scheme), _machine(args))
+    print(render_issue_trace(compiled, max_records=args.limit))
+    return 0
+
+
+def cmd_mix(args) -> int:
+    from repro.eval.mixstats import dynamic_mix, render_mix_table, render_role_table
+
+    program = _load_program(args.program)
+    profiles = []
+    for scheme_name in args.schemes:
+        scheme = Scheme(scheme_name)
+        compiled = compile_program(program, scheme, _machine(args))
+        profiles.append(
+            dynamic_mix(
+                compiled.program,
+                scheme.name,
+                mem_words=compiled.mem_words,
+                frame_words=compiled.frame_words,
+            )
+        )
+    print(render_mix_table(profiles, title=f"{args.program}: dynamic instruction mix"))
+    print()
+    print(render_role_table(profiles, title=f"{args.program}: dynamic role split"))
+    return 0
+
+
+def cmd_recover(args) -> int:
+    from repro.recovery import run_recovery_campaign
+
+    program = _load_program(args.program)
+    machine = _machine(args)
+    scheme = Scheme(args.scheme)
+    compiled = compile_program(program, scheme, machine)
+    reference = None
+    if scheme is not Scheme.NOED:
+        noed = compile_program(program, Scheme.NOED, machine)
+        reference = VLIWExecutor(noed).run().dyn_instructions
+    res = run_recovery_campaign(
+        compiled.program,
+        trials=args.trials,
+        seed=args.seed,
+        mem_words=compiled.mem_words,
+        frame_words=compiled.frame_words,
+        reference_dyn=reference,
+    )
+    rows = [
+        [key, res.counts.get(key, 0), f"{res.fraction(key) * 100:.1f}%"]
+        for key in (
+            "benign", "recovered", "exception", "data-corrupt", "timeout",
+            "unrecovered",
+        )
+    ]
+    print(
+        format_table(
+            ["outcome", "trials", "fraction"],
+            rows,
+            title=f"{args.program} / {args.scheme} with restart-on-detection",
+        )
+    )
+    print(
+        f"correct completion: {res.correct_completion_rate * 100:.1f}%   "
+        f"re-execution overhead: {res.recovery_overhead * 100:.1f}% of a run/trial"
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.eval.experiment import Evaluator
+    from repro.eval import figures, tables
+    from repro.workloads import workload_names
+
+    ev = Evaluator(seed=2013)
+    names = workload_names()
+    kind = args.what
+    if kind == "all":
+        return _collate_report()
+    if kind == "table1":
+        print(tables.render_table1())
+    elif kind == "table2":
+        print(tables.render_table2())
+    elif kind == "table3":
+        print(tables.render_table3())
+    elif kind == "fig6":
+        print(figures.render_fig6_7(figures.fig6_7_data(ev, names)))
+    elif kind == "fig8":
+        print(figures.render_fig8(figures.fig8_data(ev, names)))
+    elif kind == "fig9":
+        print(figures.render_fig9(figures.fig9_data(ev, names, trials=args.trials)))
+    elif kind == "fig10":
+        print(figures.render_fig10(figures.fig10_data(ev, trials=args.trials)))
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown report {kind}")
+    return 0
+
+
+#: Section order for the collated report.
+_REPORT_ORDER = [
+    "table1_machine", "table2_workloads", "table2_profile", "table2_mix",
+    "fig6_7_performance", "fig6_7_crossover", "fig6_7_summary",
+    "fig8_ilp_scaling", "fig9_fault_coverage", "fig10_coverage_configs",
+    "table3_schemes", "table3_placement",
+    "ablation_post_ed_cse", "ablation_casted_portfolio",
+    "ablation_register_reuse", "ablation_mlp", "ablation_if_conversion",
+    "extension_cluster_scaling", "extension_profile_guided",
+    "extension_partial_redundancy", "extension_memory_latency",
+    "extension_recovery",
+]
+
+
+def _collate_report() -> int:
+    """Stitch every saved results/*.txt into results/REPORT.md."""
+    results = Path("results")
+    if not results.is_dir():
+        print(
+            "error: no results/ directory — run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 2
+    available = {p.stem: p for p in results.glob("*.txt")}
+    parts = ["# CASTED reproduction — collected results\n"]
+    ordered = [n for n in _REPORT_ORDER if n in available]
+    ordered += sorted(set(available) - set(_REPORT_ORDER))
+    for name in ordered:
+        parts.append(f"## {name}\n\n```\n{available[name].read_text().rstrip()}\n```\n")
+    out = results / "REPORT.md"
+    out.write_text("\n".join(parts))
+    print(f"wrote {out} ({len(ordered)} sections)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CASTED reproduction: compile, simulate, inject, report.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list built-in benchmarks").set_defaults(
+        fn=cmd_workloads
+    )
+
+    p = sub.add_parser("compile", help="compile and show statistics")
+    _add_common(p)
+    p.add_argument("--print-ir", action="store_true", help="dump the final IR")
+    p.add_argument(
+        "--show-schedule",
+        metavar="BLOCK",
+        help="render the VLIW schedule of BLOCK (or 'all') as a cycle grid",
+    )
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and execute on the simulator")
+    _add_common(p)
+    p.add_argument("--show-output", action="store_true")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("inject", help="fault-injection campaign")
+    _add_common(p)
+    p.add_argument("--trials", type=int, default=200)
+    p.add_argument("--seed", type=int, default=2013)
+    p.set_defaults(fn=cmd_inject)
+
+    p = sub.add_parser("sweep", help="slowdown grid over issue widths and delays")
+    p.add_argument("program", help="minic source file or workload:NAME")
+    p.add_argument("--issues", type=int, nargs="+", default=[1, 2, 4])
+    p.add_argument("--delays", type=int, nargs="+", default=[1, 2, 4])
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("trace", help="issue trace of the first N instructions")
+    _add_common(p)
+    p.add_argument("--limit", type=int, default=48, help="records to show")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("mix", help="dynamic instruction-mix profile")
+    p.add_argument("program", help="minic source file or workload:NAME")
+    p.add_argument(
+        "--schemes", nargs="+", default=["noed", "casted"],
+        choices=[s.value for s in Scheme],
+    )
+    p.add_argument("--issue", type=int, default=2)
+    p.add_argument("--delay", type=int, default=1)
+    p.set_defaults(fn=cmd_mix)
+
+    p = sub.add_parser("recover", help="fault campaign with restart-on-detection")
+    _add_common(p)
+    p.add_argument("--trials", type=int, default=200)
+    p.add_argument("--seed", type=int, default=2013)
+    p.set_defaults(fn=cmd_recover)
+
+    p = sub.add_parser("report", help="regenerate a paper table/figure")
+    p.add_argument(
+        "what",
+        choices=[
+            "table1", "table2", "table3", "fig6", "fig8", "fig9", "fig10",
+            "all",
+        ],
+    )
+    p.add_argument("--trials", type=int, default=120)
+    p.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, KeyError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

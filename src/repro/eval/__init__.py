@@ -1,0 +1,16 @@
+"""Evaluation harness: sweeps, metrics and paper figure/table reproduction."""
+
+from repro.eval.experiment import Evaluator, PerfRecord
+from repro.eval.metrics import (
+    ilp_scaling,
+    slowdown,
+    summarize_scheme_slowdowns,
+)
+
+__all__ = [
+    "Evaluator",
+    "PerfRecord",
+    "slowdown",
+    "ilp_scaling",
+    "summarize_scheme_slowdowns",
+]

@@ -1,0 +1,127 @@
+"""Crossover analysis: where the best fixed scheme flips, and how CASTED
+tracks it.
+
+The paper's core argument (§II-B, §IV-B5/6) is that neither fixed placement
+wins everywhere — DCED wins resource-starved configurations, SCED wins
+wide/slow-interconnect ones — and that CASTED follows the winner.  This
+module computes, per workload, the frontier in the (issue width, delay)
+grid where the winner flips, plus CASTED's tracking quality on each side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.experiment import Evaluator
+from repro.eval.metrics import DELAYS, ISSUE_WIDTHS
+from repro.pipeline import Scheme
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class CrossoverCell:
+    issue_width: int
+    delay: int
+    winner: Scheme  # SCED or DCED
+    margin: float  # winner advantage over the loser, as a fraction
+    casted_vs_winner: float  # casted cycles / winner cycles
+
+
+@dataclass
+class CrossoverMap:
+    workload: str
+    cells: list[CrossoverCell] = field(default_factory=list)
+
+    @property
+    def sced_region(self) -> list[CrossoverCell]:
+        return [c for c in self.cells if c.winner is Scheme.SCED]
+
+    @property
+    def dced_region(self) -> list[CrossoverCell]:
+        return [c for c in self.cells if c.winner is Scheme.DCED]
+
+    @property
+    def has_crossover(self) -> bool:
+        return bool(self.sced_region) and bool(self.dced_region)
+
+    def worst_tracking(self) -> float:
+        return max((c.casted_vs_winner for c in self.cells), default=1.0)
+
+
+def crossover_map(
+    ev: Evaluator,
+    workload: str,
+    issue_widths=ISSUE_WIDTHS,
+    delays=DELAYS,
+) -> CrossoverMap:
+    cells = []
+    for iw in issue_widths:
+        for d in delays:
+            sced = ev.perf(workload, Scheme.SCED, iw, d).cycles
+            dced = ev.perf(workload, Scheme.DCED, iw, d).cycles
+            casted = ev.perf(workload, Scheme.CASTED, iw, d).cycles
+            winner, win_c, lose_c = (
+                (Scheme.SCED, sced, dced) if sced <= dced else (Scheme.DCED, dced, sced)
+            )
+            cells.append(
+                CrossoverCell(
+                    issue_width=iw,
+                    delay=d,
+                    winner=winner,
+                    margin=(lose_c - win_c) / lose_c,
+                    casted_vs_winner=casted / win_c,
+                )
+            )
+    return CrossoverMap(workload=workload, cells=cells)
+
+
+def render_crossover_grid(cm: CrossoverMap, delays=DELAYS, issue_widths=ISSUE_WIDTHS) -> str:
+    """One character cell per configuration: who wins, does CASTED track."""
+    by_key = {(c.issue_width, c.delay): c for c in cm.cells}
+    rows = []
+    for d in delays:
+        cells = []
+        for iw in issue_widths:
+            c = by_key[(iw, d)]
+            glyph = "S" if c.winner is Scheme.SCED else "D"
+            if c.casted_vs_winner < 0.995:
+                glyph += "+"  # CASTED beats the winner
+            elif c.casted_vs_winner > 1.02:
+                glyph += "!"  # CASTED trails noticeably
+            else:
+                glyph += "="
+            cells.append(glyph)
+        rows.append([f"delay {d}"] + cells)
+    legend = (
+        "S/D = winner (SCED/DCED); '+' CASTED beats it, '=' matches "
+        "(<2%), '!' trails"
+    )
+    return (
+        format_table(
+            ["", *(f"iw{iw}" for iw in issue_widths)],
+            rows,
+            title=f"{cm.workload}: best fixed scheme per configuration",
+        )
+        + "\n"
+        + legend
+    )
+
+
+def summarize_crossovers(ev: Evaluator, workloads: list[str]) -> str:
+    rows = []
+    for w in workloads:
+        cm = crossover_map(ev, w)
+        rows.append(
+            [
+                w,
+                len(cm.dced_region),
+                len(cm.sced_region),
+                "yes" if cm.has_crossover else "no",
+                f"{(cm.worst_tracking() - 1) * 100:.1f}%",
+            ]
+        )
+    return format_table(
+        ["workload", "DCED wins", "SCED wins", "crossover", "CASTED worst gap"],
+        rows,
+        title="Fixed-scheme crossover summary (16-configuration grid)",
+    )

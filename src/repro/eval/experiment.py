@@ -1,0 +1,201 @@
+"""Sweep driver with result caching.
+
+``Evaluator`` is the single entry point the figure producers and benchmark
+harnesses use.  Every (workload, scheme, issue-width, delay) point is
+
+* compiled through the full pipeline,
+* run once on the cycle-level executor for timing, and
+* optionally subjected to a fault-injection campaign;
+
+results are memoized in memory and, unless disabled, persisted as JSON under
+``.repro_cache/`` so re-running a different benchmark that shares points is
+cheap.  Everything is deterministic given the seed.
+
+Set ``REPRO_CACHE=0`` to disable the disk cache, ``REPRO_CACHE_DIR`` to move
+it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.faults.classify import Outcome
+from repro.faults.injector import CampaignResult, FaultInjector
+from repro.machine.config import MachineConfig
+from repro.pipeline import CompiledProgram, Scheme, compile_program
+from repro.sim.executor import VLIWExecutor
+from repro.utils.rng import derive_seed
+from repro.workloads import get_workload
+
+#: Bump when a change invalidates previously cached results.
+CACHE_VERSION = 5
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """Timing + static stats of one compiled run."""
+
+    workload: str
+    scheme: str
+    issue_width: int
+    delay: int
+    cycles: int
+    stall_cycles: int
+    dyn_instructions: int
+    static_cycles: int
+    code_growth: float
+    n_spilled: int
+    frame_words: int
+    exit_code: int
+
+    @property
+    def compute_cycles(self) -> int:
+        return self.cycles - self.stall_cycles
+
+
+@dataclass(frozen=True)
+class CoverageRecord:
+    """Fault-campaign outcome fractions of one configuration."""
+
+    workload: str
+    scheme: str
+    issue_width: int
+    delay: int
+    trials: int
+    fractions: dict  # outcome value -> fraction
+    total_faults: int
+
+    def fraction(self, outcome: Outcome) -> float:
+        return self.fractions.get(outcome.value, 0.0)
+
+    @property
+    def coverage(self) -> float:
+        return 1.0 - self.fraction(Outcome.SDC) - self.fraction(Outcome.TIMEOUT)
+
+
+def _scheme_delay(scheme: Scheme, delay: int) -> int:
+    """NOED/SCED run on one cluster: the inter-cluster delay is irrelevant."""
+    return 0 if scheme in (Scheme.NOED, Scheme.SCED) else delay
+
+
+class Evaluator:
+    def __init__(self, seed: int = 2013, cache: bool | None = None) -> None:
+        self.seed = seed
+        if cache is None:
+            cache = os.environ.get("REPRO_CACHE", "1") != "0"
+        self._disk = cache
+        self._cache_dir = Path(
+            os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+        )
+        self._mem: dict[str, dict] = {}
+        self._compiled: dict[tuple, CompiledProgram] = {}
+
+    # -- caching ---------------------------------------------------------------
+    def _load(self, key: str) -> dict | None:
+        if key in self._mem:
+            return self._mem[key]
+        if self._disk:
+            path = self._cache_dir / f"{key}.json"
+            if path.exists():
+                data = json.loads(path.read_text())
+                self._mem[key] = data
+                return data
+        return None
+
+    def _store(self, key: str, data: dict) -> None:
+        self._mem[key] = data
+        if self._disk:
+            self._cache_dir.mkdir(parents=True, exist_ok=True)
+            (self._cache_dir / f"{key}.json").write_text(json.dumps(data))
+
+    # -- compilation --------------------------------------------------------------
+    def compiled(
+        self, workload: str, scheme: Scheme, issue_width: int, delay: int
+    ) -> CompiledProgram:
+        delay = _scheme_delay(scheme, delay)
+        key = (workload, scheme, issue_width, delay)
+        if key not in self._compiled:
+            machine = MachineConfig(issue_width=issue_width, inter_cluster_delay=delay)
+            self._compiled[key] = compile_program(
+                get_workload(workload).program, scheme, machine
+            )
+        return self._compiled[key]
+
+    # -- performance ---------------------------------------------------------------
+    def perf(
+        self, workload: str, scheme: Scheme, issue_width: int, delay: int
+    ) -> PerfRecord:
+        delay = _scheme_delay(scheme, delay)
+        key = f"v{CACHE_VERSION}_perf_{workload}_{scheme.value}_iw{issue_width}_d{delay}"
+        data = self._load(key)
+        if data is None:
+            cp = self.compiled(workload, scheme, issue_width, delay)
+            result = VLIWExecutor(cp).run()
+            if result.kind.value != "ok":
+                raise RuntimeError(
+                    f"{workload}/{scheme.value} failed: {result.kind} {result}"
+                )
+            data = asdict(
+                PerfRecord(
+                    workload=workload,
+                    scheme=scheme.value,
+                    issue_width=issue_width,
+                    delay=delay,
+                    cycles=result.cycles,
+                    stall_cycles=result.stall_cycles,
+                    dyn_instructions=result.dyn_instructions,
+                    static_cycles=cp.stats.static_cycles,
+                    code_growth=cp.stats.code_growth,
+                    n_spilled=cp.stats.n_spilled,
+                    frame_words=cp.frame_words,
+                    exit_code=result.exit_code,
+                )
+            )
+            self._store(key, data)
+        return PerfRecord(**data)
+
+    # -- fault coverage ---------------------------------------------------------------
+    def coverage(
+        self,
+        workload: str,
+        scheme: Scheme,
+        issue_width: int,
+        delay: int,
+        trials: int,
+    ) -> CoverageRecord:
+        delay = _scheme_delay(scheme, delay)
+        key = (
+            f"v{CACHE_VERSION}_cov_{workload}_{scheme.value}_iw{issue_width}_d{delay}"
+            f"_t{trials}_s{self.seed}"
+        )
+        data = self._load(key)
+        if data is None:
+            reference_dyn = None
+            if scheme is not Scheme.NOED:
+                noed = self.perf(workload, Scheme.NOED, issue_width, delay)
+                reference_dyn = noed.dyn_instructions
+            cp = self.compiled(workload, scheme, issue_width, delay)
+            injector = FaultInjector(
+                cp.program, mem_words=cp.mem_words, frame_words=cp.frame_words
+            )
+            campaign: CampaignResult = injector.run_campaign(
+                trials=trials,
+                seed=derive_seed(self.seed, workload, scheme.value, issue_width, delay),
+                reference_dyn=reference_dyn,
+            )
+            data = {
+                "workload": workload,
+                "scheme": scheme.value,
+                "issue_width": issue_width,
+                "delay": delay,
+                "trials": trials,
+                "fractions": {o.value: f for o, f in (
+                    (o, campaign.fraction(o)) for o in Outcome
+                )},
+                "total_faults": campaign.total_faults_injected,
+            }
+            self._store(key, data)
+        return CoverageRecord(**data)

@@ -1,0 +1,149 @@
+"""Data producers + text renderers for every figure in the paper.
+
+Each ``figN_data`` function computes the exact series the corresponding
+paper figure plots; each ``render_figN`` turns it into an aligned text table
+(the benchmark harness prints these and EXPERIMENTS.md records them).
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiment import Evaluator
+from repro.eval.metrics import DELAYS, ISSUE_WIDTHS, ilp_scaling, slowdown
+from repro.faults.classify import OUTCOME_ORDER
+from repro.pipeline import Scheme
+from repro.utils.tables import format_table
+
+ED_SCHEMES = (Scheme.SCED, Scheme.DCED, Scheme.CASTED)
+ALL_SCHEMES = (Scheme.NOED, Scheme.SCED, Scheme.DCED, Scheme.CASTED)
+
+
+# -- Figures 6 + 7: slowdown vs NOED over the (issue, delay) grid ---------------
+
+
+def fig6_7_data(
+    ev: Evaluator,
+    workloads: list[str],
+    issue_widths=ISSUE_WIDTHS,
+    delays=DELAYS,
+) -> dict:
+    """{workload: {delay: {scheme: [slowdown at each issue width]}}}"""
+    data: dict = {}
+    for w in workloads:
+        data[w] = {}
+        for d in delays:
+            data[w][d] = {
+                s.value: [slowdown(ev, w, s, iw, d) for iw in issue_widths]
+                for s in ED_SCHEMES
+            }
+    return data
+
+
+def render_fig6_7(data: dict, issue_widths=ISSUE_WIDTHS) -> str:
+    parts = []
+    for w, per_delay in data.items():
+        rows = []
+        for d, per_scheme in per_delay.items():
+            for scheme, values in per_scheme.items():
+                rows.append(
+                    [f"d{d} {scheme}"] + [f"{v:.2f}" for v in values]
+                )
+        parts.append(
+            format_table(
+                ["config"] + [f"iw{iw}" for iw in issue_widths],
+                rows,
+                title=f"Fig 6/7 — {w}: slowdown vs NOED (per issue width)",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+# -- Figure 8: ILP scaling ---------------------------------------------------
+
+
+def fig8_data(ev: Evaluator, workloads: list[str], delay: int = 1) -> dict:
+    """{workload: {scheme: [speedup vs issue-1 at each issue width]}}"""
+    return {
+        w: {s.value: ilp_scaling(ev, w, s, delay) for s in ALL_SCHEMES}
+        for w in workloads
+    }
+
+
+def render_fig8(data: dict, issue_widths=ISSUE_WIDTHS) -> str:
+    rows = []
+    for w, per_scheme in data.items():
+        for scheme, values in per_scheme.items():
+            rows.append([f"{w} {scheme}"] + [f"{v:.2f}" for v in values])
+    return format_table(
+        ["benchmark"] + [f"iw{iw}" for iw in issue_widths],
+        rows,
+        title="Fig 8 — ILP scaling (speedup vs issue width 1, delay 1)",
+    )
+
+
+# -- Figure 9: fault coverage at issue 2 / delay 2 ------------------------------
+
+
+def fig9_data(
+    ev: Evaluator,
+    workloads: list[str],
+    trials: int,
+    issue_width: int = 2,
+    delay: int = 2,
+) -> dict:
+    """{workload: {scheme: {outcome: fraction}}}"""
+    data: dict = {}
+    for w in workloads:
+        data[w] = {}
+        for s in ALL_SCHEMES:
+            rec = ev.coverage(w, s, issue_width, delay, trials)
+            data[w][s.value] = dict(rec.fractions)
+    return data
+
+
+def render_fig9(data: dict) -> str:
+    headers = ["benchmark/scheme"] + [o.value for o in OUTCOME_ORDER]
+    rows = []
+    for w, per_scheme in data.items():
+        for scheme, fr in per_scheme.items():
+            rows.append(
+                [f"{w} {scheme}"]
+                + [f"{fr.get(o.value, 0.0) * 100:.1f}%" for o in OUTCOME_ORDER]
+            )
+    return format_table(
+        headers, rows, title="Fig 9 — fault coverage, issue 2 / delay 2"
+    )
+
+
+# -- Figure 10: h263dec coverage stability across configurations ----------------
+
+
+def fig10_data(
+    ev: Evaluator,
+    trials: int,
+    workload: str = "h263dec",
+    issue_widths=ISSUE_WIDTHS,
+    delays=DELAYS,
+) -> dict:
+    """{scheme: {(iw, d): {outcome: fraction}}}"""
+    data: dict = {}
+    for s in ALL_SCHEMES:
+        data[s.value] = {}
+        for iw in issue_widths:
+            for d in delays:
+                rec = ev.coverage(workload, s, iw, d, trials)
+                data[s.value][(iw, d)] = dict(rec.fractions)
+    return data
+
+
+def render_fig10(data: dict) -> str:
+    headers = ["scheme iw/d"] + [o.value for o in OUTCOME_ORDER]
+    rows = []
+    for scheme, per_cfg in data.items():
+        for (iw, d), fr in per_cfg.items():
+            rows.append(
+                [f"{scheme} iw{iw} d{d}"]
+                + [f"{fr.get(o.value, 0.0) * 100:.1f}%" for o in OUTCOME_ORDER]
+            )
+    return format_table(
+        headers, rows, title="Fig 10 — h263dec coverage across configurations"
+    )

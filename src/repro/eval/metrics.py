@@ -1,0 +1,112 @@
+"""Derived metrics over sweep results (the numbers §IV-B quotes)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.experiment import Evaluator
+from repro.pipeline import Scheme
+from repro.utils.stats import Summary, summarize
+
+ISSUE_WIDTHS = (1, 2, 3, 4)
+DELAYS = (1, 2, 3, 4)
+
+
+def slowdown(
+    ev: Evaluator, workload: str, scheme: Scheme, issue_width: int, delay: int
+) -> float:
+    """Cycles normalized to NOED at the same issue width (paper Figs. 6-7)."""
+    noed = ev.perf(workload, Scheme.NOED, issue_width, delay)
+    this = ev.perf(workload, scheme, issue_width, delay)
+    return this.cycles / noed.cycles
+
+
+def ilp_scaling(
+    ev: Evaluator, workload: str, scheme: Scheme, delay: int = 1
+) -> list[float]:
+    """Speedup at each issue width relative to issue width 1 (paper Fig. 8)."""
+    base = ev.perf(workload, scheme, 1, delay).cycles
+    return [base / ev.perf(workload, scheme, iw, delay).cycles for iw in ISSUE_WIDTHS]
+
+
+@dataclass(frozen=True)
+class SchemeSummary:
+    """Slowdown statistics of one scheme over a whole sweep."""
+
+    scheme: Scheme
+    stats: Summary
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.scheme.name}: {self.stats}"
+
+
+def summarize_scheme_slowdowns(
+    ev: Evaluator,
+    workloads: list[str],
+    scheme: Scheme,
+    issue_widths=ISSUE_WIDTHS,
+    delays=DELAYS,
+) -> SchemeSummary:
+    values = [
+        slowdown(ev, w, scheme, iw, d)
+        for w in workloads
+        for iw in issue_widths
+        for d in delays
+    ]
+    return SchemeSummary(scheme=scheme, stats=summarize(values))
+
+
+def casted_vs_best_fixed(
+    ev: Evaluator,
+    workloads: list[str],
+    issue_widths=ISSUE_WIDTHS,
+    delays=DELAYS,
+) -> dict:
+    """Where CASTED beats/matches/loses against min(SCED, DCED) (§IV-B6)."""
+    beats: list[tuple[str, int, int, float]] = []
+    losses: list[tuple[str, int, int, float]] = []
+    matches = 0
+    for w in workloads:
+        for iw in issue_widths:
+            for d in delays:
+                best = min(
+                    ev.perf(w, Scheme.SCED, iw, d).cycles,
+                    ev.perf(w, Scheme.DCED, iw, d).cycles,
+                )
+                casted = ev.perf(w, Scheme.CASTED, iw, d).cycles
+                gain = (best - casted) / best
+                if casted < best:
+                    beats.append((w, iw, d, gain))
+                elif casted > best:
+                    losses.append((w, iw, d, gain))
+                else:
+                    matches += 1
+    beats.sort(key=lambda t: -t[3])
+    losses.sort(key=lambda t: t[3])
+    return {
+        "beats": beats,
+        "matches": matches,
+        "losses": losses,
+        "max_gain": beats[0][3] if beats else 0.0,
+        "points": len(workloads) * len(issue_widths) * len(delays),
+    }
+
+
+def overall_reduction_vs(
+    ev: Evaluator,
+    workloads: list[str],
+    baseline: Scheme,
+    issue_widths=ISSUE_WIDTHS,
+    delays=DELAYS,
+) -> float:
+    """Average cycle reduction of CASTED vs a baseline (paper §VI: 7.5% vs
+    SCED, 24.7% vs DCED)."""
+    ratios = [
+        1.0
+        - ev.perf(w, Scheme.CASTED, iw, d).cycles
+        / ev.perf(w, baseline, iw, d).cycles
+        for w in workloads
+        for iw in issue_widths
+        for d in delays
+    ]
+    return sum(ratios) / len(ratios)

@@ -1,0 +1,51 @@
+"""Renderers for the paper's tables."""
+
+from __future__ import annotations
+
+from repro.machine.config import MachineConfig, paper_machine
+from repro.utils.tables import format_table
+from repro.workloads import all_workloads
+
+
+def render_table1(machine: MachineConfig | None = None) -> str:
+    """Table I: processor configuration."""
+    machine = machine or paper_machine()
+    lines = ["Table I — processor configuration", "=" * 40]
+    lines.append(machine.describe())
+    return "\n".join(lines)
+
+
+def render_table2() -> str:
+    """Table II: benchmark programs (with our stand-in descriptions)."""
+    rows = [
+        [w.name, w.paper_benchmark, w.suite, w.description]
+        for w in all_workloads()
+    ]
+    return format_table(
+        ["workload", "paper benchmark", "suite", "character"],
+        rows,
+        title="Table II — benchmark programs",
+        align_right=False,
+    )
+
+
+#: Table III is qualitative in the paper; reproduced verbatim.
+_TABLE3_ROWS = [
+    ["EDDI", "-", "wide single-core", "fixed"],
+    ["SWIFT", "reduction of checking points", "wide single-core", "fixed"],
+    ["SHOESTRING", "partial redundancy", "single-core", "fixed"],
+    ["Compiler-assisted ED", "partial redundancy", "single-core", "fixed"],
+    ["SRMT", "partially synchronized threads", "dual-core", "fixed"],
+    ["DAFT", "decoupled threads", "dual-core", "fixed"],
+    ["CASTED", "adaptivity", "tightly-coupled cores", "adaptive"],
+]
+
+
+def render_table3() -> str:
+    """Table III: compiler-based error-detection schemes."""
+    return format_table(
+        ["scheme", "speed-up factors", "target architecture", "code placement"],
+        _TABLE3_ROWS,
+        title="Table III — compiler-based error detection schemes",
+        align_right=False,
+    )

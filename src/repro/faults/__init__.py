@@ -1,0 +1,10 @@
+"""Monte-Carlo transient-fault injection (paper §IV-C)."""
+
+from repro.faults.classify import Outcome, classify
+from repro.faults.injector import (
+    CampaignResult,
+    FaultInjector,
+    run_campaign,
+)
+
+__all__ = ["Outcome", "classify", "FaultInjector", "CampaignResult", "run_campaign"]

@@ -1,0 +1,50 @@
+"""Outcome taxonomy for fault-injection trials (paper §IV-C).
+
+1. **Benign** — same output stream and exit code as the golden run;
+2. **Detected** — a CASTED/SCED/DCED check fired (``CHKBR`` taken);
+3. **Exception** — an architectural trap (invalid address, divide-by-zero);
+   the paper reports these separately "for clarity" although a deployed
+   system would catch them in a handler;
+4. **Data corrupt** (SDC) — the run completed with wrong output/exit code;
+5. **Timeout** — the watchdog expired (e.g. a corrupted loop bound).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.ir.interp import ExitKind, RunResult
+
+
+class Outcome(enum.Enum):
+    BENIGN = "benign"
+    DETECTED = "detected"
+    EXCEPTION = "exception"
+    SDC = "data-corrupt"
+    TIMEOUT = "timeout"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Outcome.{self.name}"
+
+
+#: Display order used by the figures (matches the paper's stacking).
+OUTCOME_ORDER = (
+    Outcome.BENIGN,
+    Outcome.DETECTED,
+    Outcome.EXCEPTION,
+    Outcome.SDC,
+    Outcome.TIMEOUT,
+)
+
+
+def classify(golden: RunResult, trial: RunResult) -> Outcome:
+    """Compare a faulted run against the golden run."""
+    if trial.kind is ExitKind.DETECTED:
+        return Outcome.DETECTED
+    if trial.kind is ExitKind.EXCEPTION:
+        return Outcome.EXCEPTION
+    if trial.kind is ExitKind.TIMEOUT:
+        return Outcome.TIMEOUT
+    if trial.output == golden.output and trial.exit_code == golden.exit_code:
+        return Outcome.BENIGN
+    return Outcome.SDC

@@ -1,0 +1,194 @@
+"""The Monte-Carlo fault-injection campaign driver.
+
+Methodology (paper §IV-C):
+
+* the binary is profiled once to count dynamic instructions and find which
+  of them produce a register output;
+* each trial picks a random output-producing dynamic instruction, a random
+  output register (ours have at most one), and a random bit to flip;
+* plain binaries (NOED) receive exactly one flip per trial.  Protected
+  binaries are larger, so — to keep the *error rate* fixed — each of their
+  trials receives ``Binomial(dyn_protected, 1 / dyn_reference)`` flips
+  (resampled to be at least one), where ``dyn_reference`` is the original
+  binary's dynamic instruction count;
+* the run is classified against the golden run (see
+  :mod:`repro.faults.classify`); a watchdog bounds runaway executions.
+
+Trials execute on the sequential reference interpreter: outcome
+classification depends only on architectural state, and the interpreter
+sustains millions of instructions per second, which makes 300-trial
+campaigns cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimError
+from repro.faults.classify import OUTCOME_ORDER, Outcome, classify
+from repro.ir.interp import FaultSpec, Interpreter, RunResult
+from repro.ir.program import Program
+from repro.isa.registers import RegClass
+from repro.utils.rng import make_rng
+
+#: Watchdog budget = factor x golden dynamic instruction count.
+WATCHDOG_FACTOR = 25
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome counts of one campaign."""
+
+    trials: int
+    counts: dict[Outcome, int] = field(default_factory=dict)
+    total_faults_injected: int = 0
+    golden_dyn: int = 0
+
+    def fraction(self, outcome: Outcome) -> float:
+        return self.counts.get(outcome, 0) / self.trials if self.trials else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Everything that is not silent corruption or a hang."""
+        return 1.0 - self.fraction(Outcome.SDC) - self.fraction(Outcome.TIMEOUT)
+
+    @property
+    def caught(self) -> float:
+        """Detected plus exceptions.
+
+        The paper reports exceptions separately "for clarity" but notes
+        they are usually counted as detected (a custom handler catches
+        them, §IV-C) — this is that combined number.
+        """
+        return self.fraction(Outcome.DETECTED) + self.fraction(Outcome.EXCEPTION)
+
+    def as_row(self) -> dict[str, float]:
+        row = {o.value: self.fraction(o) for o in OUTCOME_ORDER}
+        row["coverage"] = self.coverage
+        return row
+
+    def merged(self, other: "CampaignResult") -> "CampaignResult":
+        counts = dict(self.counts)
+        for k, v in other.counts.items():
+            counts[k] = counts.get(k, 0) + v
+        return CampaignResult(
+            trials=self.trials + other.trials,
+            counts=counts,
+            total_faults_injected=self.total_faults_injected
+            + other.total_faults_injected,
+            golden_dyn=self.golden_dyn,
+        )
+
+
+class FaultInjector:
+    """Profile once, inject many times."""
+
+    def __init__(
+        self,
+        program: Program,
+        mem_words: int | None = None,
+        frame_words: int = 0,
+    ) -> None:
+        self.interp = Interpreter(program, mem_words=mem_words, frame_words=frame_words)
+        self.golden: RunResult = self.interp.run(record_trace=True)
+        if not self.golden.block_trace:
+            raise SimError("profiling run produced no trace")
+
+        # Per-block static tables.
+        func = program.main
+        self._block_len: dict[str, int] = {}
+        self._block_dest_positions: dict[str, np.ndarray] = {}
+        self._block_dest_is_pr: dict[str, np.ndarray] = {}
+        for block in func.blocks():
+            positions = []
+            is_pr = []
+            for i, insn in enumerate(block.instructions):
+                if insn.dests:
+                    positions.append(i)
+                    is_pr.append(insn.dests[0].rclass is RegClass.PR)
+            self._block_len[block.label] = len(block.instructions)
+            self._block_dest_positions[block.label] = np.array(positions, dtype=np.int64)
+            self._block_dest_is_pr[block.label] = np.array(is_pr, dtype=bool)
+
+        # Per-visit cumulative tables over the golden trace.
+        trace = self.golden.block_trace
+        lens = np.array([self._block_len[lb] for lb in trace], dtype=np.int64)
+        dests = np.array(
+            [len(self._block_dest_positions[lb]) for lb in trace], dtype=np.int64
+        )
+        self._visit_dyn_start = np.concatenate(([0], np.cumsum(lens)[:-1]))
+        self._visit_dest_cum = np.cumsum(dests)
+        self.n_dest_sites = int(self._visit_dest_cum[-1]) if len(trace) else 0
+        self._trace = trace
+        self.max_steps = self.golden.dyn_instructions * WATCHDOG_FACTOR + 10_000
+
+    # -- sampling ------------------------------------------------------------
+    def sample_fault(self, rng: np.random.Generator) -> FaultSpec:
+        """Uniformly pick an output-producing dynamic instruction + bit."""
+        if self.n_dest_sites == 0:
+            raise SimError("program has no output-producing instructions")
+        site = int(rng.integers(self.n_dest_sites))
+        visit = int(np.searchsorted(self._visit_dest_cum, site, side="right"))
+        label = self._trace[visit]
+        prior = int(self._visit_dest_cum[visit - 1]) if visit else 0
+        within = site - prior
+        pos = int(self._block_dest_positions[label][within])
+        dyn_index = int(self._visit_dyn_start[visit]) + pos
+        if self._block_dest_is_pr[label][within]:
+            bit = 0  # predicate registers invert regardless of bit
+        else:
+            bit = int(rng.integers(64))
+        return FaultSpec(dyn_index=dyn_index, bit=bit)
+
+    def faults_for_trial(
+        self, rng: np.random.Generator, reference_dyn: int | None
+    ) -> tuple[FaultSpec, ...]:
+        """One flip, or rate-matched flips when ``reference_dyn`` is given."""
+        if reference_dyn is None or reference_dyn >= self.golden.dyn_instructions:
+            return (self.sample_fault(rng),)
+        p = 1.0 / reference_dyn
+        n = 0
+        while n == 0:
+            n = int(rng.binomial(self.golden.dyn_instructions, p))
+        return tuple(self.sample_fault(rng) for _ in range(n))
+
+    # -- the campaign -----------------------------------------------------------
+    def run_trial(self, faults: tuple[FaultSpec, ...]) -> Outcome:
+        result = self.interp.run(faults=faults, max_steps=self.max_steps)
+        return classify(self.golden, result)
+
+    def run_campaign(
+        self,
+        trials: int,
+        seed: int,
+        reference_dyn: int | None = None,
+    ) -> CampaignResult:
+        rng = make_rng(seed, "fault-campaign")
+        counts: dict[Outcome, int] = {}
+        total_faults = 0
+        for _ in range(trials):
+            faults = self.faults_for_trial(rng, reference_dyn)
+            total_faults += len(faults)
+            outcome = self.run_trial(faults)
+            counts[outcome] = counts.get(outcome, 0) + 1
+        return CampaignResult(
+            trials=trials,
+            counts=counts,
+            total_faults_injected=total_faults,
+            golden_dyn=self.golden.dyn_instructions,
+        )
+
+
+def run_campaign(
+    program: Program,
+    trials: int,
+    seed: int,
+    mem_words: int | None = None,
+    frame_words: int = 0,
+    reference_dyn: int | None = None,
+) -> CampaignResult:
+    """Convenience wrapper: profile + campaign in one call."""
+    injector = FaultInjector(program, mem_words=mem_words, frame_words=frame_words)
+    return injector.run_campaign(trials, seed, reference_dyn=reference_dyn)

@@ -1,0 +1,20 @@
+"""minic: a small C-like language compiled to the repro IR.
+
+The paper compiles MediaBench/SPEC C sources with GCC; our stand-in front
+end gives the workloads a readable source form and exercises a realistic
+lowering (globals, loops, short-circuit conditions, full inlining).
+``lib func`` definitions model binary-only system libraries: their inlined
+instructions are tagged ``from_library`` and stay outside the sphere of
+replication (no duplication, no checks), reproducing the paper's residual
+silent-data-corruption channel.
+
+Every call is inlined (recursion is rejected), so a linked program is a
+single IR function — the unit the CASTED passes operate on.
+"""
+
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import parse
+from repro.frontend.codegen import compile_source
+from repro.frontend import ast_nodes as ast
+
+__all__ = ["tokenize", "Token", "TokenKind", "parse", "compile_source", "ast"]

@@ -1,0 +1,151 @@
+"""minic abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class; ``line`` points at the defining token for diagnostics."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntLit(Node):
+    value: int
+
+
+@dataclass(frozen=True)
+class VarRef(Node):
+    name: str
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    """Global array element: ``array[index]``."""
+
+    array: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str  # '-', '~', '!'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str  # arithmetic, comparison, '&&', '||'
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    name: str
+    args: tuple["Expr", ...]
+
+
+Expr = IntLit | VarRef | Index | Unary | Binary | Call
+
+
+# -- statements ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarDecl(Node):
+    name: str
+    init: Expr
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    target: VarRef | Index
+    value: Expr
+
+
+@dataclass(frozen=True)
+class If(Node):
+    cond: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class While(Node):
+    cond: Expr
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class For(Node):
+    """``for (init; cond; step) body`` — sugar handled by codegen."""
+
+    init: "Stmt | None"
+    cond: Expr | None
+    step: "Stmt | None"
+    body: tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Break(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Node):
+    pass
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Expr | None
+
+
+@dataclass(frozen=True)
+class Out(Node):
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt(Node):
+    expr: Expr
+
+
+Stmt = VarDecl | Assign | If | While | For | Break | Continue | Return | Out | ExprStmt
+
+
+# -- top level -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuncDef(Node):
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    is_library: bool = False
+
+
+@dataclass(frozen=True)
+class GlobalDecl(Node):
+    name: str
+    size: int
+    init: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class Module(Node):
+    globals_: tuple[GlobalDecl, ...]
+    functions: tuple[FuncDef, ...]
+
+    def function(self, name: str) -> FuncDef | None:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        return None

@@ -1,0 +1,370 @@
+"""minic -> IR code generation with full inlining.
+
+Every call site expands the callee's body with a fresh variable environment
+(recursion is rejected by sema).  Calls to ``lib func`` definitions — and
+anything they call transitively — are emitted inside the builder's library
+context, tagging those instructions ``from_library``: the error-detection
+pass treats them as binary-only code outside the sphere of replication.
+
+Lowering notes:
+
+* each minic variable gets one virtual register for the whole function, so
+  loop-carried updates become ``MOV``s into that register;
+* conditions compile through ``gen_cond(expr, Ltrue, Lfalse)`` so
+  comparisons and short-circuit ``&&``/``||`` become branches directly;
+  in value contexts booleans materialize as 0/1 via ``SELECT``;
+* global arrays live at statically known word addresses; ``a[i]`` is one
+  ``ADD`` plus the memory access;
+* unreachable blocks produced by early exits (``break``/``return``) are
+  pruned after generation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import SemanticError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+from repro.frontend.sema import analyze
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import CFG
+from repro.ir.program import GlobalArray, Program
+from repro.ir.verifier import verify_program
+from repro.isa.registers import Reg
+
+_CMP_OPS = {"<", "<=", ">", ">=", "==", "!="}
+_CMP_GEN = {
+    "<": "cmplt", "<=": "cmple", ">": "cmpgt",
+    ">=": "cmpge", "==": "cmpeq", "!=": "cmpne",
+}
+_ARITH_GEN = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "&": "and_", "|": "or_", "^": "xor", "<<": "shl", ">>": "shra",
+}
+
+
+class _InlineFrame:
+    """Per-inline-instance state: variable env and the return plumbing."""
+
+    __slots__ = ("env", "ret_reg", "ret_label")
+
+    def __init__(self, env: dict[str, Reg], ret_reg: Reg | None, ret_label: str | None):
+        self.env = env
+        self.ret_reg = ret_reg
+        self.ret_label = ret_label
+
+
+class CodeGenerator:
+    def __init__(self, module: ast.Module) -> None:
+        self.module = module
+        self.functions = {f.name: f for f in module.functions}
+        self.builder = IRBuilder("main")
+        self._label_counter = itertools.count()
+        # Word addresses of globals: identical to Program.layout() on the
+        # same declaration order (word 0 is reserved).
+        self.global_base: dict[str, int] = {}
+        addr = 1
+        for g in module.globals_:
+            self.global_base[g.name] = addr
+            addr += g.size
+        self._loop_stack: list[tuple[str, str]] = []  # (continue_to, break_to)
+
+    # -- labels -----------------------------------------------------------------
+    def _label(self, kind: str) -> str:
+        return f"L{next(self._label_counter)}_{kind}"
+
+    # -- entry point -------------------------------------------------------------
+    def compile(self) -> Program:
+        b = self.builder
+        b.add_and_enter("entry")
+        frame = _InlineFrame(env={}, ret_reg=None, ret_label=None)
+        fell = self.gen_stmts(self.functions["main"].body, frame)
+        if fell:
+            b.halt(0)
+        program = Program(
+            b.function,
+            [GlobalArray(g.name, g.size, tuple(v & ((1 << 64) - 1) for v in g.init))
+             for g in self.module.globals_],
+        )
+        self._prune_unreachable(program)
+        verify_program(program)
+        return program
+
+    def _prune_unreachable(self, program: Program) -> None:
+        func = program.main
+        # Remove empty unterminated leftovers and anything unreachable.
+        reachable = None
+        # Empty blocks cannot be in a CFG; temporarily drop them.
+        empty = [bl.label for bl in func.blocks() if not bl.instructions]
+        for label in empty:
+            del func._blocks[label]
+        cfg = CFG(func)
+        keep = cfg.reachable()
+        for label in list(func._blocks):
+            if label not in keep:
+                del func._blocks[label]
+
+    # -- statements --------------------------------------------------------------
+    def gen_stmts(self, stmts: tuple[ast.Stmt, ...], frame: _InlineFrame) -> bool:
+        """Emit statements; returns False if control definitely left."""
+        for s in stmts:
+            if not self.gen_stmt(s, frame):
+                return False
+        return True
+
+    def gen_stmt(self, s: ast.Stmt, frame: _InlineFrame) -> bool:
+        b = self.builder
+        if isinstance(s, ast.VarDecl):
+            value = self.gen_expr(s.init, frame)
+            reg = b.function.new_gp()
+            frame.env[s.name] = reg
+            b.mov_to(reg, value)
+            return True
+        if isinstance(s, ast.Assign):
+            value = self.gen_expr(s.value, frame)
+            if isinstance(s.target, ast.VarRef):
+                dest = frame.env[s.target.name]
+                if dest != value:
+                    b.mov_to(dest, value)
+            else:
+                addr = self.gen_address(s.target, frame)
+                b.store(addr, value)
+            return True
+        if isinstance(s, ast.If):
+            then_l = self._label("then")
+            join_l = self._label("join")
+            else_l = self._label("else") if s.else_body else join_l
+            self.gen_cond(s.cond, then_l, else_l, frame)
+            b.add_and_enter(then_l)
+            fell_then = self.gen_stmts(s.then_body, frame)
+            if fell_then:
+                b.jmp(join_l)
+            fell_else = True
+            if s.else_body:
+                b.add_and_enter(else_l)
+                fell_else = self.gen_stmts(s.else_body, frame)
+                if fell_else:
+                    b.jmp(join_l)
+            if fell_then or fell_else or not s.else_body:
+                b.add_and_enter(join_l)
+                return True
+            return False
+        if isinstance(s, ast.While):
+            head_l = self._label("while_head")
+            body_l = self._label("while_body")
+            exit_l = self._label("while_exit")
+            b.jmp(head_l)
+            b.add_and_enter(head_l)
+            self.gen_cond(s.cond, body_l, exit_l, frame)
+            b.add_and_enter(body_l)
+            self._loop_stack.append((head_l, exit_l))
+            fell = self.gen_stmts(s.body, frame)
+            self._loop_stack.pop()
+            if fell:
+                b.jmp(head_l)
+            b.add_and_enter(exit_l)
+            return True
+        if isinstance(s, ast.For):
+            if s.init is not None:
+                if not self.gen_stmt(s.init, frame):  # pragma: no cover
+                    return False
+            head_l = self._label("for_head")
+            body_l = self._label("for_body")
+            step_l = self._label("for_step")
+            exit_l = self._label("for_exit")
+            b.jmp(head_l)
+            b.add_and_enter(head_l)
+            if s.cond is not None:
+                self.gen_cond(s.cond, body_l, exit_l, frame)
+            else:
+                b.jmp(body_l)
+            b.add_and_enter(body_l)
+            self._loop_stack.append((step_l, exit_l))
+            fell = self.gen_stmts(s.body, frame)
+            self._loop_stack.pop()
+            if fell:
+                b.jmp(step_l)
+            b.add_and_enter(step_l)
+            if s.step is not None:
+                self.gen_stmt(s.step, frame)
+            b.jmp(head_l)
+            b.add_and_enter(exit_l)
+            return True
+        if isinstance(s, ast.Break):
+            b.jmp(self._loop_stack[-1][1])
+            return False
+        if isinstance(s, ast.Continue):
+            b.jmp(self._loop_stack[-1][0])
+            return False
+        if isinstance(s, ast.Return):
+            if frame.ret_label is None:
+                # main: exit code must be a literal (checked by sema).
+                code = s.value.value if isinstance(s.value, ast.IntLit) else 0
+                b.halt(code)
+            else:
+                if s.value is not None:
+                    value = self.gen_expr(s.value, frame)
+                    b.mov_to(frame.ret_reg, value)
+                b.jmp(frame.ret_label)
+            return False
+        if isinstance(s, ast.Out):
+            value = self.gen_expr(s.value, frame)
+            b.out(value)
+            return True
+        if isinstance(s, ast.ExprStmt):
+            self.gen_expr(s.expr, frame)
+            return True
+        raise SemanticError(f"unknown statement {type(s).__name__}")
+
+    # -- conditions ---------------------------------------------------------------
+    def gen_cond(
+        self, e: ast.Expr, true_l: str, false_l: str, frame: _InlineFrame
+    ) -> None:
+        """Emit branching code for a boolean context (block gets terminated)."""
+        b = self.builder
+        if isinstance(e, ast.Binary) and e.op in _CMP_OPS:
+            left = self.gen_expr(e.left, frame)
+            right = self._expr_operand(e.right, frame)
+            pred = getattr(b, _CMP_GEN[e.op])(left, right)
+            b.brt(pred, true_l, false_l)
+            return
+        if isinstance(e, ast.Binary) and e.op == "&&":
+            mid = self._label("and")
+            self.gen_cond(e.left, mid, false_l, frame)
+            b.add_and_enter(mid)
+            self.gen_cond(e.right, true_l, false_l, frame)
+            return
+        if isinstance(e, ast.Binary) and e.op == "||":
+            mid = self._label("or")
+            self.gen_cond(e.left, true_l, mid, frame)
+            b.add_and_enter(mid)
+            self.gen_cond(e.right, true_l, false_l, frame)
+            return
+        if isinstance(e, ast.Unary) and e.op == "!":
+            self.gen_cond(e.operand, false_l, true_l, frame)
+            return
+        value = self.gen_expr(e, frame)
+        pred = b.cmpne(value, 0)
+        b.brt(pred, true_l, false_l)
+
+    # -- expressions ---------------------------------------------------------------
+    def _expr_operand(self, e: ast.Expr, frame: _InlineFrame):
+        """Int literals stay immediates where the ISA allows them."""
+        if isinstance(e, ast.IntLit):
+            return e.value
+        return self.gen_expr(e, frame)
+
+    def gen_address(self, e: ast.Index, frame: _InlineFrame) -> Reg:
+        base = self.global_base[e.array]
+        if isinstance(e.index, ast.IntLit):
+            return self.builder.movi(base + e.index.value)
+        idx = self.gen_expr(e.index, frame)
+        return self.builder.add(idx, base)
+
+    def gen_expr(self, e: ast.Expr, frame: _InlineFrame) -> Reg:
+        b = self.builder
+        if isinstance(e, ast.IntLit):
+            return b.movi(e.value)
+        if isinstance(e, ast.VarRef):
+            return frame.env[e.name]
+        if isinstance(e, ast.Index):
+            return b.load(self.gen_address(e, frame))
+        if isinstance(e, ast.Unary):
+            if e.op == "-":
+                return b.neg(self.gen_expr(e.operand, frame))
+            if e.op == "~":
+                return b.not_(self.gen_expr(e.operand, frame))
+            # '!': 0/1 value
+            value = self.gen_expr(e.operand, frame)
+            pred = b.cmpeq(value, 0)
+            one = b.movi(1)
+            zero = b.movi(0)
+            return b.select(pred, one, zero)
+        if isinstance(e, ast.Binary):
+            if e.op in _ARITH_GEN:
+                left = self.gen_expr(e.left, frame)
+                right = self._expr_operand(e.right, frame)
+                return getattr(b, _ARITH_GEN[e.op])(left, right)
+            if e.op in _CMP_OPS:
+                left = self.gen_expr(e.left, frame)
+                right = self._expr_operand(e.right, frame)
+                pred = getattr(b, _CMP_GEN[e.op])(left, right)
+                one = b.movi(1)
+                zero = b.movi(0)
+                return b.select(pred, one, zero)
+            if e.op in ("&&", "||"):
+                result = b.function.new_gp()
+                true_l = self._label("btrue")
+                false_l = self._label("bfalse")
+                join_l = self._label("bjoin")
+                self.gen_cond(e, true_l, false_l, frame)
+                b.add_and_enter(true_l)
+                b.movi_to(result, 1)
+                b.jmp(join_l)
+                b.add_and_enter(false_l)
+                b.movi_to(result, 0)
+                b.jmp(join_l)
+                b.add_and_enter(join_l)
+                return result
+            raise SemanticError(f"unknown operator {e.op!r}")
+        if isinstance(e, ast.Call):
+            return self.gen_call(e, frame)
+        raise SemanticError(f"unknown expression {type(e).__name__}")
+
+    def gen_call(self, call: ast.Call, frame: _InlineFrame) -> Reg:
+        b = self.builder
+        if call.name == "abs":
+            return b.abs_(self.gen_expr(call.args[0], frame))
+        if call.name == "min":
+            return b.min_(
+                self.gen_expr(call.args[0], frame), self.gen_expr(call.args[1], frame)
+            )
+        if call.name == "max":
+            return b.max_(
+                self.gen_expr(call.args[0], frame), self.gen_expr(call.args[1], frame)
+            )
+        callee = self.functions[call.name]
+        args = [self.gen_expr(a, frame) for a in call.args]
+
+        env: dict[str, Reg] = {}
+        # Parameters are by-value: copy into fresh registers.
+        for param, arg in zip(callee.params, args):
+            reg = b.function.new_gp()
+            b.mov_to(reg, arg)
+            env[param] = reg
+        ret_reg = b.function.new_gp()
+        ret_label = self._label(f"ret_{call.name}")
+        inner = _InlineFrame(env=env, ret_reg=ret_reg, ret_label=ret_label)
+
+        loops = self._loop_stack
+        self._loop_stack = []  # break/continue do not cross function bounds
+        emit = (
+            self.builder.library() if callee.is_library else _nullcontext()
+        )
+        with emit:
+            b.movi_to(ret_reg, 0)  # default return value
+            fell = self.gen_stmts(callee.body, inner)
+            if fell:
+                b.jmp(ret_label)
+        self._loop_stack = loops
+        b.add_and_enter(ret_label)
+        return ret_reg
+
+
+class _nullcontext:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+def compile_source(source: str, name: str = "main") -> Program:
+    """Front-end entry point: minic source text -> verified IR program."""
+    module = parse(source)
+    analyze(module)
+    gen = CodeGenerator(module)
+    program = gen.compile()
+    program.main.name = name
+    return program

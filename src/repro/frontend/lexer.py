@@ -1,0 +1,114 @@
+"""minic lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset(
+    {
+        "func", "lib", "global", "var", "if", "else", "while", "for",
+        "break", "continue", "return", "out",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = ["<<", ">>", "<=", ">=", "==", "!=", "&&", "||"]
+_SINGLE_OPS = "+-*/%&|^~<>!=(){}[],;"
+
+
+class TokenKind(enum.Enum):
+    INT = "int"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}({self.text!r}@{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = source[i]
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise ParseError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        if c.isdigit():
+            start, start_line, start_col = i, line, col
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                advance(2)
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    advance(1)
+                if i == start + 2:
+                    raise ParseError("bad hex literal", start_line, start_col)
+            else:
+                while i < n and source[i].isdigit():
+                    advance(1)
+            tokens.append(Token(TokenKind.INT, source[start:i], start_line, start_col))
+            continue
+        if c.isalpha() or c == "_":
+            start, start_line, start_col = i, line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, line, col))
+                advance(len(op))
+                matched = True
+                break
+        if matched:
+            continue
+        if c in _SINGLE_OPS:
+            tokens.append(Token(TokenKind.OP, c, line, col))
+            advance(1)
+            continue
+        raise ParseError(f"unexpected character {c!r}", line, col)
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,298 @@
+"""Recursive-descent parser for minic.
+
+Grammar (precedence climbing for expressions)::
+
+    module     := (global | funcdef)*
+    global     := 'global' IDENT '[' INT ']' ('=' '{' INT (',' INT)* '}')? ';'
+    funcdef    := 'lib'? 'func' IDENT '(' params? ')' block
+    block      := '{' stmt* '}'
+    stmt       := 'var' IDENT '=' expr ';'
+                | 'if' '(' expr ')' block ('else' (block | ifstmt))?
+                | 'while' '(' expr ')' block
+                | 'for' '(' simple? ';' expr? ';' simple? ')' block
+                | 'break' ';' | 'continue' ';'
+                | 'return' expr? ';' | 'out' '(' expr ')' ';'
+                | simple ';'
+    simple     := lvalue '=' expr | expr
+    expr       := precedence-climbed binary over unary
+    unary      := ('-' | '~' | '!') unary | primary
+    primary    := INT | IDENT ('(' args ')' | '[' expr ']')? | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, TokenKind, tokenize
+
+#: Binary operator precedence (higher binds tighter); all left-associative.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        return self.cur.text == text and self.cur.kind in (
+            TokenKind.OP, TokenKind.KEYWORD
+        )
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise ParseError(
+                f"expected {text!r}, got {self.cur.text!r}", self.cur.line, self.cur.col
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.cur.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, got {self.cur.text!r}",
+                self.cur.line,
+                self.cur.col,
+            )
+        return self.advance()
+
+    def expect_int(self) -> int:
+        neg = self.accept("-")
+        if self.cur.kind is not TokenKind.INT:
+            raise ParseError(
+                f"expected integer, got {self.cur.text!r}", self.cur.line, self.cur.col
+            )
+        value = int(self.advance().text, 0)
+        return -value if neg else value
+
+    # -- top level --------------------------------------------------------------
+    def module(self) -> ast.Module:
+        globals_: list[ast.GlobalDecl] = []
+        functions: list[ast.FuncDef] = []
+        while self.cur.kind is not TokenKind.EOF:
+            if self.check("global"):
+                globals_.append(self.global_decl())
+            elif self.check("func") or self.check("lib"):
+                functions.append(self.funcdef())
+            else:
+                raise ParseError(
+                    f"expected 'global' or 'func', got {self.cur.text!r}",
+                    self.cur.line,
+                    self.cur.col,
+                )
+        return ast.Module(tuple(globals_), tuple(functions))
+
+    def global_decl(self) -> ast.GlobalDecl:
+        line = self.expect("global").line
+        name = self.expect_ident().text
+        self.expect("[")
+        size = self.expect_int()
+        self.expect("]")
+        init: list[int] = []
+        if self.accept("="):
+            self.expect("{")
+            if not self.check("}"):
+                init.append(self.expect_int())
+                while self.accept(","):
+                    init.append(self.expect_int())
+            self.expect("}")
+        self.expect(";")
+        return ast.GlobalDecl(name, size, tuple(init), line=line)
+
+    def funcdef(self) -> ast.FuncDef:
+        is_library = self.accept("lib")
+        line = self.expect("func").line
+        name = self.expect_ident().text
+        self.expect("(")
+        params: list[str] = []
+        if not self.check(")"):
+            params.append(self.expect_ident().text)
+            while self.accept(","):
+                params.append(self.expect_ident().text)
+        self.expect(")")
+        body = self.block()
+        return ast.FuncDef(name, tuple(params), body, is_library, line=line)
+
+    # -- statements --------------------------------------------------------------
+    def block(self) -> tuple[ast.Stmt, ...]:
+        self.expect("{")
+        stmts: list[ast.Stmt] = []
+        while not self.check("}"):
+            stmts.append(self.stmt())
+        self.expect("}")
+        return tuple(stmts)
+
+    def stmt(self) -> ast.Stmt:
+        tok = self.cur
+        if self.check("var"):
+            self.advance()
+            name = self.expect_ident().text
+            self.expect("=")
+            init = self.expr()
+            self.expect(";")
+            return ast.VarDecl(name, init, line=tok.line)
+        if self.check("if"):
+            return self.if_stmt()
+        if self.check("while"):
+            self.advance()
+            self.expect("(")
+            cond = self.expr()
+            self.expect(")")
+            body = self.block()
+            return ast.While(cond, body, line=tok.line)
+        if self.check("for"):
+            self.advance()
+            self.expect("(")
+            if self.check(";"):
+                init = None
+            elif self.check("var"):
+                vtok = self.advance()
+                vname = self.expect_ident().text
+                self.expect("=")
+                init = ast.VarDecl(vname, self.expr(), line=vtok.line)
+            else:
+                init = self.simple_stmt()
+            self.expect(";")
+            cond = None if self.check(";") else self.expr()
+            self.expect(";")
+            step = None if self.check(")") else self.simple_stmt()
+            self.expect(")")
+            body = self.block()
+            return ast.For(init, cond, step, body, line=tok.line)
+        if self.check("break"):
+            self.advance()
+            self.expect(";")
+            return ast.Break(line=tok.line)
+        if self.check("continue"):
+            self.advance()
+            self.expect(";")
+            return ast.Continue(line=tok.line)
+        if self.check("return"):
+            self.advance()
+            value = None if self.check(";") else self.expr()
+            self.expect(";")
+            return ast.Return(value, line=tok.line)
+        if self.check("out"):
+            self.advance()
+            self.expect("(")
+            value = self.expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.Out(value, line=tok.line)
+        s = self.simple_stmt()
+        self.expect(";")
+        return s
+
+    def if_stmt(self) -> ast.If:
+        tok = self.expect("if")
+        self.expect("(")
+        cond = self.expr()
+        self.expect(")")
+        then_body = self.block()
+        else_body: tuple[ast.Stmt, ...] = ()
+        if self.accept("else"):
+            if self.check("if"):
+                else_body = (self.if_stmt(),)
+            else:
+                else_body = self.block()
+        return ast.If(cond, then_body, else_body, line=tok.line)
+
+    def simple_stmt(self) -> ast.Stmt:
+        """Assignment or expression statement (no trailing ';')."""
+        tok = self.cur
+        start = self.pos
+        if self.cur.kind is TokenKind.IDENT:
+            name = self.advance().text
+            if self.accept("="):
+                value = self.expr()
+                return ast.Assign(ast.VarRef(name, line=tok.line), value, line=tok.line)
+            if self.check("["):
+                self.advance()
+                index = self.expr()
+                self.expect("]")
+                if self.accept("="):
+                    value = self.expr()
+                    return ast.Assign(
+                        ast.Index(name, index, line=tok.line), value, line=tok.line
+                    )
+            # not an assignment: re-parse as expression
+            self.pos = start
+        expr = self.expr()
+        return ast.ExprStmt(expr, line=tok.line)
+
+    # -- expressions --------------------------------------------------------------
+    def expr(self, min_prec: int = 1) -> ast.Expr:
+        left = self.unary()
+        while True:
+            tok = self.cur
+            prec = _PRECEDENCE.get(tok.text) if tok.kind is TokenKind.OP else None
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self.expr(prec + 1)
+            left = ast.Binary(tok.text, left, right, line=tok.line)
+
+    def unary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind is TokenKind.OP and tok.text in ("-", "~", "!"):
+            self.advance()
+            return ast.Unary(tok.text, self.unary(), line=tok.line)
+        return self.primary()
+
+    def primary(self) -> ast.Expr:
+        tok = self.cur
+        if tok.kind is TokenKind.INT:
+            self.advance()
+            return ast.IntLit(int(tok.text, 0), line=tok.line)
+        if self.accept("("):
+            inner = self.expr()
+            self.expect(")")
+            return inner
+        if tok.kind is TokenKind.IDENT:
+            name = self.advance().text
+            if self.accept("("):
+                args: list[ast.Expr] = []
+                if not self.check(")"):
+                    args.append(self.expr())
+                    while self.accept(","):
+                        args.append(self.expr())
+                self.expect(")")
+                return ast.Call(name, tuple(args), line=tok.line)
+            if self.accept("["):
+                index = self.expr()
+                self.expect("]")
+                return ast.Index(name, index, line=tok.line)
+            return ast.VarRef(name, line=tok.line)
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line, tok.col)
+
+
+def parse(source: str) -> ast.Module:
+    """Parse minic source into a :class:`~repro.frontend.ast_nodes.Module`."""
+    return _Parser(tokenize(source)).module()

@@ -1,0 +1,240 @@
+"""Semantic analysis for minic.
+
+Checks performed before code generation:
+
+* unique global / function names; globals have positive sizes and
+  initializers that fit;
+* ``main`` exists and takes no parameters; ``main`` may only return integer
+  literals (the exit code is an immediate of ``HALT``);
+* every identifier is declared before use (function-level scoping), no
+  redeclarations, assignments only to declared variables / known globals;
+* calls name existing functions with matching arity;
+* the call graph is acyclic (every call is inlined, so recursion is
+  rejected).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticError
+from repro.frontend import ast_nodes as ast
+
+#: Built-in functions lowered directly to ISA operations by codegen.
+BUILTINS: dict[str, int] = {"abs": 1, "min": 2, "max": 2}
+
+
+def analyze(module: ast.Module) -> None:
+    """Raise :class:`SemanticError` on the first violation found."""
+    globals_: dict[str, ast.GlobalDecl] = {}
+    for g in module.globals_:
+        if g.name in globals_:
+            raise SemanticError(f"duplicate global {g.name!r} (line {g.line})")
+        if g.size <= 0:
+            raise SemanticError(f"global {g.name!r} has non-positive size")
+        if len(g.init) > g.size:
+            raise SemanticError(f"global {g.name!r} initializer too long")
+        globals_[g.name] = g
+
+    functions: dict[str, ast.FuncDef] = {}
+    for f in module.functions:
+        if f.name in functions:
+            raise SemanticError(f"duplicate function {f.name!r} (line {f.line})")
+        if f.name in globals_:
+            raise SemanticError(f"{f.name!r} is both a global and a function")
+        if f.name in BUILTINS:
+            raise SemanticError(
+                f"{f.name!r} is a built-in function (line {f.line})"
+            )
+        if len(set(f.params)) != len(f.params):
+            raise SemanticError(f"duplicate parameter in {f.name!r}")
+        functions[f.name] = f
+
+    main = functions.get("main")
+    if main is None:
+        raise SemanticError("no 'main' function")
+    if main.params:
+        raise SemanticError("'main' takes no parameters")
+    if main.is_library:
+        raise SemanticError("'main' cannot be a library function")
+
+    for f in functions.values():
+        _check_function(f, globals_, functions)
+
+    _check_recursion(functions)
+
+
+def _check_function(
+    f: ast.FuncDef,
+    globals_: dict[str, ast.GlobalDecl],
+    functions: dict[str, ast.FuncDef],
+) -> None:
+    declared: set[str] = set(f.params)
+
+    def check_expr(e: ast.Expr) -> None:
+        if isinstance(e, ast.IntLit):
+            return
+        if isinstance(e, ast.VarRef):
+            if e.name not in declared:
+                raise SemanticError(
+                    f"undeclared variable {e.name!r} in {f.name!r} (line {e.line})"
+                )
+            return
+        if isinstance(e, ast.Index):
+            if e.array not in globals_:
+                raise SemanticError(
+                    f"unknown global {e.array!r} in {f.name!r} (line {e.line})"
+                )
+            check_expr(e.index)
+            return
+        if isinstance(e, ast.Unary):
+            check_expr(e.operand)
+            return
+        if isinstance(e, ast.Binary):
+            check_expr(e.left)
+            check_expr(e.right)
+            return
+        if isinstance(e, ast.Call):
+            if e.name in BUILTINS:
+                if len(e.args) != BUILTINS[e.name]:
+                    raise SemanticError(
+                        f"{e.name!r} expects {BUILTINS[e.name]} args, got "
+                        f"{len(e.args)} (line {e.line})"
+                    )
+                for a in e.args:
+                    check_expr(a)
+                return
+            callee = functions.get(e.name)
+            if callee is None:
+                raise SemanticError(
+                    f"call to unknown function {e.name!r} (line {e.line})"
+                )
+            if callee.name == "main":
+                raise SemanticError(f"'main' cannot be called (line {e.line})")
+            if len(e.args) != len(callee.params):
+                raise SemanticError(
+                    f"{e.name!r} expects {len(callee.params)} args, got "
+                    f"{len(e.args)} (line {e.line})"
+                )
+            for a in e.args:
+                check_expr(a)
+            return
+        raise SemanticError(f"unknown expression node {type(e).__name__}")
+
+    def check_stmts(stmts: tuple[ast.Stmt, ...], in_loop: bool) -> None:
+        for s in stmts:
+            if isinstance(s, ast.VarDecl):
+                check_expr(s.init)
+                if s.name in declared:
+                    raise SemanticError(
+                        f"redeclaration of {s.name!r} in {f.name!r} (line {s.line})"
+                    )
+                declared.add(s.name)
+            elif isinstance(s, ast.Assign):
+                check_expr(s.value)
+                if isinstance(s.target, ast.VarRef):
+                    if s.target.name not in declared:
+                        raise SemanticError(
+                            f"assignment to undeclared {s.target.name!r} "
+                            f"(line {s.line})"
+                        )
+                else:
+                    check_expr(s.target)
+            elif isinstance(s, ast.If):
+                check_expr(s.cond)
+                check_stmts(s.then_body, in_loop)
+                check_stmts(s.else_body, in_loop)
+            elif isinstance(s, ast.While):
+                check_expr(s.cond)
+                check_stmts(s.body, True)
+            elif isinstance(s, ast.For):
+                if s.init is not None:
+                    check_stmts((s.init,), in_loop)
+                if s.cond is not None:
+                    check_expr(s.cond)
+                check_stmts(s.body, True)
+                if s.step is not None:
+                    check_stmts((s.step,), True)
+            elif isinstance(s, (ast.Break, ast.Continue)):
+                if not in_loop:
+                    raise SemanticError(
+                        f"{type(s).__name__.lower()} outside loop (line {s.line})"
+                    )
+            elif isinstance(s, ast.Return):
+                if s.value is not None:
+                    if f.name == "main" and not isinstance(s.value, ast.IntLit):
+                        raise SemanticError(
+                            "'main' may only return integer literals "
+                            f"(line {s.line})"
+                        )
+                    check_expr(s.value)
+            elif isinstance(s, ast.Out):
+                check_expr(s.value)
+            elif isinstance(s, ast.ExprStmt):
+                check_expr(s.expr)
+            else:
+                raise SemanticError(f"unknown statement node {type(s).__name__}")
+
+    check_stmts(f.body, False)
+
+
+def _check_recursion(functions: dict[str, ast.FuncDef]) -> None:
+    callees: dict[str, set[str]] = {name: set() for name in functions}
+
+    def collect_expr(name: str, e: ast.Expr) -> None:
+        if isinstance(e, ast.Call):
+            callees[name].add(e.name)
+            for a in e.args:
+                collect_expr(name, a)
+        elif isinstance(e, ast.Unary):
+            collect_expr(name, e.operand)
+        elif isinstance(e, ast.Binary):
+            collect_expr(name, e.left)
+            collect_expr(name, e.right)
+        elif isinstance(e, ast.Index):
+            collect_expr(name, e.index)
+
+    def collect_stmts(name: str, stmts: tuple[ast.Stmt, ...]) -> None:
+        for s in stmts:
+            for attr in ("init", "value", "cond", "expr"):
+                v = getattr(s, attr, None)
+                if v is not None and not isinstance(v, (ast.Stmt,)):
+                    if isinstance(
+                        v, (ast.IntLit, ast.VarRef, ast.Index, ast.Unary, ast.Binary, ast.Call)
+                    ):
+                        collect_expr(name, v)
+            for attr in ("then_body", "else_body", "body"):
+                v = getattr(s, attr, None)
+                if v:
+                    collect_stmts(name, v)
+            if isinstance(s, ast.For):
+                if s.init is not None:
+                    collect_stmts(name, (s.init,))
+                if s.step is not None:
+                    collect_stmts(name, (s.step,))
+            if isinstance(s, ast.Assign):
+                if isinstance(s.target, ast.Index):
+                    collect_expr(name, s.target.index)
+
+    for name, f in functions.items():
+        collect_stmts(name, f.body)
+
+    # DFS cycle detection.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in functions}
+
+    def dfs(name: str, path: list[str]) -> None:
+        color[name] = GREY
+        path.append(name)
+        for c in callees[name]:
+            if c not in functions:
+                continue  # reported by _check_function
+            if color[c] == GREY:
+                cycle = " -> ".join(path + [c])
+                raise SemanticError(f"recursion is not supported: {cycle}")
+            if color[c] == WHITE:
+                dfs(c, path)
+        path.pop()
+        color[name] = BLACK
+
+    for name in functions:
+        if color[name] == WHITE:
+            dfs(name, [])

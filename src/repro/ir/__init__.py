@@ -1,0 +1,44 @@
+"""Compiler intermediate representation.
+
+The IR is a conventional pre-scheduling back-end representation: functions of
+basic blocks over unbounded virtual registers, with an explicit CFG and
+per-block data-flow graphs.  This mirrors the point in the GCC back end where
+the paper inserts its passes ("just before the first instruction scheduling
+pass", Fig. 5).
+"""
+
+from repro.ir.basic_block import DETECT_LABEL, BasicBlock
+from repro.ir.function import Function
+from repro.ir.program import GlobalArray, MemoryLayout, Program
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import CFG
+from repro.ir.dfg import DFG, DepKind, Edge
+from repro.ir.liveness import LivenessInfo, compute_liveness
+from repro.ir.verifier import verify_function, verify_program
+from repro.ir.printer import print_function, print_program
+from repro.ir.parser import parse_program
+from repro.ir.interp import ExitKind, Interpreter, RunResult
+
+__all__ = [
+    "BasicBlock",
+    "DETECT_LABEL",
+    "Function",
+    "Program",
+    "GlobalArray",
+    "MemoryLayout",
+    "IRBuilder",
+    "CFG",
+    "DFG",
+    "Edge",
+    "DepKind",
+    "LivenessInfo",
+    "compute_liveness",
+    "verify_function",
+    "verify_program",
+    "print_function",
+    "print_program",
+    "parse_program",
+    "Interpreter",
+    "RunResult",
+    "ExitKind",
+]

@@ -1,0 +1,72 @@
+"""Basic blocks.
+
+A block is a label plus an instruction list whose last entry is the block's
+single terminator (``JMP``/``BRT``/``BRF``/``HALT``).  Check side exits
+(``CHKBR``) may appear anywhere before the terminator: architecturally they
+divert execution to the fault handler, so they do not end the block.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import IRError
+from repro.isa.instruction import Instruction
+
+#: Pseudo-label every ``CHKBR`` targets: the transient-fault handler.
+DETECT_LABEL = "__detect__"
+
+
+class BasicBlock:
+    """A labelled straight-line instruction sequence with one terminator."""
+
+    def __init__(self, label: str) -> None:
+        if not label or label == DETECT_LABEL:
+            raise IRError(f"invalid block label {label!r}")
+        self.label = label
+        self.instructions: list[Instruction] = []
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def append(self, insn: Instruction) -> Instruction:
+        if self.is_terminated:
+            raise IRError(f"block {self.label} already terminated")
+        self.instructions.append(insn)
+        return insn
+
+    @property
+    def is_terminated(self) -> bool:
+        return bool(self.instructions) and self.instructions[-1].info.is_terminator
+
+    @property
+    def terminator(self) -> Instruction:
+        if not self.is_terminated:
+            raise IRError(f"block {self.label} lacks a terminator")
+        return self.instructions[-1]
+
+    def successor_labels(self) -> tuple[str, ...]:
+        """Labels of CFG successors (side exits to the handler excluded)."""
+        return self.terminator.targets
+
+    def body(self) -> list[Instruction]:
+        """All instructions except the terminator."""
+        if not self.is_terminated:
+            return list(self.instructions)
+        return self.instructions[:-1]
+
+    def insert_before(self, index: int, insn: Instruction) -> None:
+        """Insert ``insn`` so it executes just before ``instructions[index]``."""
+        if not 0 <= index <= len(self.instructions):
+            raise IRError(f"insert index {index} out of range in {self.label}")
+        self.instructions.insert(index, insn)
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines += [f"  {insn}" for insn in self.instructions]
+        return "\n".join(lines)
+
+    __repr__ = __str__

@@ -1,0 +1,231 @@
+"""Fluent construction of IR functions.
+
+The builder is used by the minic code generator, by the workloads and by
+tests.  Arithmetic helpers accept either a register or a Python int for the
+second operand; ints become immediates where the ISA allows it and are
+materialized with ``MOVI`` otherwise.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.errors import IRError
+from repro.ir.basic_block import DETECT_LABEL, BasicBlock
+from repro.ir.function import Function
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import OP_INFO, Opcode
+from repro.isa.registers import Reg
+
+
+class IRBuilder:
+    """Builds one :class:`Function` block by block."""
+
+    def __init__(self, name: str = "main") -> None:
+        self.function = Function(name)
+        self._current: BasicBlock | None = None
+        self._in_library = False
+
+    # -- block management ----------------------------------------------------
+    def add_block(self, label: str) -> BasicBlock:
+        return self.function.add_block(label)
+
+    def at(self, label: str) -> BasicBlock:
+        """Move the insertion point to the end of block ``label``."""
+        self._current = self.function.block(label)
+        return self._current
+
+    def add_and_enter(self, label: str) -> BasicBlock:
+        block = self.add_block(label)
+        self._current = block
+        return block
+
+    @property
+    def current(self) -> BasicBlock:
+        if self._current is None:
+            raise IRError("no insertion point; call at() first")
+        return self._current
+
+    @contextlib.contextmanager
+    def library(self) -> Iterator[None]:
+        """Mark everything emitted inside as binary-only library code."""
+        prev = self._in_library
+        self._in_library = True
+        try:
+            yield
+        finally:
+            self._in_library = prev
+
+    # -- raw emission ---------------------------------------------------------
+    def emit(
+        self,
+        opcode: Opcode,
+        dests: tuple[Reg, ...] = (),
+        srcs: tuple[Reg, ...] = (),
+        imm: int | None = None,
+        targets: tuple[str, ...] = (),
+        role: Role = Role.ORIG,
+        comment: str = "",
+    ) -> Instruction:
+        insn = Instruction(
+            opcode,
+            dests=dests,
+            srcs=srcs,
+            imm=imm,
+            targets=targets,
+            role=role,
+            from_library=self._in_library,
+            comment=comment,
+        )
+        self.current.append(insn)
+        return insn
+
+    def _gp_operand(self, value: "Reg | int", allow_imm: bool) -> tuple[Reg | None, int | None]:
+        """Return ``(reg, imm)`` for a flexible second operand."""
+        if isinstance(value, Reg):
+            return value, None
+        if allow_imm:
+            return None, int(value)
+        return self.movi(int(value)), None
+
+    # -- arithmetic helpers -----------------------------------------------------
+    def _binop(self, opcode: Opcode, a: Reg, b: "Reg | int") -> Reg:
+        reg, imm = self._gp_operand(b, OP_INFO[opcode].allow_imm)
+        dest = self.function.new_gp()
+        srcs = (a,) if reg is None else (a, reg)
+        self.emit(opcode, (dest,), srcs, imm=imm)
+        return dest
+
+    def add(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.ADD, a, b)
+
+    def sub(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.SUB, a, b)
+
+    def mul(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.MUL, a, b)
+
+    def div(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.DIV, a, b)
+
+    def rem(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.REM, a, b)
+
+    def and_(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.AND, a, b)
+
+    def or_(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.OR, a, b)
+
+    def xor(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.XOR, a, b)
+
+    def shl(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.SHL, a, b)
+
+    def shrl(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.SHRL, a, b)
+
+    def shra(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.SHRA, a, b)
+
+    def min_(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.MIN, a, b)
+
+    def max_(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._binop(Opcode.MAX, a, b)
+
+    def neg(self, a: Reg) -> Reg:
+        dest = self.function.new_gp()
+        self.emit(Opcode.NEG, (dest,), (a,))
+        return dest
+
+    def abs_(self, a: Reg) -> Reg:
+        dest = self.function.new_gp()
+        self.emit(Opcode.ABS, (dest,), (a,))
+        return dest
+
+    def not_(self, a: Reg) -> Reg:
+        dest = self.function.new_gp()
+        self.emit(Opcode.NOT, (dest,), (a,))
+        return dest
+
+    def mov(self, a: Reg) -> Reg:
+        dest = self.function.new_gp()
+        self.emit(Opcode.MOV, (dest,), (a,))
+        return dest
+
+    def mov_to(self, dest: Reg, a: Reg) -> Instruction:
+        """Move into an existing register (needed for loop variables)."""
+        op = Opcode.MOV if dest.is_gp else Opcode.PMOV
+        return self.emit(op, (dest,), (a,))
+
+    def movi(self, value: int) -> Reg:
+        dest = self.function.new_gp()
+        self.emit(Opcode.MOVI, (dest,), imm=int(value))
+        return dest
+
+    def movi_to(self, dest: Reg, value: int) -> Instruction:
+        return self.emit(Opcode.MOVI, (dest,), imm=int(value))
+
+    def select(self, pred: Reg, a: Reg, b: Reg) -> Reg:
+        dest = self.function.new_gp()
+        self.emit(Opcode.SELECT, (dest,), (pred, a, b))
+        return dest
+
+    # -- compares -------------------------------------------------------------
+    def _cmp(self, opcode: Opcode, a: Reg, b: "Reg | int") -> Reg:
+        reg, imm = self._gp_operand(b, True)
+        dest = self.function.new_pr()
+        srcs = (a,) if reg is None else (a, reg)
+        self.emit(opcode, (dest,), srcs, imm=imm)
+        return dest
+
+    def cmpeq(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._cmp(Opcode.CMPEQ, a, b)
+
+    def cmpne(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._cmp(Opcode.CMPNE, a, b)
+
+    def cmplt(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._cmp(Opcode.CMPLT, a, b)
+
+    def cmple(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._cmp(Opcode.CMPLE, a, b)
+
+    def cmpgt(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._cmp(Opcode.CMPGT, a, b)
+
+    def cmpge(self, a: Reg, b: "Reg | int") -> Reg:
+        return self._cmp(Opcode.CMPGE, a, b)
+
+    # -- memory ----------------------------------------------------------------
+    def load(self, addr: Reg, offset: int = 0) -> Reg:
+        dest = self.function.new_gp()
+        self.emit(Opcode.LOAD, (dest,), (addr,), imm=offset)
+        return dest
+
+    def store(self, addr: Reg, value: Reg, offset: int = 0) -> Instruction:
+        return self.emit(Opcode.STORE, (), (addr, value), imm=offset)
+
+    def out(self, value: Reg) -> Instruction:
+        return self.emit(Opcode.OUT, (), (value,))
+
+    # -- control flow -------------------------------------------------------------
+    def jmp(self, target: str) -> Instruction:
+        return self.emit(Opcode.JMP, targets=(target,))
+
+    def brt(self, pred: Reg, taken: str, fallthrough: str) -> Instruction:
+        return self.emit(Opcode.BRT, srcs=(pred,), targets=(taken, fallthrough))
+
+    def brf(self, pred: Reg, taken: str, fallthrough: str) -> Instruction:
+        return self.emit(Opcode.BRF, srcs=(pred,), targets=(taken, fallthrough))
+
+    def halt(self, exit_code: int = 0) -> Instruction:
+        return self.emit(Opcode.HALT, imm=int(exit_code))
+
+    def chkbr(self, pred: Reg) -> Instruction:
+        return self.emit(
+            Opcode.CHKBR, srcs=(pred,), targets=(DETECT_LABEL,), role=Role.CHECK
+        )

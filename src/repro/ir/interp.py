@@ -1,0 +1,501 @@
+"""Sequential reference interpreter.
+
+Executes a :class:`~repro.ir.program.Program` in program order.  It is
+
+* the **functional reference model** the cycle-level VLIW executor is
+  differentially tested against, and
+* the **fault-injection engine**: Monte-Carlo campaigns need thousands of
+  runs, for which bundle-level timing is irrelevant (outcome classification
+  only needs architectural state plus a watchdog), so they run here.
+
+For speed each instruction is pre-compiled into a closure over a flat
+register list and a flat memory list; the interpreter sustains millions of
+instructions per second, which makes 300-trial campaigns practical.
+
+Fault model: after the ``dyn_index``-th committed instruction, flip one bit
+of its output register (paper §IV-C).  Multiple faults per run are supported
+(the paper injects protected binaries at the original binary's fault *rate*).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ArithmeticTrap, MemoryFault, SimError, SimTrap
+from repro.ir.program import Program
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg, RegClass
+
+_W = 1 << 64
+_S = 1 << 63
+_MASK = _W - 1
+
+#: Default watchdog budget (dynamic instructions) when the caller gives none.
+DEFAULT_MAX_STEPS = 50_000_000
+
+#: Headroom words appended after the data segment when the caller does not
+#: size memory explicitly (covers small hand-written tests).
+DEFAULT_HEADROOM_WORDS = 64
+
+
+class ExitKind(enum.Enum):
+    """How a run ended — maps onto the paper's outcome taxonomy."""
+
+    OK = "ok"  # reached HALT
+    DETECTED = "detected"  # a check (CHKBR) fired
+    EXCEPTION = "exception"  # architectural trap
+    TIMEOUT = "timeout"  # watchdog expired
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExitKind.{self.name}"
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one interpreter run."""
+
+    kind: ExitKind
+    exit_code: int | None
+    output: tuple[int, ...]
+    dyn_instructions: int
+    trap: str | None = None
+    block_trace: tuple[str, ...] = ()
+
+    @property
+    def architectural_state(self) -> tuple:
+        """The state compared against the golden run to call benign vs SDC."""
+        return (self.kind, self.exit_code, self.output)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Flip ``bit`` of the output register of dynamic instruction ``dyn_index``.
+
+    ``dyn_index`` counts committed instructions from 0.  If that instruction
+    writes no register, the flip lands in a latch the program never reads and
+    is dropped (the campaign samples only output-producing instructions).
+    Predicate outputs invert regardless of ``bit`` (they hold a single bit).
+    """
+
+    dyn_index: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.dyn_index < 0:
+            raise ValueError("dyn_index must be >= 0")
+        if not 0 <= self.bit < 64:
+            raise ValueError("bit must be in [0, 64)")
+
+
+_DETECT = "__detect__"
+
+
+class _CompiledBlock:
+    __slots__ = ("label", "fns", "dest_slots", "dest_is_pr", "n")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.fns: list[Callable[[], object]] = []
+        self.dest_slots: list[int] = []
+        self.dest_is_pr: list[bool] = []
+        self.n = 0
+
+
+def _signed_const(x: int) -> int:
+    x &= _MASK
+    return x - _W if x & _S else x
+
+
+def _div_s(x: int, y: int) -> int:
+    if y == 0:
+        raise ArithmeticTrap("division by zero")
+    q = abs(x) // abs(y)
+    return (-q if (x < 0) != (y < 0) else q) & _MASK
+
+
+def _rem_s(x: int, y: int) -> int:
+    if y == 0:
+        raise ArithmeticTrap("remainder by zero")
+    q = abs(x) // abs(y)
+    q = -q if (x < 0) != (y < 0) else q
+    return (x - q * y) & _MASK
+
+
+def _bin(fn_signed=None, fn_raw=None):
+    """Factory-of-factories for two-input ALU/compare opcodes.
+
+    ``fn_raw`` operates on the raw unsigned representation (correct for ops
+    whose bit pattern is sign-agnostic); ``fn_signed`` gets two's-complement
+    ints and must mask its own result.
+    """
+
+    def build(R: list[int], d: int, a: int, b: int | None, imm: int | None):
+        if fn_raw is not None:
+            if b is None:
+                k = imm & _MASK
+
+                def f_ri() -> None:
+                    R[d] = fn_raw(R[a], k)
+
+                return f_ri
+
+            def f_rr() -> None:
+                R[d] = fn_raw(R[a], R[b])
+
+            return f_rr
+
+        if b is None:
+            k = _signed_const(imm)
+
+            def g_ri() -> None:
+                x = R[a]
+                R[d] = fn_signed(x - _W if x & _S else x, k)
+
+            return g_ri
+
+        def g_rr() -> None:
+            x, y = R[a], R[b]
+            R[d] = fn_signed(x - _W if x & _S else x, y - _W if y & _S else y)
+
+        return g_rr
+
+    return build
+
+
+_BIN_FACTORY = {
+    Opcode.ADD: _bin(fn_raw=lambda x, y: (x + y) & _MASK),
+    Opcode.SUB: _bin(fn_raw=lambda x, y: (x - y) & _MASK),
+    Opcode.MUL: _bin(fn_raw=lambda x, y: (x * y) & _MASK),
+    Opcode.DIV: _bin(fn_signed=_div_s),
+    Opcode.REM: _bin(fn_signed=_rem_s),
+    Opcode.AND: _bin(fn_raw=lambda x, y: x & y),
+    Opcode.OR: _bin(fn_raw=lambda x, y: x | y),
+    Opcode.XOR: _bin(fn_raw=lambda x, y: x ^ y),
+    Opcode.SHL: _bin(fn_raw=lambda x, y: (x << (y & 63)) & _MASK),
+    Opcode.SHRL: _bin(fn_raw=lambda x, y: x >> (y & 63)),
+    Opcode.SHRA: _bin(fn_signed=lambda x, y: (x >> (y & 63)) & _MASK),
+    Opcode.MIN: _bin(fn_signed=lambda x, y: min(x, y) & _MASK),
+    Opcode.MAX: _bin(fn_signed=lambda x, y: max(x, y) & _MASK),
+    Opcode.CMPEQ: _bin(fn_signed=lambda x, y: 1 if x == y else 0),
+    Opcode.CMPNE: _bin(fn_signed=lambda x, y: 1 if x != y else 0),
+    Opcode.CMPLT: _bin(fn_signed=lambda x, y: 1 if x < y else 0),
+    Opcode.CMPLE: _bin(fn_signed=lambda x, y: 1 if x <= y else 0),
+    Opcode.CMPGT: _bin(fn_signed=lambda x, y: 1 if x > y else 0),
+    Opcode.CMPGE: _bin(fn_signed=lambda x, y: 1 if x >= y else 0),
+}
+
+
+def _un(fn_signed):
+    def build(R: list[int], d: int, a: int):
+        def f() -> None:
+            x = R[a]
+            R[d] = fn_signed(x - _W if x & _S else x) & _MASK
+
+        return f
+
+    return build
+
+
+_UN_FACTORY = {
+    Opcode.NEG: _un(lambda x: -x),
+    Opcode.ABS: _un(abs),
+    Opcode.NOT: _un(lambda x: ~x),
+}
+
+
+class Interpreter:
+    """Compile once, run many times (state is reset at the top of each run)."""
+
+    def __init__(
+        self,
+        program: Program,
+        mem_words: int | None = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        frame_words: int = 0,
+    ) -> None:
+        self.program = program
+        layout = program.layout()
+        self.frame_base = layout.spill_base
+        if mem_words is None:
+            mem_words = layout.data_end + frame_words + DEFAULT_HEADROOM_WORDS
+        if mem_words < layout.data_end + frame_words:
+            raise SimError(
+                f"mem_words={mem_words} smaller than data+frame segment "
+                f"{layout.data_end + frame_words}"
+            )
+        self.mem_words = mem_words
+        self.max_steps = max_steps
+        self._init_mem = program.initial_memory_words()
+        self._entry = program.main.entry.label
+
+        # Assign a flat slot to every register before building closures.
+        self._slot_of: dict[Reg, int] = {}
+        for block in program.main.blocks():
+            for insn in block.instructions:
+                for r in (*insn.dests, *insn.srcs):
+                    self._slot_of.setdefault(r, len(self._slot_of))
+        self._R: list[int] = [0] * max(1, len(self._slot_of))
+        self._M: list[int] = [0] * mem_words
+        self._O: list[int] = []
+
+        self._blocks: dict[str, _CompiledBlock] = {}
+        for block in program.main.blocks():
+            cb = _CompiledBlock(block.label)
+            for insn in block.instructions:
+                cb.fns.append(self._make_closure(insn))
+                if insn.dests:
+                    cb.dest_slots.append(self._slot_of[insn.dests[0]])
+                    cb.dest_is_pr.append(insn.dests[0].rclass is RegClass.PR)
+                else:
+                    cb.dest_slots.append(-1)
+                    cb.dest_is_pr.append(False)
+            cb.n = len(cb.fns)
+            self._blocks[block.label] = cb
+
+    # -- closure construction ---------------------------------------------------
+    def _make_closure(self, insn) -> Callable[[], object]:
+        R, M, O = self._R, self._M, self._O
+        mem_words = self.mem_words
+        op = insn.opcode
+        srcs = [self._slot_of[r] for r in insn.srcs]
+        dest = self._slot_of[insn.dests[0]] if insn.dests else -1
+        imm = insn.imm
+
+        if op is Opcode.MOVI:
+            v, d = imm & _MASK, dest
+
+            def f_movi() -> None:
+                R[d] = v
+
+            return f_movi
+
+        if op is Opcode.MOV or op is Opcode.PMOV:
+            a, d = srcs[0], dest
+
+            def f_mov() -> None:
+                R[d] = R[a]
+
+            return f_mov
+
+        if op in _BIN_FACTORY:
+            if imm is not None:
+                return _BIN_FACTORY[op](R, dest, srcs[0], None, imm)
+            return _BIN_FACTORY[op](R, dest, srcs[0], srcs[1], None)
+
+        if op in _UN_FACTORY:
+            return _UN_FACTORY[op](R, dest, srcs[0])
+
+        if op is Opcode.SELECT:
+            d, p, a, b = dest, srcs[0], srcs[1], srcs[2]
+
+            def f_select() -> None:
+                R[d] = R[a] if R[p] else R[b]
+
+            return f_select
+
+        if op is Opcode.PNE:
+            d, a, b = dest, srcs[0], srcs[1]
+
+            def f_pne() -> None:
+                R[d] = 1 if R[a] != R[b] else 0
+
+            return f_pne
+
+        if op is Opcode.LOAD:
+            d, a, off = dest, srcs[0], imm
+
+            def f_load() -> None:
+                addr = (R[a] + off) & _MASK
+                if addr < 1 or addr >= mem_words:
+                    raise MemoryFault(f"load from invalid address {addr}")
+                R[d] = M[addr]
+
+            return f_load
+
+        if op is Opcode.STORE:
+            a, v, off = srcs[0], srcs[1], imm
+
+            def f_store() -> None:
+                addr = (R[a] + off) & _MASK
+                if addr < 1 or addr >= mem_words:
+                    raise MemoryFault(f"store to invalid address {addr}")
+                M[addr] = R[v]
+
+            return f_store
+
+        if op is Opcode.LOADFP:
+            d = dest
+            addr = self.frame_base + imm
+            if not 1 <= addr < mem_words:
+                raise SimError(f"frame slot {imm} outside memory")
+
+            def f_loadfp() -> None:
+                R[d] = M[addr]
+
+            return f_loadfp
+
+        if op is Opcode.STOREFP:
+            a = srcs[0]
+            addr = self.frame_base + imm
+            if not 1 <= addr < mem_words:
+                raise SimError(f"frame slot {imm} outside memory")
+
+            def f_storefp() -> None:
+                M[addr] = R[a]
+
+            return f_storefp
+
+        if op is Opcode.OUT:
+            a = srcs[0]
+
+            def f_out() -> None:
+                O.append(R[a])
+
+            return f_out
+
+        if op is Opcode.JMP:
+            target = insn.targets[0]
+
+            def f_jmp() -> str:
+                return target
+
+            return f_jmp
+
+        if op is Opcode.BRT:
+            p = srcs[0]
+            taken, fall = insn.targets
+
+            def f_brt() -> str:
+                return taken if R[p] else fall
+
+            return f_brt
+
+        if op is Opcode.BRF:
+            p = srcs[0]
+            taken, fall = insn.targets
+
+            def f_brf() -> str:
+                return fall if R[p] else taken
+
+            return f_brf
+
+        if op is Opcode.HALT:
+            result = ("halt", imm)
+
+            def f_halt() -> tuple:
+                return result
+
+            return f_halt
+
+        if op is Opcode.CHKBR:
+            p = srcs[0]
+
+            def f_chkbr() -> str | None:
+                return _DETECT if R[p] else None
+
+            return f_chkbr
+
+        if op is Opcode.NOP:
+            def f_nop() -> None:
+                return None
+
+            return f_nop
+
+        raise SimError(f"cannot compile opcode {op}")  # pragma: no cover
+
+    # -- execution ---------------------------------------------------------------
+    def reset_state(self) -> None:
+        """Zero registers and memory, apply global initializers, clear output."""
+        R, M = self._R, self._M
+        for i in range(len(R)):
+            R[i] = 0
+        for i in range(len(M)):
+            M[i] = 0
+        for addr, value in self._init_mem.items():
+            M[addr] = value
+        self._O.clear()
+
+    def run(
+        self,
+        faults: tuple[FaultSpec, ...] = (),
+        max_steps: int | None = None,
+        record_trace: bool = False,
+    ) -> RunResult:
+        """Execute from the entry block and classify the ending."""
+        R, M, O = self._R, self._M, self._O
+        self.reset_state()
+
+        budget = self.max_steps if max_steps is None else max_steps
+        fault_list = sorted(faults, key=lambda f: f.dyn_index)
+        fi = 0
+        # Sentinel -1 never equals a (1-based) committed count.
+        nf = fault_list[0].dyn_index + 1 if fault_list else -1
+
+        trace: list[str] | None = [] if record_trace else None
+        dyn = 0
+        label = self._entry
+        blocks = self._blocks
+
+        def finish(kind: ExitKind, code: int | None, trap: str | None) -> RunResult:
+            return RunResult(
+                kind,
+                code,
+                tuple(O),
+                dyn,
+                trap=trap,
+                block_trace=tuple(trace) if trace is not None else (),
+            )
+
+        try:
+            while True:
+                cb = blocks[label]
+                if trace is not None:
+                    trace.append(label)
+                if dyn + cb.n > budget:
+                    return finish(ExitKind.TIMEOUT, None, "watchdog")
+                jump: object = None
+                if nf < 0 or nf > dyn + cb.n:
+                    # Fast path: no fault lands during this block visit.
+                    for fn in cb.fns:
+                        res = fn()
+                        if res is not None:
+                            jump = res
+                            break
+                    dyn += cb.n
+                else:
+                    dest_slots = cb.dest_slots
+                    dest_is_pr = cb.dest_is_pr
+                    start = dyn
+                    for i, fn in enumerate(cb.fns):
+                        res = fn()
+                        dyn += 1
+                        if dyn == nf:
+                            ds = dest_slots[i]
+                            if ds >= 0:
+                                if dest_is_pr[i]:
+                                    R[ds] ^= 1
+                                else:
+                                    R[ds] ^= 1 << fault_list[fi].bit
+                            fi += 1
+                            nf = (
+                                fault_list[fi].dyn_index + 1
+                                if fi < len(fault_list)
+                                else -1
+                            )
+                        if res is not None:
+                            jump = res
+                            break
+                    if jump is None and dyn != start + cb.n:  # pragma: no cover
+                        raise SimError("block accounting error")
+
+                if jump is None:
+                    raise SimError(f"block {label} fell through")  # pragma: no cover
+                if jump is _DETECT:
+                    return finish(ExitKind.DETECTED, None, None)
+                if type(jump) is tuple:
+                    return finish(ExitKind.OK, jump[1], None)
+                label = jump
+        except SimTrap as trap:
+            return finish(ExitKind.EXCEPTION, None, trap.kind)

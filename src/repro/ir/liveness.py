@@ -1,0 +1,71 @@
+"""Classic backward liveness analysis over the CFG.
+
+Produces per-block ``live_in``/``live_out`` register sets; the register
+allocator and the dead-code-elimination pass both consume this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.isa.registers import Reg
+
+
+@dataclass
+class LivenessInfo:
+    """Result of :func:`compute_liveness`."""
+
+    live_in: dict[str, frozenset[Reg]] = field(default_factory=dict)
+    live_out: dict[str, frozenset[Reg]] = field(default_factory=dict)
+    use: dict[str, frozenset[Reg]] = field(default_factory=dict)
+    defs: dict[str, frozenset[Reg]] = field(default_factory=dict)
+
+
+def block_use_def(function: Function) -> tuple[dict[str, set[Reg]], dict[str, set[Reg]]]:
+    """Per-block upward-exposed uses and definitions."""
+    use: dict[str, set[Reg]] = {}
+    defs: dict[str, set[Reg]] = {}
+    for block in function.blocks():
+        u: set[Reg] = set()
+        d: set[Reg] = set()
+        for insn in block:
+            for r in insn.reads():
+                if r not in d:
+                    u.add(r)
+            for r in insn.writes():
+                d.add(r)
+        use[block.label] = u
+        defs[block.label] = d
+    return use, defs
+
+
+def compute_liveness(function: Function, cfg: CFG | None = None) -> LivenessInfo:
+    """Iterate the backward dataflow equations to a fixed point."""
+    cfg = cfg or CFG(function)
+    use, defs = block_use_def(function)
+    labels = cfg.reverse_postorder()
+    live_in: dict[str, set[Reg]] = {lb: set() for lb in use}
+    live_out: dict[str, set[Reg]] = {lb: set() for lb in use}
+
+    changed = True
+    while changed:
+        changed = False
+        # Postorder converges fastest for backward problems.
+        for label in reversed(labels):
+            out: set[Reg] = set()
+            for succ in cfg.succs[label]:
+                out |= live_in[succ]
+            inn = use[label] | (out - defs[label])
+            if out != live_out[label] or inn != live_in[label]:
+                live_out[label] = out
+                live_in[label] = inn
+                changed = True
+
+    return LivenessInfo(
+        live_in={lb: frozenset(s) for lb, s in live_in.items()},
+        live_out={lb: frozenset(s) for lb, s in live_out.items()},
+        use={lb: frozenset(s) for lb, s in use.items()},
+        defs={lb: frozenset(s) for lb, s in defs.items()},
+    )

@@ -1,0 +1,178 @@
+"""Parser for the textual IR format emitted by :mod:`repro.ir.printer`.
+
+Exists mainly for tests (round-trip property tests) and for writing small IR
+snippets by hand; the workloads use the minic front end instead.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.ir.basic_block import DETECT_LABEL
+from repro.ir.function import Function
+from repro.ir.program import GlobalArray, Program
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import MNEMONIC_TO_OPCODE
+from repro.isa.registers import Reg, RegClass
+
+_REG_RE = re.compile(r"^(?:v(r|p)(\d+)|c(\d+)\.(r|p)(\d+))$")
+_GLOBAL_RE = re.compile(
+    r"^global\s+(\w+)\s*\[\s*(\d+)\s*\]\s*(?:=\s*\{(.*)\}\s*)?$"
+)
+_LABEL_RE = re.compile(r"^(\w+):$")
+_FUNC_RE = re.compile(r"^func\s+(\w+)\s*\{$")
+
+_ROLE_TAGS = {role.value: role for role in Role if role is not Role.ORIG}
+
+
+def _parse_reg(token: str, line_no: int) -> Reg:
+    m = _REG_RE.match(token)
+    if not m:
+        raise ParseError(f"bad register {token!r}", line_no)
+    if m.group(1):  # virtual
+        rclass = RegClass.GP if m.group(1) == "r" else RegClass.PR
+        return Reg(rclass, int(m.group(2)))
+    rclass = RegClass.GP if m.group(4) == "r" else RegClass.PR
+    return Reg(rclass, int(m.group(5)), virtual=False, cluster=int(m.group(3)))
+
+
+def parse_instruction(text: str, line_no: int = 0) -> Instruction:
+    """Parse one instruction line (without label or braces)."""
+    parts = text.split("!")
+    body, tags = parts[0].strip(), [t.strip() for t in parts[1:]]
+    pieces = body.split(None, 1)
+    if not pieces:
+        raise ParseError("empty instruction", line_no)
+    mnemonic = pieces[0]
+    opcode = MNEMONIC_TO_OPCODE.get(mnemonic)
+    if opcode is None:
+        raise ParseError(f"unknown mnemonic {mnemonic!r}", line_no)
+
+    regs: list[Reg] = []
+    imm: int | None = None
+    targets: list[str] = []
+    if len(pieces) > 1:
+        for token in (t.strip() for t in pieces[1].split(",")):
+            if not token:
+                raise ParseError("empty operand", line_no)
+            if token.startswith("#"):
+                try:
+                    imm = int(token[1:], 0)
+                except ValueError:
+                    raise ParseError(f"bad immediate {token!r}", line_no) from None
+            elif token.startswith("@"):
+                targets.append(token[1:])
+            else:
+                regs.append(_parse_reg(token, line_no))
+
+    from repro.isa.opcodes import OP_INFO
+
+    info = OP_INFO[opcode]
+    dests: tuple[Reg, ...] = ()
+    srcs: tuple[Reg, ...] = tuple(regs)
+    if info.out_class is not None:
+        if not regs:
+            raise ParseError(f"{mnemonic} needs a destination", line_no)
+        dests, srcs = (regs[0],), tuple(regs[1:])
+
+    role = Role.ORIG
+    from_library = False
+    cluster: int | None = None
+    dup_of: int | None = None
+    for tag in tags:
+        if tag in _ROLE_TAGS:
+            role = _ROLE_TAGS[tag]
+        elif tag == "lib":
+            from_library = True
+        elif tag.startswith("cl") and tag[2:].isdigit():
+            cluster = int(tag[2:])
+        elif tag.startswith("of") and tag[2:].isdigit():
+            dup_of = int(tag[2:])
+        else:
+            raise ParseError(f"unknown tag !{tag}", line_no)
+
+    try:
+        return Instruction(
+            opcode,
+            dests=dests,
+            srcs=srcs,
+            imm=imm,
+            targets=tuple(targets),
+            role=role,
+            from_library=from_library,
+            cluster=cluster,
+            dup_of=dup_of,
+        )
+    except Exception as exc:  # IRError from shape validation
+        raise ParseError(f"{exc}", line_no) from exc
+
+
+def parse_program(text: str) -> Program:
+    """Parse a full ``program { ... }`` document."""
+    lines = [(i + 1, raw.split(";")[0].strip()) for i, raw in enumerate(text.splitlines())]
+    lines = [(n, s) for n, s in lines if s]
+    pos = 0
+
+    def expect(pattern: str) -> None:
+        nonlocal pos
+        if pos >= len(lines) or lines[pos][1] != pattern:
+            at = lines[pos] if pos < len(lines) else (0, "<eof>")
+            raise ParseError(f"expected {pattern!r}, got {at[1]!r}", at[0])
+        pos += 1
+
+    expect("program {")
+    globals_: list[GlobalArray] = []
+    while pos < len(lines) and lines[pos][1].startswith("global"):
+        line_no, line = lines[pos]
+        m = _GLOBAL_RE.match(line)
+        if not m:
+            raise ParseError(f"bad global declaration {line!r}", line_no)
+        name, size = m.group(1), int(m.group(2))
+        init: tuple[int, ...] = ()
+        if m.group(3) is not None:
+            body = m.group(3).strip()
+            if body:
+                try:
+                    init = tuple(int(v.strip(), 0) for v in body.split(","))
+                except ValueError:
+                    raise ParseError("bad global initializer", line_no) from None
+        globals_.append(GlobalArray(name, size, init))
+        pos += 1
+
+    if pos >= len(lines):
+        raise ParseError("missing func", 0)
+    line_no, line = lines[pos]
+    m = _FUNC_RE.match(line)
+    if not m:
+        raise ParseError(f"expected func, got {line!r}", line_no)
+    function = Function(m.group(1))
+    pos += 1
+
+    current = None
+    max_vreg = {RegClass.GP: 0, RegClass.PR: 0}
+    while pos < len(lines) and lines[pos][1] != "}":
+        line_no, line = lines[pos]
+        lm = _LABEL_RE.match(line)
+        if lm:
+            label = lm.group(1)
+            if label == DETECT_LABEL:
+                raise ParseError(f"{DETECT_LABEL} is reserved", line_no)
+            current = function.add_block(label)
+        else:
+            if current is None:
+                raise ParseError("instruction before first label", line_no)
+            insn = parse_instruction(line, line_no)
+            for r in (*insn.dests, *insn.srcs):
+                if r.virtual:
+                    max_vreg[r.rclass] = max(max_vreg[r.rclass], r.index + 1)
+            current.instructions.append(insn)
+        pos += 1
+    expect("}")
+    expect("}")
+    if len(function) == 0:
+        raise ParseError(f"function {function.name!r} has no blocks", line_no)
+
+    for rclass, count in max_vreg.items():
+        function.reserve_vregs(rclass, count)
+    return Program(function, globals_)

@@ -1,0 +1,104 @@
+"""Whole programs: one entry function plus a global data segment.
+
+The front end inlines every call (including "library" calls, whose inlined
+instructions are tagged ``from_library`` and stay outside the sphere of
+replication), so a linked program is a single function.  Global arrays are
+laid out contiguously in a word-addressed memory; word 0 is the null page and
+always traps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.ir.function import Function
+
+#: Words per cache "byte-sized" unit: the ISA is word-addressed, the cache
+#: geometry in Table I is specified in bytes; one word is 8 bytes.
+BYTES_PER_WORD = 8
+
+
+@dataclass(frozen=True)
+class GlobalArray:
+    """A statically allocated global array of 64-bit words."""
+
+    name: str
+    n_words: int
+    init: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_words <= 0:
+            raise IRError(f"global {self.name!r} must have positive size")
+        if len(self.init) > self.n_words:
+            raise IRError(f"global {self.name!r} initializer longer than array")
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Word addresses assigned to the data segment.
+
+    ``base_of`` maps global name -> first word address.  ``spill_base`` is
+    where the register allocator's spill frame starts; its extent is decided
+    per compilation.  ``data_end`` is the first address past the globals.
+    """
+
+    base_of: dict[str, int] = field(default_factory=dict)
+    data_end: int = 1
+
+    @property
+    def spill_base(self) -> int:
+        return self.data_end
+
+
+class Program:
+    """A linked program: entry function + data segment."""
+
+    def __init__(self, main: Function, globals_: list[GlobalArray] | None = None) -> None:
+        self.main = main
+        self.globals: dict[str, GlobalArray] = {}
+        for g in globals_ or []:
+            self.add_global(g)
+
+    def add_global(self, g: GlobalArray) -> None:
+        if g.name in self.globals:
+            raise IRError(f"duplicate global {g.name!r}")
+        self.globals[g.name] = g
+
+    def clone(self) -> "Program":
+        """Deep copy (globals are immutable and shared)."""
+        return Program(self.main.clone(), list(self.globals.values()))
+
+    def layout(self) -> MemoryLayout:
+        """Assign word addresses to globals (word 0 reserved as null)."""
+        base_of: dict[str, int] = {}
+        addr = 1
+        for g in self.globals.values():
+            base_of[g.name] = addr
+            addr += g.n_words
+        return MemoryLayout(base_of=base_of, data_end=addr)
+
+    def initial_memory_words(self) -> dict[int, int]:
+        """Initial non-zero memory contents implied by global initializers."""
+        layout = self.layout()
+        mem: dict[int, int] = {}
+        for g in self.globals.values():
+            base = layout.base_of[g.name]
+            for i, value in enumerate(g.init):
+                if value:
+                    mem[base + i] = value & ((1 << 64) - 1)
+        return mem
+
+    def __str__(self) -> str:
+        parts = ["program {"]
+        for g in self.globals.values():
+            if g.init:
+                init = ", ".join(str(v) for v in g.init)
+                parts.append(f"  global {g.name}[{g.n_words}] = {{{init}}}")
+            else:
+                parts.append(f"  global {g.name}[{g.n_words}]")
+        parts.append(str(self.main))
+        parts.append("}")
+        return "\n".join(parts)
+
+    __repr__ = __str__

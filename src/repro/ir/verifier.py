@@ -1,0 +1,102 @@
+"""IR well-formedness checks.
+
+Run after the front end and after every transforming pass (cheap insurance:
+all pass bugs in this project manifest as malformed IR long before they
+manifest as wrong benchmark numbers).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.basic_block import DETECT_LABEL
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.program import Program
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg
+
+
+def verify_function(function: Function, allow_unreachable: bool = False) -> None:
+    """Raise :class:`IRError` on any structural violation."""
+    if len(function) == 0:
+        raise IRError(f"function {function.name} has no blocks")
+
+    for block in function.blocks():
+        if not block.instructions:
+            raise IRError(f"empty block {block.label}")
+        if not block.is_terminated:
+            raise IRError(f"block {block.label} lacks a terminator")
+        for idx, insn in enumerate(block.instructions):
+            insn.validate()
+            if insn.info.is_terminator and idx != len(block.instructions) - 1:
+                raise IRError(
+                    f"terminator {insn} mid-block in {block.label} at {idx}"
+                )
+            if insn.opcode is Opcode.CHKBR and insn.targets != (DETECT_LABEL,):
+                raise IRError(f"CHKBR must target {DETECT_LABEL}, got {insn.targets}")
+
+    cfg = CFG(function)  # validates branch targets
+    if not allow_unreachable and cfg.unreachable():
+        raise IRError(
+            f"unreachable blocks in {function.name}: {sorted(cfg.unreachable())}"
+        )
+
+    _check_defined_before_use(function, cfg)
+
+
+def _check_defined_before_use(function: Function, cfg: CFG) -> None:
+    """Forward may-be-undefined analysis; any possibly-undefined use is an error."""
+    all_regs: set[Reg] = set()
+    for _, _, insn in function.all_instructions():
+        all_regs.update(insn.reads())
+        all_regs.update(insn.writes())
+
+    # defined_in[label]: registers definitely defined at block entry.
+    defined_in: dict[str, set[Reg]] = {
+        b.label: set(all_regs) for b in function.blocks()
+    }
+    defined_in[cfg.entry_label] = set()
+    order = cfg.reverse_postorder()
+
+    def block_defs_out(label: str, at_entry: set[Reg]) -> set[Reg]:
+        defined = set(at_entry)
+        for insn in function.block(label):
+            defined.update(insn.writes())
+        return defined
+
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            preds = cfg.preds[label]
+            if label == cfg.entry_label:
+                entry: set[Reg] = set()
+            elif preds:
+                entry = set(all_regs)
+                for p in preds:
+                    entry &= block_defs_out(p, defined_in[p])
+            else:
+                entry = set(all_regs)
+            if entry != defined_in[label]:
+                defined_in[label] = entry
+                changed = True
+
+    for label in order:
+        defined = set(defined_in[label])
+        for insn in function.block(label):
+            for r in insn.reads():
+                if r not in defined:
+                    raise IRError(
+                        f"register {r} may be used before definition in "
+                        f"{label}: {insn}"
+                    )
+            defined.update(insn.writes())
+
+
+def verify_program(program: Program, allow_unreachable: bool = False) -> None:
+    """Verify the entry function and the data segment."""
+    verify_function(program.main, allow_unreachable=allow_unreachable)
+    layout = program.layout()
+    for g in program.globals.values():
+        if layout.base_of[g.name] <= 0:
+            raise IRError(f"global {g.name} overlaps the null word")

@@ -1,0 +1,33 @@
+"""Instruction-set architecture of the target machine.
+
+A small 64-bit RISC-style ISA with general-purpose (GP) and predicate (PR)
+registers.  It deliberately preserves the three instruction properties the
+CASTED algorithms dispatch on: *replicable*, *store-like* (memory/output side
+effects) and *control flow*.
+"""
+
+from repro.isa.opcodes import OP_INFO, Opcode, OpInfo, LatencyClass
+from repro.isa.registers import PR, GP, Reg, RegClass
+from repro.isa.instruction import Instruction
+from repro.isa.semantics import (
+    eval_compare,
+    eval_alu,
+    to_signed,
+    wrap64,
+)
+
+__all__ = [
+    "Opcode",
+    "OpInfo",
+    "OP_INFO",
+    "LatencyClass",
+    "Reg",
+    "RegClass",
+    "GP",
+    "PR",
+    "Instruction",
+    "wrap64",
+    "to_signed",
+    "eval_alu",
+    "eval_compare",
+]

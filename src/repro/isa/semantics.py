@@ -1,0 +1,112 @@
+"""Functional semantics of the ISA.
+
+All GP values are 64-bit two's-complement integers stored as Python ints in
+``[0, 2**64)``; predicates are 0/1.  These routines are shared by the IR
+interpreter (reference model) and the cycle-level VLIW executor, so the two
+can be differentially tested against each other.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArithmeticTrap
+from repro.isa.opcodes import Opcode
+
+_MASK64 = (1 << 64) - 1
+_SIGN = 1 << 63
+
+
+def wrap64(value: int) -> int:
+    """Reduce an arbitrary int to its unsigned 64-bit representation."""
+    return value & _MASK64
+
+
+def to_signed(value: int) -> int:
+    """Interpret an unsigned 64-bit value as two's-complement signed."""
+    value &= _MASK64
+    return value - (1 << 64) if value & _SIGN else value
+
+
+def _sdiv(a: int, b: int) -> int:
+    """C-style (truncating) signed division."""
+    if b == 0:
+        raise ArithmeticTrap("division by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _srem(a: int, b: int) -> int:
+    """C-style signed remainder: ``a - trunc(a/b)*b``."""
+    if b == 0:
+        raise ArithmeticTrap("remainder by zero")
+    return a - _sdiv(a, b) * b
+
+
+def eval_alu(opcode: Opcode, operands: tuple[int, ...]) -> int:
+    """Evaluate a GP-producing ALU/move opcode on unsigned-64 operands."""
+    if opcode is Opcode.MOV or opcode is Opcode.MOVI:
+        return wrap64(operands[0])
+    if opcode is Opcode.SELECT:
+        pred, a, b = operands
+        return a if pred else b
+
+    if opcode in _UNARY:
+        a = to_signed(operands[0])
+        return wrap64(_UNARY[opcode](a))
+
+    a, b = to_signed(operands[0]), to_signed(operands[1])
+    if opcode is Opcode.ADD:
+        return wrap64(a + b)
+    if opcode is Opcode.SUB:
+        return wrap64(a - b)
+    if opcode is Opcode.MUL:
+        return wrap64(a * b)
+    if opcode is Opcode.DIV:
+        return wrap64(_sdiv(a, b))
+    if opcode is Opcode.REM:
+        return wrap64(_srem(a, b))
+    if opcode is Opcode.AND:
+        return wrap64(a & b)
+    if opcode is Opcode.OR:
+        return wrap64(a | b)
+    if opcode is Opcode.XOR:
+        return wrap64(a ^ b)
+    if opcode is Opcode.SHL:
+        return wrap64(a << (b & 63))
+    if opcode is Opcode.SHRL:
+        return wrap64(operands[0] >> (b & 63))  # logical: shift the raw bits
+    if opcode is Opcode.SHRA:
+        return wrap64(a >> (b & 63))
+    if opcode is Opcode.MIN:
+        return wrap64(min(a, b))
+    if opcode is Opcode.MAX:
+        return wrap64(max(a, b))
+    raise ValueError(f"{opcode.name} is not an ALU opcode")
+
+
+_UNARY = {
+    Opcode.NEG: lambda a: -a,
+    Opcode.ABS: lambda a: abs(a),
+    Opcode.NOT: lambda a: ~a,
+}
+
+
+def eval_compare(opcode: Opcode, a: int, b: int) -> int:
+    """Evaluate a compare (GP x GP -> PR) or predicate opcode; returns 0/1."""
+    if opcode is Opcode.PNE:
+        return int(a != b)
+    if opcode is Opcode.PMOV:
+        return int(bool(a))
+    sa, sb = to_signed(a), to_signed(b)
+    if opcode is Opcode.CMPEQ:
+        return int(sa == sb)
+    if opcode is Opcode.CMPNE:
+        return int(sa != sb)
+    if opcode is Opcode.CMPLT:
+        return int(sa < sb)
+    if opcode is Opcode.CMPLE:
+        return int(sa <= sb)
+    if opcode is Opcode.CMPGT:
+        return int(sa > sb)
+    if opcode is Opcode.CMPGE:
+        return int(sa >= sb)
+    raise ValueError(f"{opcode.name} is not a compare opcode")

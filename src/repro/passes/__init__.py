@@ -1,0 +1,42 @@
+"""Compiler passes: classic optimizations, the CASTED error-detection pass,
+cluster assignment (SCED / DCED / CASTED-BUG), register allocation, and the
+VLIW list scheduler."""
+
+from repro.passes.base import FunctionPass, PassContext
+from repro.passes.pass_manager import PassManager
+from repro.passes.constfold import ConstFoldPass
+from repro.passes.copyprop import CopyPropPass
+from repro.passes.cse import LocalCSEPass
+from repro.passes.dce import DeadCodeEliminationPass
+from repro.passes.error_detection import ErrorDetectionInfo, ErrorDetectionPass
+from repro.passes.assignment import (
+    AssignmentError,
+    CastedAssignmentPass,
+    DcedAssignmentPass,
+    ScedAssignmentPass,
+    validate_assignment,
+)
+from repro.passes.regalloc import LinearScanAllocator, RegAllocResult
+from repro.passes.scheduler import BlockSchedule, ListScheduler, ScheduleResult
+
+__all__ = [
+    "FunctionPass",
+    "PassContext",
+    "PassManager",
+    "ConstFoldPass",
+    "CopyPropPass",
+    "LocalCSEPass",
+    "DeadCodeEliminationPass",
+    "ErrorDetectionPass",
+    "ErrorDetectionInfo",
+    "ScedAssignmentPass",
+    "DcedAssignmentPass",
+    "CastedAssignmentPass",
+    "AssignmentError",
+    "validate_assignment",
+    "LinearScanAllocator",
+    "RegAllocResult",
+    "ListScheduler",
+    "BlockSchedule",
+    "ScheduleResult",
+]

@@ -1,0 +1,19 @@
+"""Cluster-assignment passes: SCED, DCED and CASTED (BUG)."""
+
+from repro.passes.assignment.base import (
+    AssignmentError,
+    collect_def_clusters,
+    validate_assignment,
+)
+from repro.passes.assignment.sced import ScedAssignmentPass
+from repro.passes.assignment.dced import DcedAssignmentPass
+from repro.passes.assignment.casted import CastedAssignmentPass
+
+__all__ = [
+    "AssignmentError",
+    "validate_assignment",
+    "collect_def_clusters",
+    "ScedAssignmentPass",
+    "DcedAssignmentPass",
+    "CastedAssignmentPass",
+]

@@ -1,0 +1,53 @@
+"""Shared infrastructure for cluster assignment.
+
+The central invariant (checked by :func:`validate_assignment`): **every
+definition of a virtual register executes on one single cluster.**  A value
+then has a well-defined home register file, remote readers pay the
+inter-cluster delay, and the register allocator can place the value in its
+home cluster's file.  All three assignment policies maintain the invariant
+by construction; CASTED's BUG enforces it by pinning.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PassError
+from repro.ir.program import Program
+from repro.isa.registers import Reg
+
+
+class AssignmentError(PassError):
+    """Cluster assignment violated an invariant."""
+
+
+def collect_def_clusters(program: Program) -> dict[Reg, int]:
+    """Map every register to the cluster of its definitions.
+
+    Raises :class:`AssignmentError` if any register is defined on more than
+    one cluster or any instruction lacks an assignment.
+    """
+    homes: dict[Reg, int] = {}
+    for block, idx, insn in program.main.all_instructions():
+        if insn.cluster is None:
+            raise AssignmentError(
+                f"unassigned instruction in {block.label}[{idx}]: {insn}"
+            )
+        for d in insn.writes():
+            prev = homes.get(d)
+            if prev is None:
+                homes[d] = insn.cluster
+            elif prev != insn.cluster:
+                raise AssignmentError(
+                    f"register {d} defined on clusters {prev} and {insn.cluster}"
+                )
+    return homes
+
+
+def validate_assignment(program: Program, n_clusters: int) -> dict[Reg, int]:
+    """Check cluster ranges + the single-home invariant; return home map."""
+    for block, idx, insn in program.main.all_instructions():
+        if insn.cluster is None or not 0 <= insn.cluster < n_clusters:
+            raise AssignmentError(
+                f"instruction in {block.label}[{idx}] has invalid cluster "
+                f"{insn.cluster}: {insn}"
+            )
+    return collect_def_clusters(program)

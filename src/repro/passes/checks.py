@@ -1,0 +1,103 @@
+"""Step (iii) of the error-detection algorithm: check emission.
+
+Paper Algorithm 1, ``emit_check_insns``: before every non-replicated
+instruction (stores, observable output, conditional branches), each register
+it reads is compared against its shadow; on a mismatch a branch diverts to
+the fault handler.  A check is a real compare + jump *pair* (paper §IV-B),
+so it costs two issue slots and serializes through the predicate — that is
+the source of the h263enc scaling anomaly the paper discusses.
+
+Registers with no shadow (values produced entirely by unprotected library
+code) are not checked; faults in them are the residual silent-data-
+corruption channel the paper attributes to system libraries.
+"""
+
+from __future__ import annotations
+
+from repro.ir.basic_block import DETECT_LABEL
+from repro.ir.program import Program
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RegClass
+from repro.passes.renaming import ShadowMap
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CheckPolicy:
+    """Which non-replicated instruction classes get operand checks.
+
+    The paper (and SWIFT) checks stores and control flow; disabling a class
+    trades coverage for speed — the partial-redundancy knob of the schemes
+    in Table III (Shoestring, compiler-assisted ED).
+    """
+
+    stores: bool = True
+    branches: bool = True
+    outs: bool = True
+
+    def checked_opcodes(self) -> frozenset[Opcode]:
+        ops: set[Opcode] = set()
+        if self.stores:
+            ops.add(Opcode.STORE)
+        if self.outs:
+            ops.add(Opcode.OUT)
+        if self.branches:
+            ops.update((Opcode.BRT, Opcode.BRF))
+        return frozenset(ops)
+
+
+#: The paper's policy: everything leaving the sphere of replication.
+FULL_POLICY = CheckPolicy()
+
+
+def emit_checks(
+    program: Program, shadows: ShadowMap, policy: CheckPolicy = FULL_POLICY
+) -> int:
+    """Insert compare+branch pairs; returns the number of checks (pairs)."""
+    checked_opcodes = policy.checked_opcodes()
+    function = program.main
+    n_checks = 0
+    for block in function.blocks():
+        out: list[Instruction] = []
+        for insn in block.instructions:
+            if (
+                insn.role is Role.ORIG
+                and not insn.from_library
+                and insn.opcode in checked_opcodes
+            ):
+                for reg in insn.reads():
+                    shadow = shadows.get(reg)
+                    if shadow is None:
+                        continue
+                    if reg.rclass is RegClass.GP:
+                        pred = function.new_pr()
+                        cmp_insn = Instruction(
+                            Opcode.CMPNE,
+                            dests=(pred,),
+                            srcs=(reg, shadow),
+                            role=Role.CHECK,
+                            comment=f"check {reg}",
+                        )
+                    else:
+                        pred = function.new_pr()
+                        cmp_insn = Instruction(
+                            Opcode.PNE,
+                            dests=(pred,),
+                            srcs=(reg, shadow),
+                            role=Role.CHECK,
+                            comment=f"check {reg}",
+                        )
+                    br_insn = Instruction(
+                        Opcode.CHKBR,
+                        srcs=(pred,),
+                        targets=(DETECT_LABEL,),
+                        role=Role.CHECK,
+                    )
+                    out.append(cmp_insn)
+                    out.append(br_insn)
+                    n_checks += 1
+            out.append(insn)
+        block.instructions = out
+    return n_checks

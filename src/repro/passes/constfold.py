@@ -1,0 +1,151 @@
+"""Local constant folding and algebraic identity simplification.
+
+Runs before error detection (the paper compiles at ``-O1``).  Works block-
+locally: registers holding known constants are tracked from block entry, and
+pure ALU/compare instructions whose operands are all known fold into ``MOVI``
+(or into a ``MOV`` for identities like ``x + 0``).
+
+Instructions that can trap (``DIV``/``REM`` by a possibly-zero divisor) are
+only folded when the divisor is a known non-zero constant, so folding never
+changes observable behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ArithmeticTrap
+from repro.ir.program import Program
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import OP_INFO, Opcode
+from repro.isa.registers import Reg, RegClass
+from repro.isa.semantics import eval_alu, to_signed, wrap64
+from repro.passes.base import FunctionPass, PassContext
+
+_FOLDABLE_GP = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+        Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHRL,
+        Opcode.SHRA, Opcode.MIN, Opcode.MAX, Opcode.NEG, Opcode.ABS,
+        Opcode.NOT, Opcode.MOV, Opcode.SELECT,
+    }
+)
+_FOLDABLE_PR = frozenset(
+    {
+        Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT, Opcode.CMPLE,
+        Opcode.CMPGT, Opcode.CMPGE, Opcode.PNE, Opcode.PMOV,
+    }
+)
+
+
+class ConstFoldPass(FunctionPass):
+    name = "constfold"
+
+    def run(self, program: Program, ctx: PassContext) -> bool:
+        changed_any = False
+        for block in program.main.blocks():
+            if self._fold_block(block):
+                changed_any = True
+        ctx.record(self.name, changed=changed_any)
+        return changed_any
+
+    def _fold_block(self, block) -> bool:
+        consts: dict[Reg, int] = {}
+        changed = False
+        for idx, insn in enumerate(block.instructions):
+            new = self._try_fold(insn, consts)
+            if new is not None:
+                block.instructions[idx] = new
+                insn = new
+                changed = True
+            # Update constant tracking.
+            if insn.opcode is Opcode.MOVI:
+                consts[insn.dest] = wrap64(insn.imm)
+            else:
+                for d in insn.writes():
+                    consts.pop(d, None)
+                if (
+                    insn.opcode in (Opcode.MOV, Opcode.PMOV)
+                    and insn.srcs[0] in consts
+                ):
+                    consts[insn.dest] = consts[insn.srcs[0]]
+        return changed
+
+    def _try_fold(self, insn: Instruction, consts: dict[Reg, int]) -> Instruction | None:
+        """Return a replacement instruction, or None to keep ``insn``."""
+        if insn.role is not Role.ORIG:
+            return None  # never touch replicated/check/spill code
+        op = insn.opcode
+        if op not in _FOLDABLE_GP and op not in _FOLDABLE_PR:
+            return None
+
+        operands: list[int] = []
+        for r in insn.srcs:
+            if r not in consts:
+                return self._try_identity(insn, consts)
+            operands.append(consts[r])
+        if insn.imm is not None:
+            operands.append(wrap64(insn.imm))
+
+        if op in _FOLDABLE_PR:
+            # There is no "predicate immediate" instruction to fold into;
+            # constant predicates are rare enough that we leave them be.
+            return None
+        try:
+            value = eval_alu(op, tuple(operands))
+        except ArithmeticTrap:
+            return None  # preserve the trap
+        except ValueError:
+            return None
+        return Instruction(
+            Opcode.MOVI,
+            dests=insn.dests,
+            imm=to_signed(value),
+            role=insn.role,
+            from_library=insn.from_library,
+            comment="constfold",
+        )
+
+    def _try_identity(self, insn: Instruction, consts: dict[Reg, int]) -> Instruction | None:
+        """Algebraic identities with one constant operand."""
+        op = insn.opcode
+        if insn.imm is None and (len(insn.srcs) != 2 or insn.srcs[1] not in consts):
+            return None
+        if OP_INFO[op].out_class is not RegClass.GP:
+            return None
+        if len(insn.srcs) == 0:
+            return None
+        a = insn.srcs[0]
+        k = wrap64(insn.imm) if insn.imm is not None else consts.get(insn.srcs[-1])
+        if k is None or a in consts:
+            return None
+
+        def mov_from(src: Reg) -> Instruction:
+            return Instruction(
+                Opcode.MOV, dests=insn.dests, srcs=(src,),
+                role=insn.role, from_library=insn.from_library,
+                comment="identity",
+            )
+
+        def movi(value: int) -> Instruction:
+            return Instruction(
+                Opcode.MOVI, dests=insn.dests, imm=value,
+                role=insn.role, from_library=insn.from_library,
+                comment="identity",
+            )
+
+        if op is Opcode.ADD and k == 0:
+            return mov_from(a)
+        if op is Opcode.SUB and k == 0:
+            return mov_from(a)
+        if op is Opcode.MUL and k == 1:
+            return mov_from(a)
+        if op is Opcode.MUL and k == 0:
+            return movi(0)
+        if op in (Opcode.SHL, Opcode.SHRL, Opcode.SHRA) and k == 0:
+            return mov_from(a)
+        if op is Opcode.AND and k == 0:
+            return movi(0)
+        if op is Opcode.OR and k == 0:
+            return mov_from(a)
+        if op is Opcode.XOR and k == 0:
+            return mov_from(a)
+        return None

@@ -1,0 +1,53 @@
+"""Local copy propagation.
+
+Replaces uses of a copied register with its source while both still hold the
+same value.  Block-local and deliberately conservative: it never rewrites
+non-original (replicated/check/spill) instructions, so it is safe at any
+pipeline position, though it is only scheduled before error detection.
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.isa.instruction import Role
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg
+from repro.passes.base import FunctionPass, PassContext
+
+
+class CopyPropPass(FunctionPass):
+    """``touch_all=True`` also rewrites replicated and *checking* code —
+    that is what GCC's late CSE/copy-propagation would do after the CASTED
+    passes, turning every check into a compare of a register with itself.
+    Only the coverage ablation uses it; the production pipeline keeps the
+    default, which never touches non-original code."""
+
+    name = "copyprop"
+
+    def __init__(self, touch_all: bool = False) -> None:
+        self.touch_all = touch_all
+
+    def run(self, program: Program, ctx: PassContext) -> bool:
+        changed = False
+        for block in program.main.blocks():
+            # copy_of[d] = s means "d currently equals s".
+            copy_of: dict[Reg, Reg] = {}
+            for insn in block.instructions:
+                if (self.touch_all or insn.role is Role.ORIG) and insn.srcs:
+                    resolved = tuple(copy_of.get(r, r) for r in insn.srcs)
+                    if resolved != insn.srcs:
+                        insn.srcs = resolved
+                        changed = True
+                for d in insn.writes():
+                    # d changes: forget copies into d and copies out of d.
+                    copy_of.pop(d, None)
+                    for key in [k for k, v in copy_of.items() if v == d]:
+                        del copy_of[key]
+                if (
+                    insn.opcode in (Opcode.MOV, Opcode.PMOV)
+                    and (self.touch_all or insn.role is Role.ORIG)
+                    and insn.dest != insn.srcs[0]
+                ):
+                    copy_of[insn.dest] = insn.srcs[0]
+        ctx.record(self.name, changed=changed)
+        return changed

@@ -1,0 +1,134 @@
+"""Local common-subexpression elimination by value numbering.
+
+Copy-aware (``MOV`` transfers the value number), so within a block it sees
+through the shadow copies the error-detection pass inserts and — run post-ED
+with ``touch_redundant=True`` — merges replica chains rooted in the same
+block.  Being block-local it cannot prove the *cross-block* original/replica
+equalities a global CSE would (loop-carried shadows get fresh value numbers
+at block entry), which is why the coverage ablation pairs it with
+:mod:`repro.passes.unsafe_opt`'s idealized global replica merge.  The
+production pipeline runs this pass only before error detection, exactly as
+the paper disables GCC's late CSE after its passes (§IV-A).
+"""
+
+from __future__ import annotations
+
+from repro.ir.program import Program
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg, RegClass
+from repro.passes.base import FunctionPass, PassContext
+
+_PURE_OPS = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+        Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHRL,
+        Opcode.SHRA, Opcode.MIN, Opcode.MAX, Opcode.NEG, Opcode.ABS,
+        Opcode.NOT, Opcode.SELECT, Opcode.MOVI,
+        Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT, Opcode.CMPLE,
+        Opcode.CMPGT, Opcode.CMPGE, Opcode.PNE,
+    }
+)
+
+
+class LocalCSEPass(FunctionPass):
+    """Block-local value numbering.
+
+    Parameters
+    ----------
+    touch_redundant:
+        Also rewrite replicated (``DUP``) instructions.  Only the coverage
+        ablation sets this; it mimics re-enabling GCC's late CSE after the
+        CASTED passes.
+    cse_loads:
+        Value-number ``LOAD`` results too, invalidated at every store.
+    """
+
+    name = "local-cse"
+
+    def __init__(self, touch_redundant: bool = False, cse_loads: bool = True) -> None:
+        self.touch_redundant = touch_redundant
+        self.cse_loads = cse_loads
+
+    def run(self, program: Program, ctx: PassContext) -> bool:
+        changed = False
+        replaced = 0
+        for block in program.main.blocks():
+            n = self._run_block(block)
+            replaced += n
+            changed = changed or n > 0
+        ctx.record(self.name, replaced=replaced)
+        return changed
+
+    def _may_rewrite(self, insn: Instruction) -> bool:
+        if insn.from_library:
+            return False
+        if insn.role is Role.ORIG:
+            return True
+        return self.touch_redundant and insn.role is Role.DUP
+
+    def _run_block(self, block) -> int:
+        next_vn = 0
+        vn: dict[Reg, int] = {}
+        # key -> (representative reg, vn the rep had when recorded)
+        table: dict[tuple, tuple[Reg, int]] = {}
+        mem_epoch = 0
+        replaced = 0
+
+        def vn_of(r: Reg) -> int:
+            nonlocal next_vn
+            if r not in vn:
+                vn[r] = next_vn
+                next_vn += 1
+            return vn[r]
+
+        for idx, insn in enumerate(block.instructions):
+            op = insn.opcode
+            info = insn.info
+
+            if op in (Opcode.MOV, Opcode.PMOV):
+                src_vn = vn_of(insn.srcs[0])
+                vn[insn.dest] = src_vn
+                continue
+
+            key = None
+            if op in _PURE_OPS:
+                in_vns = [vn_of(r) for r in insn.srcs]
+                if info.commutative and insn.imm is None and len(in_vns) == 2:
+                    in_vns.sort()
+                key = (op, tuple(in_vns), insn.imm)
+            elif op is Opcode.LOAD and self.cse_loads:
+                key = (op, (vn_of(insn.srcs[0]),), insn.imm, mem_epoch)
+            else:
+                for r in insn.srcs:
+                    vn_of(r)
+
+            if key is not None and key in table and self._may_rewrite(insn):
+                rep, rep_vn = table[key]
+                if vn.get(rep) == rep_vn and rep != insn.dest:
+                    mov_op = (
+                        Opcode.MOV if insn.dest.rclass is RegClass.GP else Opcode.PMOV
+                    )
+                    block.instructions[idx] = Instruction(
+                        mov_op,
+                        dests=insn.dests,
+                        srcs=(rep,),
+                        role=insn.role,
+                        dup_of=insn.dup_of,
+                        from_library=insn.from_library,
+                        cluster=insn.cluster,
+                        comment="cse",
+                    )
+                    vn[insn.dest] = rep_vn
+                    replaced += 1
+                    continue
+
+            # Opaque (or first-seen) definition: fresh value numbers.
+            for d in insn.writes():
+                vn[d] = next_vn
+                next_vn += 1
+            if key is not None and insn.dests:
+                table[key] = (insn.dest, vn[insn.dest])
+            if info.is_store:
+                mem_epoch += 1
+        return replaced

@@ -1,0 +1,65 @@
+"""Global dead-code elimination.
+
+Iterates liveness + backward sweeps to a fixed point.  Pure instructions
+whose results are dead are removed; anything with a side effect (memory,
+output, control flow, checks) is kept.  Like GCC's late DCE, running this
+*after* error detection would be sound here (replicas feed checks, so they
+stay live) — but the paper still disables it post-ED and so does our
+pipeline; this pass runs only before error detection.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.ir.liveness import compute_liveness
+from repro.ir.program import Program
+from repro.passes.base import FunctionPass, PassContext
+
+
+class DeadCodeEliminationPass(FunctionPass):
+    name = "dce"
+
+    def __init__(self, max_iterations: int = 50) -> None:
+        self.max_iterations = max_iterations
+
+    def run(self, program: Program, ctx: PassContext) -> bool:
+        removed_total = 0
+        function = program.main
+        for _ in range(self.max_iterations):
+            cfg = CFG(function)
+            live = compute_liveness(function, cfg)
+            removed = 0
+            for block in function.blocks():
+                live_now = set(live.live_out[block.label])
+                keep: list = []
+                for insn in reversed(block.instructions):
+                    has_effect = insn.info.has_side_effects or insn.info.is_mem
+                    dead = (
+                        not has_effect
+                        and bool(insn.dests)
+                        and all(d not in live_now for d in insn.dests)
+                    )
+                    # Dead *loads* are also removable: a fault-free load from
+                    # a legal address has no observable effect.
+                    if (
+                        not dead
+                        and insn.info.is_load
+                        and bool(insn.dests)
+                        and all(d not in live_now for d in insn.dests)
+                    ):
+                        dead = True
+                    if dead:
+                        removed += 1
+                        continue
+                    keep.append(insn)
+                    for d in insn.writes():
+                        live_now.discard(d)
+                    for s in insn.reads():
+                        live_now.add(s)
+                keep.reverse()
+                block.instructions = keep
+            removed_total += removed
+            if removed == 0:
+                break
+        ctx.record(self.name, removed=removed_total)
+        return removed_total > 0

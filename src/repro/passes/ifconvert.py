@@ -1,0 +1,197 @@
+"""If-conversion: predicate small branch diamonds into straight-line code.
+
+Classic VLIW optimization (Itanium's bread and butter): a conditional
+branch over two short, side-effect-free arms becomes a single block that
+computes both arms into temporaries and ``SELECT``s the results.  On this
+target it has a second effect the ablation benchmark measures: removing a
+branch removes its error-detection *check pair* (a branch predicate is a
+checked operand), trading checking cost for straight-line work — and larger
+blocks give the per-block scheduler and BUG more ILP to play with.
+
+Pattern converted (all conditions required):
+
+* block ``B`` ends ``BRT/BRF p, T, F`` with ``T != F``;
+* each arm is either the join itself, or a block with a single predecessor
+  whose instructions are all pure (replicable, non-memory, non-check) and
+  whose terminator jumps to the common join;
+* arm bodies are within a size budget (default 6 instructions each).
+
+The transform renames each arm's writes to fresh temporaries and merges
+``SELECT`` instructions for every register either arm writes.  Loads are
+excluded (speculating a load can introduce a fault the original program
+did not have).
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.program import Program
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg, RegClass
+from repro.passes.base import FunctionPass, PassContext
+
+#: Opcodes safe to execute speculatively on the not-taken path.
+_SPECULATABLE = frozenset(
+    {
+        Opcode.MOVI, Opcode.MOV, Opcode.ADD, Opcode.SUB, Opcode.MUL,
+        Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHRL,
+        Opcode.SHRA, Opcode.MIN, Opcode.MAX, Opcode.NEG, Opcode.ABS,
+        Opcode.NOT, Opcode.SELECT,
+        Opcode.CMPEQ, Opcode.CMPNE, Opcode.CMPLT, Opcode.CMPLE,
+        Opcode.CMPGT, Opcode.CMPGE, Opcode.PNE, Opcode.PMOV,
+    }
+)
+
+
+class IfConversionPass(FunctionPass):
+    name = "if-convert"
+
+    def __init__(self, max_arm_size: int = 6) -> None:
+        self.max_arm_size = max_arm_size
+
+    def run(self, program: Program, ctx: PassContext) -> bool:
+        converted = 0
+        # Re-derive the CFG after each conversion; diamonds are rare enough
+        # that the quadratic worst case never matters at our sizes.
+        while True:
+            if not self._convert_one(program.main):
+                break
+            converted += 1
+        ctx.record(self.name, converted=converted)
+        return converted > 0
+
+    # -- analysis ---------------------------------------------------------------
+    def _arm_ok(self, function: Function, cfg: CFG, label: str, join: str) -> bool:
+        if label == join:
+            return True
+        if len(cfg.preds[label]) != 1:
+            return False
+        block = function.block(label)
+        term = block.terminator
+        if term.opcode is not Opcode.JMP or term.targets != (join,):
+            return False
+        body = block.body()
+        if len(body) > self.max_arm_size:
+            return False
+        return all(
+            insn.opcode in _SPECULATABLE
+            and insn.role is Role.ORIG
+            # PR-typed merges have no SELECT equivalent on this ISA
+            and all(d.rclass is RegClass.GP for d in insn.dests)
+            for insn in body
+        )
+
+    def _find_diamond(self, function: Function, cfg: CFG):
+        for block in function.blocks():
+            term = block.instructions[-1]
+            if term.opcode not in (Opcode.BRT, Opcode.BRF):
+                continue
+            t_label, f_label = term.targets
+            if t_label == f_label:
+                continue
+            # the join is whichever arm target both paths reach next
+            for join_candidate in self._join_candidates(
+                function, t_label, f_label
+            ):
+                if self._arm_ok(
+                    function, cfg, t_label, join_candidate
+                ) and self._arm_ok(function, cfg, f_label, join_candidate):
+                    return block, t_label, f_label, join_candidate
+        return None
+
+    @staticmethod
+    def _join_candidates(function: Function, t_label: str, f_label: str):
+        def next_of(label: str) -> str | None:
+            term = function.block(label).terminator
+            if term.opcode is Opcode.JMP:
+                return term.targets[0]
+            return None
+
+        # triangle: one arm IS the join of the other
+        if next_of(t_label) == f_label:
+            yield f_label
+        if next_of(f_label) == t_label:
+            yield t_label
+        # full diamond: both arms jump to the same join
+        nt, nf = next_of(t_label), next_of(f_label)
+        if nt is not None and nt == nf:
+            yield nt
+
+    # -- transform ----------------------------------------------------------------
+    def _inline_arm(
+        self,
+        function: Function,
+        out: list[Instruction],
+        label: str,
+        join: str,
+    ) -> dict[Reg, Reg]:
+        """Append the arm's body with renamed writes; return final renames."""
+        renames: dict[Reg, Reg] = {}
+        if label == join:
+            return renames
+        for insn in function.block(label).body():
+            clone = insn.clone()
+            clone.srcs = tuple(renames.get(r, r) for r in clone.srcs)
+            new_dests = []
+            for d in clone.dests:
+                fresh = function.new_reg_like(d)
+                renames[d] = fresh
+                new_dests.append(fresh)
+            clone.dests = tuple(new_dests)
+            out.append(clone)
+        return renames
+
+    def _convert_one(self, function: Function) -> bool:
+        cfg = CFG(function)
+        found = self._find_diamond(function, cfg)
+        if found is None:
+            return False
+        block, t_label, f_label, join = found
+
+        # Only registers live into the join need merging; arm-local
+        # temporaries die inside the arm (their renamed writes become dead
+        # code for DCE).
+        from repro.ir.liveness import compute_liveness
+
+        live_at_join = compute_liveness(function, cfg).live_in[join]
+
+        term = block.instructions.pop()
+        pred = term.srcs[0]
+        if term.opcode is Opcode.BRF:
+            t_label, f_label = f_label, t_label  # taken means predicate false
+
+        body = block.instructions
+        t_renames = self._inline_arm(function, body, t_label, join)
+        f_renames = self._inline_arm(function, body, f_label, join)
+
+        merge_regs = (set(t_renames) | set(f_renames)) & set(live_at_join)
+        for reg in sorted(merge_regs, key=lambda r: (r.rclass.value, r.index)):
+            t_val = t_renames.get(reg, reg)
+            f_val = f_renames.get(reg, reg)
+            if reg.rclass is RegClass.GP:
+                body.append(
+                    Instruction(
+                        Opcode.SELECT,
+                        dests=(reg,),
+                        srcs=(pred, t_val, f_val),
+                        comment="if-convert",
+                    )
+                )
+            else:
+                # predicate merge: (p & t) | (!p & f) via two selects is not
+                # available for PR; synthesize with PNE/PMOV arithmetic:
+                # r = select on GP is unavailable, so route through PMOVs is
+                # incorrect — keep it simple and refuse PR-writing arms.
+                raise AssertionError("PR-writing arms are filtered out")
+
+        body.append(
+            Instruction(Opcode.JMP, targets=(join,), comment="if-convert")
+        )
+
+        # Arms with our block as their single predecessor are now dead.
+        for label in (t_label, f_label):
+            if label != join and len(cfg.preds[label]) == 1:
+                del function._blocks[label]
+        return True

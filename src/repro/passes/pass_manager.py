@@ -1,0 +1,38 @@
+"""Sequential pass pipeline with optional inter-pass verification."""
+
+from __future__ import annotations
+
+from repro.errors import PassError
+from repro.ir.program import Program
+from repro.ir.verifier import verify_program
+from repro.passes.base import FunctionPass, PassContext
+
+
+class PassManager:
+    """Runs passes in order; verifies the IR after each one when asked.
+
+    Verification after every pass is cheap at our program sizes and catches
+    pass bugs at their source, so it defaults to on.
+    """
+
+    def __init__(self, passes: list[FunctionPass], verify: bool = True) -> None:
+        self.passes = list(passes)
+        self.verify = verify
+
+    def run(self, program: Program, ctx: PassContext | None = None) -> PassContext:
+        ctx = ctx or PassContext()
+        if self.verify:
+            verify_program(program)
+        for p in self.passes:
+            try:
+                p.run(program, ctx)
+            except Exception as exc:
+                raise PassError(f"pass {p.name!r} failed: {exc}") from exc
+            if self.verify:
+                try:
+                    verify_program(program)
+                except Exception as exc:
+                    raise PassError(
+                        f"pass {p.name!r} produced malformed IR: {exc}"
+                    ) from exc
+        return ctx

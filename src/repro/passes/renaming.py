@@ -1,0 +1,110 @@
+"""Step (ii) of the error-detection algorithm: replica isolation.
+
+Paper Algorithm 1, ``register_rename``: the replicated stream must never
+write the original stream's registers, so every register written by a
+replica is renamed to a dedicated *shadow* register, and every use of a
+renamed register inside the replicated stream follows the rename.  The
+original-to-shadow mapping is the paper's Fig. 4.b table.
+
+For a register consumed by replicas but produced by an instruction with no
+replica (here: inlined binary-library code), the paper's ``COPY_INSN`` path
+applies — an explicit shadow copy is emitted right after the producer so the
+replicated stream has its own isolated copy of the value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PassError
+from repro.ir.function import Function
+from repro.ir.program import Program
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import Reg, RegClass
+from repro.passes.duplication import DuplicationTable
+
+
+@dataclass
+class ShadowMap:
+    """The paper's Fig. 4.b: original register -> shadow register."""
+
+    shadow_of: dict[Reg, Reg] = field(default_factory=dict)
+
+    def get(self, reg: Reg) -> Reg | None:
+        return self.shadow_of.get(reg)
+
+    def __contains__(self, reg: Reg) -> bool:
+        return reg in self.shadow_of
+
+    def __len__(self) -> int:
+        return len(self.shadow_of)
+
+    def ensure(self, reg: Reg, function: Function) -> Reg:
+        shadow = self.shadow_of.get(reg)
+        if shadow is None:
+            shadow = function.new_reg_like(reg)
+            self.shadow_of[reg] = shadow
+        return shadow
+
+
+def rename_replicas(program: Program, table: DuplicationTable) -> tuple[ShadowMap, int]:
+    """Isolate the replicated stream; returns (shadow map, #shadow copies)."""
+    function = program.main
+    shadows = ShadowMap()
+
+    # Registers the replicated stream touches: everything read or written by
+    # an instruction that has a duplicate.
+    for block in function.blocks():
+        for insn in block:
+            if table.has_duplicate(insn):
+                for r in (*insn.writes(), *insn.reads()):
+                    shadows.ensure(r, function)
+
+    # COPY_INSN path: a shadowed register written by a producer with no
+    # duplicate needs an explicit shadow copy after that producer, so the
+    # shadow holds a value on every path the original does.
+    n_copies = 0
+    for block in function.blocks():
+        out: list[Instruction] = []
+        for insn in block.instructions:
+            out.append(insn)
+            if insn.role is not Role.ORIG or table.has_duplicate(insn):
+                continue
+            for dest in insn.writes():
+                if dest in shadows:
+                    shadow = shadows.get(dest)
+                    op = Opcode.MOV if dest.rclass is RegClass.GP else Opcode.PMOV
+                    out.append(
+                        Instruction(
+                            op,
+                            dests=(shadow,),
+                            srcs=(dest,),
+                            role=Role.SHADOW_COPY,
+                            comment=f"shadow of {dest}",
+                        )
+                    )
+                    n_copies += 1
+        block.instructions = out
+
+    # Rewrite every replica onto shadow registers.
+    for block in function.blocks():
+        for insn in block:
+            if insn.role is not Role.DUP:
+                continue
+            new_dests = []
+            for d in insn.dests:
+                s = shadows.get(d)
+                if s is None:  # pragma: no cover - ensured above
+                    raise PassError(f"replica dest {d} has no shadow")
+                new_dests.append(s)
+            new_srcs = []
+            for r in insn.srcs:
+                s = shadows.get(r)
+                if s is None:  # pragma: no cover - ensured above
+                    raise PassError(f"replica source {r} has no shadow")
+                new_srcs.append(s)
+            insn.dests = tuple(new_dests)
+            insn.srcs = tuple(new_srcs)
+
+    return shadows, n_copies

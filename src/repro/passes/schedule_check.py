@@ -1,0 +1,106 @@
+"""Independent schedule-legality validator.
+
+Re-derives every constraint the list scheduler must honour and checks a
+:class:`~repro.passes.scheduler.BlockSchedule` against it from scratch —
+deliberately sharing no state with the scheduler, so a scheduler bug cannot
+hide in shared code.  Used by the test suite on every compiled workload and
+available for debugging via :func:`validate_compiled`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+from repro.ir.dfg import DFG, DepKind
+from repro.ir.program import Program
+from repro.isa.registers import Reg
+from repro.machine.config import MachineConfig
+from repro.passes.latency import edge_issue_latency
+from repro.passes.scheduler import BlockSchedule, ScheduleResult
+
+
+def validate_block_schedule(
+    block,
+    schedule: BlockSchedule,
+    machine: MachineConfig,
+    homes: dict[Reg, int],
+) -> None:
+    """Raise :class:`ScheduleError` on the first violated constraint."""
+    insns = block.instructions
+    n = len(insns)
+    if len(schedule.cycle_of) != n or len(schedule.slot_of) != n:
+        raise ScheduleError(f"{block.label}: schedule arity mismatch")
+
+    # Issue-width per (cycle, cluster).
+    usage: dict[tuple[int, int], int] = {}
+    for i, insn in enumerate(insns):
+        cycle = schedule.cycle_of[i]
+        if cycle < 0:
+            raise ScheduleError(f"{block.label}[{i}] unscheduled")
+        if insn.cluster is None or not 0 <= insn.cluster < machine.n_clusters:
+            raise ScheduleError(f"{block.label}[{i}] bad cluster {insn.cluster}")
+        key = (cycle, insn.cluster)
+        usage[key] = usage.get(key, 0) + 1
+        if usage[key] > machine.issue_width:
+            raise ScheduleError(
+                f"{block.label}: cycle {cycle} cluster {insn.cluster} "
+                f"over-subscribed"
+            )
+
+    # Dependence edges.
+    dfg = DFG(block)
+    for e in dfg.edges:
+        lat = edge_issue_latency(
+            e,
+            insns[e.src],
+            machine,
+            src_cluster=insns[e.src].cluster,
+            dst_cluster=insns[e.dst].cluster,
+        )
+        if schedule.cycle_of[e.dst] < schedule.cycle_of[e.src] + lat:
+            raise ScheduleError(
+                f"{block.label}: edge {e.src}->{e.dst} ({e.kind.value}) "
+                f"violated: {schedule.cycle_of[e.src]} + {lat} > "
+                f"{schedule.cycle_of[e.dst]}"
+            )
+
+    # Cross-block remote-operand readiness.
+    delay = machine.inter_cluster_delay
+    defined: set[Reg] = set()
+    for i, insn in enumerate(insns):
+        in_block = {e.reg for e in dfg.preds[i] if e.kind is DepKind.DATA}
+        for r in insn.reads():
+            if r in in_block or r in defined:
+                continue
+            home = homes.get(r)
+            if home is not None and home != insn.cluster:
+                if schedule.cycle_of[i] < delay:
+                    raise ScheduleError(
+                        f"{block.label}[{i}] reads remote {r} before the "
+                        f"inter-cluster delay elapsed"
+                    )
+        defined.update(insn.writes())
+
+    # Terminator last; block length correct.
+    if insns and insns[-1].info.is_terminator:
+        t = n - 1
+        if any(schedule.cycle_of[i] > schedule.cycle_of[t] for i in range(n)):
+            raise ScheduleError(f"{block.label}: instruction after terminator")
+    if schedule.length != max(schedule.cycle_of) + 1:
+        raise ScheduleError(f"{block.label}: wrong length {schedule.length}")
+
+
+def validate_compiled(
+    program: Program, schedules: ScheduleResult, machine: MachineConfig
+) -> None:
+    """Validate every block of a compiled program."""
+    homes: dict[Reg, int] = {}
+    for _, _, insn in program.main.all_instructions():
+        for d in insn.writes():
+            prev = homes.get(d)
+            if prev is not None and prev != insn.cluster:
+                raise ScheduleError(f"register {d} defined on two clusters")
+            homes[d] = insn.cluster
+    for block in program.main.blocks():
+        validate_block_schedule(
+            block, schedules.blocks[block.label], machine, homes
+        )

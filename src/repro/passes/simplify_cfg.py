@@ -1,0 +1,85 @@
+"""CFG simplification: block merging and trivial-jump threading.
+
+The front end emits many tiny blocks (joins, loop steps, short-circuit
+glue).  Block boundaries are scheduling barriers on this target (see
+``docs/simulator.md``), so merging straight-line chains directly enlarges
+the scheduler's regions — more ILP for every scheme and a more realistic
+``-O1`` baseline.
+
+Two rewrites run to a fixed point:
+
+* **merge**: ``A`` ends with ``JMP B`` and ``B``'s only predecessor is
+  ``A`` — append ``B``'s instructions to ``A`` and delete ``B``;
+* **thread**: ``B`` consists solely of ``JMP C`` — retarget every branch
+  to ``B`` directly at ``C`` and delete ``B`` (loop headers with such
+  shape keep natural-loop structure: the retargeted back edges simply
+  point at ``C``).
+
+The entry block is never deleted (threading out of an entry that is just a
+jump would be fine, but keeping it stable keeps profiles and traces
+comparable).
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import CFG
+from repro.ir.program import Program
+from repro.isa.opcodes import Opcode
+from repro.passes.base import FunctionPass, PassContext
+
+
+class SimplifyCFGPass(FunctionPass):
+    name = "simplify-cfg"
+
+    def run(self, program: Program, ctx: PassContext) -> bool:
+        function = program.main
+        merged = threaded = 0
+        changed = True
+        while changed:
+            changed = False
+            cfg = CFG(function)
+
+            # -- thread trivial jump blocks -------------------------------
+            for block in list(function.blocks()):
+                if block.label == cfg.entry_label:
+                    continue
+                insns = block.instructions
+                if len(insns) != 1 or insns[0].opcode is not Opcode.JMP:
+                    continue
+                target = insns[0].targets[0]
+                if target == block.label:
+                    continue  # infinite self-loop; leave it alone
+                for pred_label in cfg.preds[block.label]:
+                    term = function.block(pred_label).terminator
+                    term.targets = tuple(
+                        target if t == block.label else t for t in term.targets
+                    )
+                del function._blocks[block.label]
+                threaded += 1
+                changed = True
+                break
+            if changed:
+                continue
+
+            # -- merge single-pred straight-line chains ---------------------
+            for block in list(function.blocks()):
+                term = block.instructions[-1] if block.instructions else None
+                if term is None or term.opcode is not Opcode.JMP:
+                    continue
+                succ_label = term.targets[0]
+                if succ_label == block.label:
+                    continue
+                if cfg.preds[succ_label] != [block.label]:
+                    continue
+                if succ_label == cfg.entry_label:
+                    continue
+                succ = function.block(succ_label)
+                block.instructions.pop()  # drop the jmp
+                block.instructions.extend(succ.instructions)
+                del function._blocks[succ_label]
+                merged += 1
+                changed = True
+                break
+
+        ctx.record(self.name, merged=merged, threaded=threaded)
+        return (merged + threaded) > 0

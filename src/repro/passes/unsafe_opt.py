@@ -1,0 +1,71 @@
+"""The optimization the paper explicitly guards against (§IV-A).
+
+A sufficiently global redundancy-elimination pass can prove — by the very
+construction of the error-detection transform — that every replica computes
+exactly the value of its original, and "optimize" each replica into a copy.
+Copy propagation then folds the shadow registers back into the originals,
+at which point every check compares a register against itself and can never
+fire; dead-code elimination sweeps the rest.  The net effect: the redundant
+code the checks rely on is gone, and with it the fault coverage.
+
+This module implements that idealized late-CSE effect directly (our local
+value-numbering CSE cannot prove cross-block equalities, so it alone only
+nibbles at the replicas).  It exists **only** for the coverage-collapse
+ablation; the production pipeline never runs it — exactly as the paper
+disables GCC's late CSE/DCE after the CASTED passes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PassError
+from repro.ir.program import Program
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RegClass
+from repro.passes.base import FunctionPass, PassContext
+
+
+class GlobalReplicaMergePass(FunctionPass):
+    """Replace every replica with a copy of its original's result."""
+
+    name = "unsafe-replica-merge"
+
+    def run(self, program: Program, ctx: PassContext) -> bool:
+        # uid -> original instruction, for replicas carrying a dup link.
+        originals: dict[int, Instruction] = {}
+        for _, _, insn in program.main.all_instructions():
+            originals[insn.uid] = insn
+
+        merged = 0
+        for block in program.main.blocks():
+            out: list[Instruction] = []
+            pending_moves: dict[int, Instruction] = {}  # orig uid -> move
+            for insn in block.instructions:
+                if insn.role is Role.DUP and insn.dup_of is not None and insn.dests:
+                    orig = originals.get(insn.dup_of)
+                    if orig is None or not orig.dests:
+                        raise PassError(f"replica {insn} has no original")
+                    mov_op = (
+                        Opcode.MOV
+                        if insn.dest.rclass is RegClass.GP
+                        else Opcode.PMOV
+                    )
+                    pending_moves[orig.uid] = Instruction(
+                        mov_op,
+                        dests=insn.dests,
+                        srcs=orig.dests,
+                        role=Role.DUP,
+                        dup_of=orig.uid,
+                        comment="merged replica",
+                    )
+                    merged += 1
+                    continue  # drop the replica itself
+                out.append(insn)
+                move = pending_moves.pop(insn.uid, None)
+                if move is not None:
+                    out.append(move)  # copy right after the original
+            if pending_moves:  # pragma: no cover - replicas precede originals
+                raise PassError("replica without a following original")
+            block.instructions = out
+        ctx.record(self.name, merged=merged)
+        return merged > 0

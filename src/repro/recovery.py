@@ -1,0 +1,159 @@
+"""Detection-triggered recovery (extension beyond the paper).
+
+CASTED detects transient errors; it does not recover from them.  The paper's
+related work (§V) surveys the standard answer — checkpoint/restart (SRTR,
+CRTR) or process-restart (PLR) — and transient faults strike *once* by
+definition (§I), so the simplest sound recovery is: on detection, roll back
+to the last checkpoint and re-execute.  With the sphere of replication
+limited to the processor (§III-B), memory is protected by ECC and every
+checked store was verified before commit, so program start is always a
+valid checkpoint and restart is correct.
+
+:class:`RecoveringExecutor` wraps the interpreter with that policy and
+:func:`run_recovery_campaign` extends the fault-injection methodology with
+it: *detected* outcomes become *recovered* (plus the re-execution cost),
+turning the paper's coverage metric into an availability metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimError
+from repro.faults.classify import Outcome, classify
+from repro.faults.injector import FaultInjector
+from repro.ir.interp import ExitKind, FaultSpec, Interpreter, RunResult
+from repro.ir.program import Program
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """One run under the restart policy."""
+
+    final: RunResult
+    attempts: int
+    total_dyn_instructions: int
+
+    @property
+    def recovered(self) -> bool:
+        return self.attempts > 1 and self.final.kind is ExitKind.OK
+
+
+class RecoveringExecutor:
+    """Re-execute on detection, up to ``max_attempts`` times.
+
+    ``fault_schedule`` maps the attempt number to the faults injected during
+    that attempt — attempt 1 gets the trial's faults; re-executions run
+    fault-free (a transient fault does not repeat), unless the caller
+    supplies faults for later attempts to model back-to-back strikes.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        mem_words: int | None = None,
+        frame_words: int = 0,
+        max_attempts: int = 3,
+    ) -> None:
+        if max_attempts < 1:
+            raise SimError("max_attempts must be >= 1")
+        self.interp = Interpreter(program, mem_words=mem_words, frame_words=frame_words)
+        self.max_attempts = max_attempts
+
+    def run(
+        self,
+        faults: tuple[FaultSpec, ...] = (),
+        max_steps: int | None = None,
+        fault_schedule: dict[int, tuple[FaultSpec, ...]] | None = None,
+    ) -> RecoveryResult:
+        schedule = dict(fault_schedule or {})
+        schedule.setdefault(1, faults)
+        total_dyn = 0
+        result: RunResult | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            result = self.interp.run(
+                faults=schedule.get(attempt, ()), max_steps=max_steps
+            )
+            total_dyn += result.dyn_instructions
+            if result.kind is not ExitKind.DETECTED:
+                return RecoveryResult(result, attempt, total_dyn)
+        assert result is not None
+        return RecoveryResult(result, self.max_attempts, total_dyn)
+
+
+@dataclass
+class RecoveryCampaignResult:
+    """Fault campaign under the restart policy."""
+
+    trials: int
+    counts: dict[str, int] = field(default_factory=dict)
+    recovery_instructions: int = 0  # extra dyn instructions spent re-executing
+    golden_dyn: int = 0
+
+    def fraction(self, key: str) -> float:
+        return self.counts.get(key, 0) / self.trials if self.trials else 0.0
+
+    @property
+    def correct_completion_rate(self) -> float:
+        """Runs that finished with the right answer (benign or recovered)."""
+        return self.fraction("benign") + self.fraction("recovered")
+
+    @property
+    def recovery_overhead(self) -> float:
+        """Mean re-execution cost per trial, in golden-run units."""
+        if not self.trials or not self.golden_dyn:
+            return 0.0
+        return self.recovery_instructions / (self.trials * self.golden_dyn)
+
+
+def run_recovery_campaign(
+    program: Program,
+    trials: int,
+    seed: int,
+    mem_words: int | None = None,
+    frame_words: int = 0,
+    reference_dyn: int | None = None,
+    max_attempts: int = 3,
+) -> RecoveryCampaignResult:
+    """The §IV-C methodology with restart-on-detection added.
+
+    Outcomes: ``benign`` / ``recovered`` / ``exception`` / ``data-corrupt``
+    / ``timeout`` / ``unrecovered`` (detection fired on every attempt —
+    impossible for genuinely transient faults, present for completeness).
+    """
+    injector = FaultInjector(program, mem_words=mem_words, frame_words=frame_words)
+    recoverer = RecoveringExecutor(
+        program,
+        mem_words=mem_words,
+        frame_words=frame_words,
+        max_attempts=max_attempts,
+    )
+    golden = injector.golden
+    rng = make_rng(seed, "recovery-campaign")
+    counts: dict[str, int] = {}
+    extra_dyn = 0
+
+    for _ in range(trials):
+        faults = injector.faults_for_trial(rng, reference_dyn)
+        rec = recoverer.run(faults=faults, max_steps=injector.max_steps)
+        if rec.attempts > 1:
+            extra_dyn += rec.total_dyn_instructions - rec.final.dyn_instructions
+        if rec.final.kind is ExitKind.DETECTED:
+            key = "unrecovered"
+        elif rec.recovered:
+            key = (
+                "recovered"
+                if classify(golden, rec.final) is Outcome.BENIGN
+                else "data-corrupt"
+            )
+        else:
+            key = classify(golden, rec.final).value
+        counts[key] = counts.get(key, 0) + 1
+
+    return RecoveryCampaignResult(
+        trials=trials,
+        counts=counts,
+        recovery_instructions=extra_dyn,
+        golden_dyn=golden.dyn_instructions,
+    )

@@ -1,0 +1,6 @@
+"""Cycle-level simulation of the clustered VLIW target."""
+
+from repro.sim.cache import CacheHierarchy, CacheStats
+from repro.sim.executor import SimResult, VLIWExecutor
+
+__all__ = ["CacheHierarchy", "CacheStats", "VLIWExecutor", "SimResult"]

@@ -1,0 +1,231 @@
+"""Cycle-level executor for compiled programs.
+
+Runs a :class:`~repro.pipeline.CompiledProgram` on the lockstep clustered
+VLIW: instructions execute in (issue-cycle, program-order) order — which is
+always dataflow-safe given the scheduler's constraints (within a cycle every
+read happens before any same-cycle write can matter, because true deps never
+share a cycle) — and timing is
+
+``cycles = sum over block visits of (static schedule length + memory stalls)``
+
+where a memory access slower than its scheduled (L1-hit) latency stalls the
+whole lockstep machine, and misses issued in the *same* VLIW cycle overlap
+(non-blocking caches, Table I) — that per-bundle overlap is the memory-level
+parallelism CASTED exploits by spreading independent memory operations
+across clusters (paper §III-D).
+
+The functional side reuses the reference interpreter's compiled closures, so
+functional behaviour is identical by construction to the model the fault
+campaigns use; a differential test asserts it anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimError, SimTrap
+from repro.ir.interp import Interpreter
+from repro.ir.program import Program
+from repro.isa.opcodes import LatencyClass, Opcode
+from repro.machine.config import MachineConfig
+from repro.pipeline import CompiledProgram
+from repro.sim.cache import CacheHierarchy, CacheStats
+from repro.ir.interp import ExitKind
+
+_MASK = (1 << 64) - 1
+
+#: Default watchdog: a compiled workload finishing under ``N`` cycles in the
+#: fault-free run gets ``_WATCHDOG_FACTOR * N`` cycles before TIMEOUT.
+DEFAULT_MAX_CYCLES = 2_000_000_000
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome and timing of one cycle-level run."""
+
+    kind: ExitKind
+    exit_code: int | None
+    output: tuple[int, ...]
+    cycles: int
+    dyn_instructions: int
+    stall_cycles: int
+    block_visits: int
+    cache: CacheStats
+
+    @property
+    def architectural_state(self) -> tuple:
+        return (self.kind, self.exit_code, self.output)
+
+
+class _BlockCode:
+    """Pre-extracted execution order + memory metadata for one block."""
+
+    __slots__ = ("label", "fns", "cycles", "mem_kind", "addr_slot", "addr_off", "length", "n")
+
+    def __init__(self, label: str, length: int) -> None:
+        self.label = label
+        self.fns: list = []
+        self.cycles: list[int] = []
+        self.mem_kind: list[int] = []  # 0 none, 1 load, 2 store
+        self.addr_slot: list[int] = []  # register slot, or -1 for frame ops
+        self.addr_off: list[int] = []
+        self.length = length
+        self.n = 0
+
+
+class VLIWExecutor:
+    """Execute a compiled program with cycle accounting."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        overlap_misses: bool = True,
+    ) -> None:
+        self.compiled = compiled
+        self.machine: MachineConfig = compiled.machine
+        self.max_cycles = max_cycles
+        #: Non-blocking caches (Table I): misses issued in the same VLIW
+        #: cycle overlap.  The MLP ablation sets this False to serialize
+        #: every miss.
+        self.overlap_misses = overlap_misses
+        self.cache = CacheHierarchy(self.machine.cache)
+
+        # Reuse the interpreter's closure compiler and state arrays.
+        self._interp = Interpreter(
+            compiled.program,
+            mem_words=compiled.mem_words,
+            frame_words=compiled.frame_words,
+        )
+        self._entry = compiled.program.main.entry.label
+        self._blocks: dict[str, _BlockCode] = {}
+        self._build(compiled.program)
+
+        lat = self.machine.latencies
+        self._sched_lat_load = lat[LatencyClass.LOAD]
+        self._sched_lat_store = lat[LatencyClass.STORE]
+
+    def _build(self, program: Program) -> None:
+        slot_of = self._interp._slot_of
+        frame_base = self._interp.frame_base
+        for block in program.main.blocks():
+            sched = self.compiled.schedules.blocks[block.label]
+            cb = self._interp._blocks[block.label]
+            code = _BlockCode(block.label, sched.length)
+            order = sorted(
+                range(len(block.instructions)),
+                key=lambda i: (sched.cycle_of[i], i),
+            )
+            for i in order:
+                insn = block.instructions[i]
+                code.fns.append(cb.fns[i])
+                code.cycles.append(sched.cycle_of[i])
+                op = insn.opcode
+                if op is Opcode.LOAD:
+                    code.mem_kind.append(1)
+                    code.addr_slot.append(slot_of[insn.srcs[0]])
+                    code.addr_off.append(insn.imm)
+                elif op is Opcode.STORE:
+                    code.mem_kind.append(2)
+                    code.addr_slot.append(slot_of[insn.srcs[0]])
+                    code.addr_off.append(insn.imm)
+                elif op is Opcode.LOADFP:
+                    code.mem_kind.append(1)
+                    code.addr_slot.append(-1)
+                    code.addr_off.append(frame_base + insn.imm)
+                elif op is Opcode.STOREFP:
+                    code.mem_kind.append(2)
+                    code.addr_slot.append(-1)
+                    code.addr_off.append(frame_base + insn.imm)
+                else:
+                    code.mem_kind.append(0)
+                    code.addr_slot.append(-1)
+                    code.addr_off.append(0)
+            code.n = len(code.fns)
+            self._blocks[code.label] = code
+
+    # -- execution ------------------------------------------------------------
+    def run(self, max_cycles: int | None = None) -> SimResult:
+        """One fault-free cycle-accurate run."""
+        interp = self._interp
+        interp.reset_state()
+        self.cache.reset()
+        R = interp._R
+        cache_access = self.cache.access
+        budget = self.max_cycles if max_cycles is None else max_cycles
+        lat_load = self._sched_lat_load
+        lat_store = self._sched_lat_store
+
+        cycles = 0
+        stalls = 0
+        dyn = 0
+        visits = 0
+        label = self._entry
+        blocks = self._blocks
+
+        def finish(kind: ExitKind, code_: int | None) -> SimResult:
+            return SimResult(
+                kind=kind,
+                exit_code=code_,
+                output=tuple(interp._O),
+                cycles=cycles + stalls,
+                dyn_instructions=dyn,
+                stall_cycles=stalls,
+                block_visits=visits,
+                cache=self.cache.stats,
+            )
+
+        try:
+            while True:
+                code = blocks[label]
+                visits += 1
+                cycles += code.length
+                if cycles + stalls > budget:
+                    return finish(ExitKind.TIMEOUT, None)
+                jump: object = None
+                cur_cycle = -1
+                cur_extra = 0
+                fns = code.fns
+                mem_kind = code.mem_kind
+                cyc = code.cycles
+                for i in range(code.n):
+                    mk = mem_kind[i]
+                    if mk:
+                        slot = code.addr_slot[i]
+                        if slot >= 0:
+                            addr = (R[slot] + code.addr_off[i]) & _MASK
+                        else:
+                            addr = code.addr_off[i]
+                        # The closure re-validates the address and traps; we
+                        # only charge the cache when the access is legal.
+                        if 1 <= addr < interp.mem_words:
+                            lat = cache_access(addr, mk == 2)
+                            sched = lat_load if mk == 1 else lat_store
+                            extra = lat - sched
+                            if extra > 0:
+                                if not self.overlap_misses:
+                                    stalls += extra
+                                else:
+                                    c = cyc[i]
+                                    if c != cur_cycle:
+                                        stalls += cur_extra
+                                        cur_cycle = c
+                                        cur_extra = extra
+                                    elif extra > cur_extra:
+                                        cur_extra = extra
+                    res = fns[i]()
+                    dyn += 1
+                    if res is not None:
+                        jump = res
+                        break
+                stalls += cur_extra
+                if jump is None:
+                    raise SimError(f"block {label} fell through")  # pragma: no cover
+                if jump == "__detect__":
+                    return finish(ExitKind.DETECTED, None)
+                if type(jump) is tuple:
+                    return finish(ExitKind.OK, jump[1])
+                label = jump
+        except SimTrap as trap:
+            _ = trap
+            return finish(ExitKind.EXCEPTION, None)

@@ -1,0 +1,20 @@
+"""Small shared utilities: deterministic RNG, statistics, ASCII tables."""
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.stats import (
+    confidence_interval_95,
+    geomean,
+    mean,
+    summarize,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "geomean",
+    "mean",
+    "confidence_interval_95",
+    "summarize",
+    "format_table",
+]

@@ -1,0 +1,34 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the package (fault injection above all) takes an
+explicit integer seed.  ``derive_seed`` deterministically mixes a parent seed
+with a sequence of labels so independent sub-experiments get independent,
+reproducible streams regardless of execution order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(parent: int, *labels: object) -> int:
+    """Derive a child seed from ``parent`` and an arbitrary label path.
+
+    The derivation is stable across processes and Python versions (it uses
+    SHA-256, not ``hash``).  Labels are joined by their ``repr``.
+    """
+    h = hashlib.sha256()
+    h.update(str(int(parent)).encode())
+    for label in labels:
+        h.update(b"/")
+        h.update(repr(label).encode())
+    return int.from_bytes(h.digest()[:8], "little") & _MASK64
+
+
+def make_rng(seed: int, *labels: object) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed`` + label path."""
+    return np.random.default_rng(derive_seed(seed, *labels) if labels else int(seed))

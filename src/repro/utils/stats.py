@@ -1,0 +1,106 @@
+"""Statistics helpers used by the evaluation harness.
+
+The paper reports arithmetic-mean slowdowns and Monte-Carlo category
+fractions; we additionally expose geometric means (the customary benchmark
+aggregate) and normal-approximation confidence intervals for the coverage
+fractions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ``ValueError`` on an empty input."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean() of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean() of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean() requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def confidence_interval_95(successes: int, trials: int) -> tuple[float, float]:
+    """95% Wilson score interval for a binomial proportion.
+
+    Used to decide whether two fault-coverage fractions are statistically
+    indistinguishable (the paper attributes cross-configuration variation to
+    "statistical deviation").
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    z = 1.959963984540054
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def two_proportion_z(
+    successes_a: int, trials_a: int, successes_b: int, trials_b: int
+) -> tuple[float, bool]:
+    """Two-proportion z-test: (z statistic, significant at 95%?).
+
+    Used to check the paper's Fig. 9/10 claim quantitatively: the coverage
+    of SCED/DCED/CASTED, and of one scheme across machine configurations,
+    should NOT differ significantly (the observed variation is Monte-Carlo
+    noise).
+    """
+    if trials_a <= 0 or trials_b <= 0:
+        raise ValueError("trials must be positive")
+    if not (0 <= successes_a <= trials_a and 0 <= successes_b <= trials_b):
+        raise ValueError("successes out of range")
+    p_a = successes_a / trials_a
+    p_b = successes_b / trials_b
+    pooled = (successes_a + successes_b) / (trials_a + trials_b)
+    denom = pooled * (1 - pooled) * (1 / trials_a + 1 / trials_b)
+    if denom == 0:
+        return (0.0, False)
+    z = (p_a - p_b) / math.sqrt(denom)
+    return (z, abs(z) > 1.959963984540054)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    geomean: float | None
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        gm = f"{self.geomean:.3f}" if self.geomean is not None else "n/a"
+        return (
+            f"n={self.n} mean={self.mean:.3f} geomean={gm} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a sample (geomean omitted when values are not all positive)."""
+    if not values:
+        raise ValueError("summarize() of empty sequence")
+    gm = geomean(values) if all(v > 0 for v in values) else None
+    return Summary(
+        n=len(values),
+        mean=mean(values),
+        geomean=gm,
+        minimum=min(values),
+        maximum=max(values),
+    )

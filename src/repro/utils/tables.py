@@ -1,0 +1,50 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness regenerates the paper's tables/figures as text; this is
+the single formatting routine all of them share.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    align_right: bool = True,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Cells are stringified with ``str``; numeric-looking columns read better
+    right-aligned (the default).  The first column is always left-aligned.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(cells):
+        if len(row) != ncols:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {ncols}")
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(row):
+            if j == 0 or not align_right:
+                parts.append(cell.ljust(widths[j]))
+            else:
+                parts.append(cell.rjust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(sep)))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Plain-text visualization helpers.
+
+Everything the paper draws as a figure has a textual form here: VLIW
+schedule grids like Fig. 2/3's cycle tables, per-block issue-slot occupancy,
+and stacked coverage bars like Fig. 9/10.  Used by the examples, the CLI
+(``compile --show-schedule``) and handy when debugging pass behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.ir.basic_block import BasicBlock
+from repro.machine.config import MachineConfig
+from repro.passes.scheduler import BlockSchedule
+from repro.pipeline import CompiledProgram
+
+
+def render_block_schedule(
+    block: BasicBlock,
+    schedule: BlockSchedule,
+    machine: MachineConfig,
+    max_cell: int = 26,
+) -> str:
+    """A cycle x cluster grid like the paper's Fig. 2/3 schedule tables."""
+    grid: dict[tuple[int, int], list[str]] = {}
+    for i, insn in enumerate(block.instructions):
+        text = insn.info.mnemonic
+        if insn.dests:
+            text += f" {insn.dests[0]}"
+        if insn.role.value != "orig":
+            text += f" [{insn.role.value}]"
+        grid.setdefault((schedule.cycle_of[i], insn.cluster), []).append(
+            text[:max_cell]
+        )
+
+    widths = [
+        max(
+            [len(f"cluster {c}")]
+            + [
+                len(cell)
+                for (cy, cl), cells in grid.items()
+                if cl == c
+                for cell in cells
+            ]
+        )
+        for c in range(machine.n_clusters)
+    ]
+    header = "cycle | " + " | ".join(
+        f"cluster {c}".ljust(widths[c]) for c in range(machine.n_clusters)
+    )
+    lines = [f"block {block.label} ({schedule.length} cycles)", header,
+             "-" * len(header)]
+    for cycle in range(schedule.length):
+        rows = max(
+            [1] + [len(grid.get((cycle, c), [])) for c in range(machine.n_clusters)]
+        )
+        for slot in range(rows):
+            cells = []
+            for c in range(machine.n_clusters):
+                items = grid.get((cycle, c), [])
+                cells.append(
+                    (items[slot] if slot < len(items) else "").ljust(widths[c])
+                )
+            label = f"{cycle:5d}" if slot == 0 else "     "
+            lines.append(f"{label} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_occupancy(compiled: CompiledProgram) -> str:
+    """Issue-slot utilization per block and overall."""
+    machine = compiled.machine
+    capacity_per_cycle = machine.n_clusters * machine.issue_width
+    lines = ["block               cycles  instrs  slot use"]
+    total_cycles = total_insns = 0
+    for block in compiled.program.main.blocks():
+        sched = compiled.schedules.blocks[block.label]
+        n = len(block.instructions)
+        use = n / (sched.length * capacity_per_cycle) if sched.length else 0.0
+        total_cycles += sched.length
+        total_insns += n
+        lines.append(
+            f"{block.label:18s} {sched.length:7d} {n:7d}  "
+            f"{'#' * int(use * 20):20s} {use * 100:4.0f}%"
+        )
+    overall = (
+        total_insns / (total_cycles * capacity_per_cycle) if total_cycles else 0.0
+    )
+    lines.append(
+        f"{'TOTAL':18s} {total_cycles:7d} {total_insns:7d}  "
+        f"{'#' * int(overall * 20):20s} {overall * 100:4.0f}%"
+    )
+    return "\n".join(lines)
+
+
+def dfg_to_dot(block: BasicBlock, name: str | None = None) -> str:
+    """Graphviz DOT text of a block's dependence graph (paper Fig. 2/3.c).
+
+    Edge styles: solid = true data dependence, dashed = memory order,
+    dotted = anti/output, bold = control (check guards, terminator
+    barrier).  Render with ``dot -Tsvg`` if graphviz is available; the text
+    itself is also a readable dump.
+    """
+    from repro.ir.dfg import DFG, DepKind
+
+    dfg = DFG(block)
+    lines = [f'digraph "{name or block.label}" {{', "  rankdir=TB;"]
+    for i, insn in enumerate(block.instructions):
+        label = insn.info.mnemonic
+        if insn.dests:
+            label += f" {insn.dests[0]}"
+        shape = "box"
+        if insn.role.value == "dup":
+            shape = "box, style=filled, fillcolor=lightblue"
+        elif insn.role.value == "check":
+            shape = "diamond"
+        elif insn.info.is_store or insn.info.is_out or insn.info.is_terminator:
+            shape = "box, style=bold"
+        lines.append(f'  n{i} [label="{i}: {label}", shape={shape}];')
+    style = {
+        DepKind.DATA: "",
+        DepKind.MEM: " [style=dashed]",
+        DepKind.ANTI: " [style=dotted]",
+        DepKind.OUTPUT: " [style=dotted]",
+        DepKind.CTRL: " [style=bold]",
+    }
+    for e in dfg.edges:
+        lines.append(f"  n{e.src} -> n{e.dst}{style[e.kind]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+#: Glyph per outcome, in the canonical stacking order.
+_BAR_GLYPHS = {
+    "benign": ".",
+    "detected": "D",
+    "exception": "E",
+    "data-corrupt": "X",
+    "timeout": "T",
+}
+
+
+def render_coverage_bars(
+    data: dict[str, dict[str, float]], width: int = 50
+) -> str:
+    """Stacked horizontal bars like the paper's Fig. 9.
+
+    ``data`` maps a row label to {outcome value: fraction}.
+    """
+    lines = [
+        "legend: " + "  ".join(f"{g}={name}" for name, g in _BAR_GLYPHS.items())
+    ]
+    label_w = max((len(k) for k in data), default=5)
+    for label, fractions in data.items():
+        bar = ""
+        for outcome, glyph in _BAR_GLYPHS.items():
+            bar += glyph * round(fractions.get(outcome, 0.0) * width)
+        bar = (bar + " " * width)[:width]
+        sdc = fractions.get("data-corrupt", 0.0) + fractions.get("timeout", 0.0)
+        lines.append(f"{label.ljust(label_w)} |{bar}| SDC+TO {sdc * 100:4.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""The benchmark programs (paper Table II), written in minic.
+
+Seven kernels mirror the published character of the paper's MediaBench II
+video + SPEC CINT2000 selection; each generates its own input with an
+in-program LCG provided by a ``lib func`` (the unprotected-library channel)
+and emits checksums through ``out``.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+__all__ = ["Workload", "get_workload", "all_workloads", "workload_names"]

@@ -1,0 +1,90 @@
+"""Workload registry.
+
+Each workload is a named minic program plus the metadata the evaluation
+harness needs (which paper benchmark it stands in for, which suite, and the
+workload-character notes that the character tests assert).  Compiled source
+IR is cached per workload; callers must not mutate the returned program
+(the pipeline clones before transforming).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.frontend import compile_source
+from repro.ir.program import Program
+
+#: Shared library preamble: the unprotected pseudo-random generator every
+#: workload uses to synthesize its input data (the paper's system-library
+#: stand-in; faults inside it are the residual SDC channel).
+LIB_PRELUDE = """
+lib func lcg(s) {
+    return s * 6364136223846793005 + 1442695040888963407;
+}
+lib func lcg_range(s, n) {
+    // upper bits have better statistical quality
+    var x = (s >> 33) & 0x7fffffff;
+    return x % n;
+}
+"""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program."""
+
+    name: str
+    paper_benchmark: str
+    suite: str  # "MediaBench2" | "SPEC CINT2000"
+    description: str
+    source: str
+
+    @functools.cached_property
+    def program(self) -> Program:
+        """Compiled (front-end only) IR; treated as immutable by callers."""
+        return compile_source(self.source, name=self.name)
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def _ensure_loaded() -> None:
+    # Import the kernel modules lazily to avoid import cycles; each module
+    # registers its workload at import time.
+    from repro.workloads import (  # noqa: F401
+        cjpeg,
+        h263dec,
+        h263enc,
+        mcf,
+        mpeg2dec,
+        parser_bench,
+        vpr,
+    )
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads() -> list[Workload]:
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def workload_names() -> list[str]:
+    _ensure_loaded()
+    return list(_REGISTRY)

@@ -1,0 +1,86 @@
+"""cjpeg stand-in: blocked forward DCT + quantization (JPEG encode core).
+
+Character (matches the paper's observations for cjpeg): high ILP (the
+transform is a dense independent multiply/accumulate grid), few stores per
+arithmetic op, and *output compression* — quantization discards low-order
+bits, so many injected faults are masked before reaching the output
+(paper §IV-C: "encoding benchmarks are less prone to errors").
+"""
+
+from repro.workloads.base import LIB_PRELUDE, Workload, register
+
+_SOURCE = (
+    LIB_PRELUDE
+    + """
+global pixels[512];    // 8 blocks of 8x8
+global costab[64];     // integer cosine-ish basis
+global qshift[8] = { 4, 4, 5, 5, 6, 6, 7, 7 };
+global coeffs[512];
+
+func dct_block(base) {
+    // 1-D transform over rows then columns of one 8x8 block.
+    for (var u = 0; u < 8; u = u + 1) {
+        for (var row = 0; row < 8; row = row + 1) {
+            var s = 0;
+            for (var x = 0; x < 8; x = x + 1) {
+                s = s + pixels[base + row * 8 + x] * costab[u * 8 + x];
+            }
+            coeffs[base + row * 8 + u] = s >> 3;
+        }
+    }
+    for (var v = 0; v < 8; v = v + 1) {
+        for (var colu = 0; colu < 8; colu = colu + 1) {
+            var s2 = 0;
+            for (var y = 0; y < 8; y = y + 1) {
+                s2 = s2 + coeffs[base + y * 8 + colu] * costab[v * 8 + y];
+            }
+            // quantization: keep the high bits only (masks faults)
+            coeffs[base + v * 8 + colu] = s2 >> qshift[v];
+        }
+    }
+    return 0;
+}
+
+func main() {
+    // synthesize the input image with the library generator
+    var seed = 20130521;
+    for (var i = 0; i < 512; i = i + 1) {
+        seed = lcg(seed);
+        pixels[i] = lcg_range(seed, 256) - 128;
+    }
+    for (var k = 0; k < 64; k = k + 1) {
+        seed = lcg(seed);
+        costab[k] = lcg_range(seed, 15) - 7;
+    }
+
+    var check = 0;
+    for (var b = 0; b < 4; b = b + 1) {
+        dct_block(b * 64);
+        // entropy-coding stand-in: run-length count of zero coefficients
+        var zeros = 0;
+        var sum = 0;
+        for (var j = 0; j < 64; j = j + 1) {
+            var c = coeffs[b * 64 + j];
+            if (c == 0) {
+                zeros = zeros + 1;
+            } else {
+                sum = sum + c;
+            }
+        }
+        check = check ^ (sum * 31 + zeros);
+        out(check);
+    }
+    return 0;
+}
+"""
+)
+
+WORKLOAD = register(
+    Workload(
+        name="cjpeg",
+        paper_benchmark="cjpeg",
+        suite="MediaBench2",
+        description="forward DCT + quantization encode kernel (high ILP, masking)",
+        source=_SOURCE,
+    )
+)

@@ -1,0 +1,78 @@
+"""h263dec stand-in: motion-compensated macroblock decode.
+
+Character: per-pixel reference fetch + residual add + clipping, a regular
+mix of loads, adds and stores with moderate ILP — the profile the paper's
+h263dec shows (benefits from dual-core placement at narrow issue widths).
+"""
+
+from repro.workloads.base import LIB_PRELUDE, Workload, register
+
+_SOURCE = (
+    LIB_PRELUDE
+    + """
+global refframe[1024];   // 32x32 reference
+global residual[64];
+global frame[1024];
+global mvstream[48];     // encoded motion vectors, 2 per macroblock
+
+func decode_mb(mbx, mby, mvx, mvy) {
+    var total = 0;
+    for (var py = 0; py < 8; py = py + 1) {
+        for (var px = 0; px < 8; px = px + 1) {
+            var sy = mby * 8 + py + mvy;
+            var sx = mbx * 8 + px + mvx;
+            var pred = refframe[sy * 32 + sx];
+            var v = pred + residual[py * 8 + px];
+            if (v < 0) { v = 0; }
+            if (v > 255) { v = 255; }
+            frame[(mby * 8 + py) * 32 + mbx * 8 + px] = v;
+            total = total + v;
+        }
+    }
+    return total;
+}
+
+func main() {
+    var seed = 1998;
+    for (var i = 0; i < 1024; i = i + 1) {
+        seed = lcg(seed);
+        refframe[i] = lcg_range(seed, 256);
+    }
+    for (var j = 0; j < 64; j = j + 1) {
+        seed = lcg(seed);
+        residual[j] = lcg_range(seed, 64) - 32;
+    }
+    for (var k = 0; k < 48; k = k + 1) {
+        seed = lcg(seed);
+        mvstream[k] = lcg_range(seed, 5) - 2;
+    }
+
+    var check = 0;
+    var mb = 0;
+    // 24 macroblocks over a 3x2 grid region, repeated with shifting vectors
+    for (var pass = 0; pass < 3; pass = pass + 1) {
+        for (var my = 0; my < 2; my = my + 1) {
+            for (var mx = 0; mx < 3; mx = mx + 1) {
+                var vx = mvstream[mb * 2 % 48];
+                var vy = mvstream[(mb * 2 + 1) % 48];
+                var s = decode_mb(mx + 1, my + 1, vx, vy);
+                check = (check * 33 + s) % 1000003;
+                mb = mb + 1;
+            }
+        }
+        out(check);
+    }
+    return 0;
+}
+"""
+)
+
+WORKLOAD = register(
+    Workload(
+        name="h263dec",
+        paper_benchmark="h263dec",
+        suite="MediaBench2",
+        description="motion-compensated decode kernel (balanced load/ALU/store mix)",
+        source=_SOURCE,
+    )
+)

@@ -1,0 +1,83 @@
+"""h263enc stand-in: SAD-based motion estimation (encode side).
+
+Character (the paper's problem child): branch- and store-dense code.  The
+per-pixel absolute difference uses a branch, and the best-match update is
+another branch + stores, so the error-detection pass emits a check pair
+before almost everything — the redundant code becomes sequential
+(compare+jump chains) and SCED stops scaling with issue width (paper
+§IV-B2, the Amdahl's-law discussion).
+"""
+
+from repro.workloads.base import LIB_PRELUDE, Workload, register
+
+_SOURCE = (
+    LIB_PRELUDE
+    + """
+global cur[256];       // current 16x16 region
+global ref[1024];      // 32x32 search window
+global best_mv[32];    // chosen vectors, 2 per block
+global best_sad[16];
+
+func sad_8x8(cbase, rbase) {
+    var acc = 0;
+    for (var y = 0; y < 8; y = y + 1) {
+        for (var x = 0; x < 8; x = x + 1) {
+            var d = cur[cbase + y * 16 + x] - ref[rbase + y * 32 + x];
+            if (d < 0) { d = 0 - d; }
+            acc = acc + d;
+        }
+    }
+    return acc;
+}
+
+func main() {
+    var seed = 263;
+    for (var i = 0; i < 256; i = i + 1) {
+        seed = lcg(seed);
+        cur[i] = lcg_range(seed, 256);
+    }
+    for (var j = 0; j < 1024; j = j + 1) {
+        seed = lcg(seed);
+        ref[j] = lcg_range(seed, 256);
+    }
+
+    var check = 0;
+    // four 8x8 blocks of the current region, +/-2 search around center
+    for (var b = 0; b < 4; b = b + 1) {
+        var bx = (b % 2) * 8;
+        var by = (b / 2) * 8;
+        var best = 0x7fffffff;
+        var bestdx = 0;
+        var bestdy = 0;
+        for (var dy = -1; dy <= 1; dy = dy + 1) {
+            for (var dx = -1; dx <= 1; dx = dx + 1) {
+                var rb = (by + 8 + dy) * 32 + bx + 8 + dx;
+                var s = sad_8x8(by * 16 + bx, rb);
+                if (s < best) {
+                    best = s;
+                    bestdx = dx;
+                    bestdy = dy;
+                    best_sad[b] = s;
+                    best_mv[b * 2] = dx;
+                    best_mv[b * 2 + 1] = dy;
+                }
+            }
+        }
+        check = check ^ (best * 7 + bestdx * 3 + bestdy);
+        out(check);
+    }
+    out(best_sad[0] + best_sad[1] + best_sad[2] + best_sad[3]);
+    return 0;
+}
+"""
+)
+
+WORKLOAD = register(
+    Workload(
+        name="h263enc",
+        paper_benchmark="h263enc",
+        suite="MediaBench2",
+        description="SAD motion estimation (branch/store heavy, check-dense)",
+        source=_SOURCE,
+    )
+)

@@ -1,0 +1,70 @@
+"""181.mcf stand-in: pointer-chasing over a successor array.
+
+Character (matches the paper's §IV-B2 discussion of 181.mcf): a serial
+dependent-load chain — each iteration's address depends on the previous
+load — so the original code has almost no ILP and barely scales with issue
+width, while the duplicated stream supplies the *extra* ILP that makes SCED
+scale better than NOED.
+"""
+
+from repro.workloads.base import LIB_PRELUDE, Workload, register
+
+_SOURCE = (
+    LIB_PRELUDE
+    + """
+global nxt[256];       // successor permutation (one big cycle)
+global cost[256];
+global potential[256];
+
+func main() {
+    // Build a single-cycle permutation with a Sattolo shuffle driven by the
+    // library RNG, so the chase visits every node.
+    var seed = 181;
+    for (var i = 0; i < 256; i = i + 1) {
+        nxt[i] = i;
+        seed = lcg(seed);
+        cost[i] = lcg_range(seed, 1000) - 500;
+        potential[i] = 0;
+    }
+    for (var j = 255; j > 0; j = j - 1) {
+        seed = lcg(seed);
+        var k = lcg_range(seed, j);
+        var t = nxt[j];
+        nxt[j] = nxt[k];
+        nxt[k] = t;
+    }
+
+    // Network-simplex-ish sweeps: chase the cycle updating node potentials.
+    var check = 0;
+    var node = 0;
+    for (var round = 0; round < 10; round = round + 1) {
+        var acc = 0;
+        for (var s = 0; s < 256; s = s + 1) {
+            var c = cost[node];
+            var p = potential[node];
+            var reduced = c - p;
+            if (reduced < 0) {
+                potential[node] = p + reduced / 2;
+            } else {
+                potential[node] = p + 1;
+            }
+            acc = acc + reduced;
+            node = nxt[node];           // the serial dependence
+        }
+        check = (check * 65599 + acc) % 1000000007;
+        out(check);
+    }
+    return 0;
+}
+"""
+)
+
+WORKLOAD = register(
+    Workload(
+        name="mcf",
+        paper_benchmark="181.mcf",
+        suite="SPEC CINT2000",
+        description="pointer-chasing potential updates (serial chain, low ILP)",
+        source=_SOURCE,
+    )
+)

@@ -1,0 +1,85 @@
+"""mpeg2dec stand-in: dequantization + inverse transform + saturation.
+
+Character: the decode-side mirror of cjpeg — multiply-heavy inverse
+transform with good ILP, followed by saturation and per-pixel stores.
+"""
+
+from repro.workloads.base import LIB_PRELUDE, Workload, register
+
+_SOURCE = (
+    LIB_PRELUDE
+    + """
+global qcoeffs[384];     // 6 blocks of 8x8 quantized coefficients
+global qtab[64];
+global basis[64];
+global block_out[64];
+global picture[384];
+
+func idct_block(base) {
+    // dequantize in place
+    for (var i = 0; i < 64; i = i + 1) {
+        qcoeffs[base + i] = qcoeffs[base + i] * qtab[i];
+    }
+    // separable inverse transform (rows then columns)
+    for (var row = 0; row < 8; row = row + 1) {
+        for (var x = 0; x < 8; x = x + 1) {
+            var s = 0;
+            for (var u = 0; u < 8; u = u + 1) {
+                s = s + qcoeffs[base + row * 8 + u] * basis[x * 8 + u];
+            }
+            block_out[row * 8 + x] = s >> 6;
+        }
+    }
+    var checksum = 0;
+    for (var y = 0; y < 8; y = y + 1) {
+        for (var col = 0; col < 8; col = col + 1) {
+            var v = block_out[y * 8 + col];
+            // saturate to signed 9-bit video range
+            if (v < -256) { v = -256; }
+            if (v > 255) { v = 255; }
+            picture[base + y * 8 + col] = v;
+            checksum = checksum + v;
+        }
+    }
+    return checksum;
+}
+
+func main() {
+    var seed = 4772;
+    for (var i = 0; i < 384; i = i + 1) {
+        seed = lcg(seed);
+        // sparse coefficients, like real quantized video
+        var r = lcg_range(seed, 100);
+        if (r < 70) {
+            qcoeffs[i] = 0;
+        } else {
+            qcoeffs[i] = lcg_range(seed, 32) - 16;
+        }
+    }
+    for (var k = 0; k < 64; k = k + 1) {
+        seed = lcg(seed);
+        qtab[k] = 1 + lcg_range(seed, 30);
+        seed = lcg(seed);
+        basis[k] = lcg_range(seed, 13) - 6;
+    }
+
+    var check = 0;
+    for (var b = 0; b < 6; b = b + 1) {
+        var s = idct_block(b * 64);
+        check = (check * 131 + s) % 16777213;
+        out(check);
+    }
+    return 0;
+}
+"""
+)
+
+WORKLOAD = register(
+    Workload(
+        name="mpeg2dec",
+        paper_benchmark="mpeg2dec",
+        suite="MediaBench2",
+        description="dequant + inverse DCT + saturation (multiply-heavy, good ILP)",
+        source=_SOURCE,
+    )
+)

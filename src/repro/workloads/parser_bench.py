@@ -1,0 +1,99 @@
+"""197.parser stand-in: table-driven tokenizer/parser state machine.
+
+Character: long if/else chains over a synthetic token stream, per-token
+counter updates and a small explicit parse stack — irregular control flow
+with modest ILP, like SPEC's link-grammar parser front end.
+"""
+
+from repro.workloads.base import LIB_PRELUDE, Workload, register
+
+_SOURCE = (
+    LIB_PRELUDE
+    + """
+global stream[2048];
+global stack[64];
+global counts[8];
+
+func classify(t) {
+    // 0 word, 1 number, 2 open, 3 close, 4 connector, 5 punctuation
+    if (t < 50) { return 0; }
+    if (t < 70) { return 1; }
+    if (t < 78) { return 2; }
+    if (t < 86) { return 3; }
+    if (t < 95) { return 4; }
+    return 5;
+}
+
+func main() {
+    var seed = 197;
+    for (var i = 0; i < 1280; i = i + 1) {
+        seed = lcg(seed);
+        stream[i] = lcg_range(seed, 100);
+    }
+
+    var sp = 0;
+    var state = 0;
+    var errors = 0;
+    var links = 0;
+    var check = 0;
+    for (var p = 0; p < 1280; p = p + 1) {
+        var cls = classify(stream[p]);
+        counts[cls] = counts[cls] + 1;
+        if (cls == 2) {
+            if (sp < 63) {
+                stack[sp] = state;
+                sp = sp + 1;
+                state = 0;
+            } else {
+                errors = errors + 1;
+            }
+        } else if (cls == 3) {
+            if (sp > 0) {
+                sp = sp - 1;
+                state = stack[sp];
+                links = links + 1;
+            } else {
+                errors = errors + 1;
+            }
+        } else if (cls == 4) {
+            if (state == 1) {
+                links = links + 1;
+                state = 2;
+            } else {
+                state = 1;
+            }
+        } else if (cls == 0 || cls == 1) {
+            if (state == 2) {
+                state = 0;
+            } else {
+                state = state + 1;
+                if (state > 3) { state = 3; }
+            }
+        } else {
+            // punctuation resets the clause
+            state = 0;
+        }
+        if (p % 256 == 255) {
+            check = (check * 31 + links * 7 + errors * 3 + state) % 1000003;
+            out(check);
+        }
+    }
+    for (var c = 0; c < 8; c = c + 1) {
+        out(counts[c]);
+    }
+    out(links);
+    out(errors);
+    return 0;
+}
+"""
+)
+
+WORKLOAD = register(
+    Workload(
+        name="parser",
+        paper_benchmark="197.parser",
+        suite="SPEC CINT2000",
+        description="table-driven parsing state machine (branch-dominated)",
+        source=_SOURCE,
+    )
+)

@@ -1,0 +1,100 @@
+"""175.vpr stand-in: simulated-annealing placement inner loop.
+
+Character: randomized swap proposals (library RNG), Manhattan wire-length
+delta evaluation with data-dependent branches, and acceptance logic — a mix
+of integer arithmetic and irregular control typical of SPEC CINT.
+"""
+
+from repro.workloads.base import LIB_PRELUDE, Workload, register
+
+_SOURCE = (
+    LIB_PRELUDE
+    + """
+global cellx[128];
+global celly[128];
+global net_a[96];
+global net_b[96];
+global cell_net[128];   // one net id per cell (simplified netlist)
+
+func net_cost(n) {
+    var ax = cellx[net_a[n]];
+    var ay = celly[net_a[n]];
+    var bx = cellx[net_b[n]];
+    var by = celly[net_b[n]];
+    var dx = ax - bx;
+    if (dx < 0) { dx = 0 - dx; }
+    var dy = ay - by;
+    if (dy < 0) { dy = 0 - dy; }
+    return dx + dy;
+}
+
+func main() {
+    var seed = 175;
+    for (var i = 0; i < 128; i = i + 1) {
+        seed = lcg(seed);
+        cellx[i] = lcg_range(seed, 16);
+        seed = lcg(seed);
+        celly[i] = lcg_range(seed, 16);
+        seed = lcg(seed);
+        cell_net[i] = lcg_range(seed, 96);
+    }
+    for (var n = 0; n < 96; n = n + 1) {
+        seed = lcg(seed);
+        net_a[n] = lcg_range(seed, 128);
+        seed = lcg(seed);
+        net_b[n] = lcg_range(seed, 128);
+    }
+
+    var accepted = 0;
+    var cost_trace = 0;
+    var temperature = 64;
+    for (var it = 0; it < 400; it = it + 1) {
+        seed = lcg(seed);
+        var c1 = lcg_range(seed, 128);
+        seed = lcg(seed);
+        var c2 = lcg_range(seed, 128);
+        var n1 = cell_net[c1];
+        var n2 = cell_net[c2];
+        var before = net_cost(n1) + net_cost(n2);
+        // propose: swap the two cells' positions
+        var tx = cellx[c1]; var ty = celly[c1];
+        cellx[c1] = cellx[c2]; celly[c1] = celly[c2];
+        cellx[c2] = tx; celly[c2] = ty;
+        var after = net_cost(n1) + net_cost(n2);
+        var delta = after - before;
+        seed = lcg(seed);
+        var threshold = lcg_range(seed, 64);
+        if (delta < 0 || threshold < temperature) {
+            accepted = accepted + 1;
+            cost_trace = cost_trace + delta;
+        } else {
+            // reject: swap back
+            var ux = cellx[c1]; var uy = celly[c1];
+            cellx[c1] = cellx[c2]; celly[c1] = celly[c2];
+            cellx[c2] = ux; celly[c2] = uy;
+        }
+        if (it % 128 == 127) {
+            temperature = temperature - temperature / 4;
+            out(cost_trace);
+        }
+    }
+    out(accepted);
+    var final_cost = 0;
+    for (var m = 0; m < 96; m = m + 1) {
+        final_cost = final_cost + net_cost(m);
+    }
+    out(final_cost);
+    return 0;
+}
+"""
+)
+
+WORKLOAD = register(
+    Workload(
+        name="vpr",
+        paper_benchmark="175.vpr",
+        suite="SPEC CINT2000",
+        description="annealing placement loop (randomized swaps, branchy deltas)",
+        source=_SOURCE,
+    )
+)

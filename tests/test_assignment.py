@@ -1,0 +1,134 @@
+"""Cluster-assignment passes: SCED, DCED, CASTED/BUG invariants."""
+
+import pytest
+
+from repro.ir.interp import Interpreter
+from repro.isa.instruction import Role
+from repro.machine.config import MachineConfig
+from repro.passes.assignment import (
+    CastedAssignmentPass,
+    DcedAssignmentPass,
+    ScedAssignmentPass,
+    validate_assignment,
+)
+from repro.passes.assignment.base import AssignmentError, collect_def_clusters
+from repro.passes.base import PassContext
+from repro.passes.error_detection import ErrorDetectionPass
+from tests.conftest import build_loop_program
+
+
+@pytest.fixture
+def protected_program():
+    prog = build_loop_program()
+    ErrorDetectionPass().run(prog, PassContext())
+    return prog
+
+
+def machine(iw=2, d=1):
+    return MachineConfig(issue_width=iw, inter_cluster_delay=d)
+
+
+class TestSced:
+    def test_everything_on_one_cluster(self, protected_program):
+        ScedAssignmentPass().run(protected_program, PassContext())
+        for _, _, insn in protected_program.main.all_instructions():
+            assert insn.cluster == 0
+        validate_assignment(protected_program, 2)
+
+    def test_custom_cluster(self, protected_program):
+        ScedAssignmentPass(cluster=1).run(protected_program, PassContext())
+        assert all(
+            i.cluster == 1 for _, _, i in protected_program.main.all_instructions()
+        )
+
+
+class TestDced:
+    def test_role_split(self, protected_program):
+        DcedAssignmentPass().run(protected_program, PassContext())
+        for _, _, insn in protected_program.main.all_instructions():
+            expected = 1 if insn.role in (Role.DUP, Role.SHADOW_COPY, Role.CHECK) else 0
+            assert insn.cluster == expected, str(insn)
+        validate_assignment(protected_program, 2)
+
+    def test_nonreplicated_on_main_cluster(self, protected_program):
+        DcedAssignmentPass().run(protected_program, PassContext())
+        for _, _, insn in protected_program.main.all_instructions():
+            if insn.info.is_store or insn.info.is_out or insn.info.is_branch:
+                if insn.role is Role.ORIG:
+                    assert insn.cluster == 0
+
+    def test_same_clusters_rejected(self):
+        from repro.errors import PassError
+
+        with pytest.raises(PassError):
+            DcedAssignmentPass(main_cluster=1, checker_cluster=1)
+
+
+class TestCasted:
+    def test_assigns_everything(self, protected_program):
+        ctx = PassContext(machine=machine())
+        CastedAssignmentPass().run(protected_program, ctx)
+        homes = validate_assignment(protected_program, 2)
+        assert homes  # non-empty
+
+    def test_single_home_invariant(self, protected_program):
+        ctx = PassContext(machine=machine(iw=1, d=1))
+        CastedAssignmentPass().run(protected_program, ctx)
+        collect_def_clusters(protected_program)  # raises on violation
+
+    def test_uses_both_clusters_when_narrow(self, protected_program):
+        ctx = PassContext(machine=machine(iw=1, d=1))
+        CastedAssignmentPass().run(protected_program, ctx)
+        clusters = {
+            i.cluster for _, _, i in protected_program.main.all_instructions()
+        }
+        assert clusters == {0, 1}, "issue-1 machines need both clusters"
+
+    def test_stays_unified_when_wide_and_slow(self, protected_program):
+        ctx = PassContext(machine=machine(iw=4, d=4))
+        CastedAssignmentPass().run(protected_program, ctx)
+        # adapting to SCED: the hot loop should not pay delay-4 crossings
+        loop = protected_program.main.block("loop")
+        clusters = {i.cluster for i in loop.instructions}
+        assert len(clusters) == 1
+
+    def test_requires_machine(self, protected_program):
+        from repro.errors import PassError
+
+        with pytest.raises(PassError):
+            CastedAssignmentPass().run(protected_program, PassContext())
+
+    def test_semantics_never_affected(self, protected_program):
+        golden = Interpreter(protected_program).run()
+        ctx = PassContext(machine=machine())
+        CastedAssignmentPass().run(protected_program, ctx)
+        assert Interpreter(protected_program).run().output == golden.output
+
+
+class TestValidation:
+    def test_unassigned_detected(self, protected_program):
+        with pytest.raises(AssignmentError, match="invalid cluster None"):
+            validate_assignment(protected_program, 2)
+
+    def test_out_of_range_detected(self, protected_program):
+        ScedAssignmentPass(cluster=5).run(protected_program, PassContext())
+        with pytest.raises(AssignmentError):
+            validate_assignment(protected_program, 2)
+
+    def test_split_home_detected(self, protected_program):
+        ScedAssignmentPass().run(protected_program, PassContext())
+        # corrupt: move one definition of a multiply-defined register
+        target = None
+        seen = {}
+        for _, _, insn in protected_program.main.all_instructions():
+            for d in insn.writes():
+                if d in seen:
+                    target = insn
+                    break
+                seen[d] = insn
+            if target:
+                break
+        assert target is not None
+        target.cluster = 1
+        with pytest.raises(AssignmentError, match="defined on clusters"):
+            validate_assignment(protected_program, 2)

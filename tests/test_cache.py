@@ -1,0 +1,118 @@
+"""Set-associative write-back cache hierarchy."""
+
+import pytest
+
+from repro.machine.config import (
+    CacheHierarchyConfig,
+    CacheLevelConfig,
+    itanium2_cache,
+)
+from repro.sim.cache import CacheHierarchy
+
+
+def small_hierarchy():
+    """Tiny, easy-to-reason-about geometry: L1 4 sets x 2 ways x 64B."""
+    return CacheHierarchy(
+        CacheHierarchyConfig(
+            levels=(
+                CacheLevelConfig("L1", 512, 64, 2, 1),
+                CacheLevelConfig("L2", 2048, 64, 4, 5),
+            ),
+            memory_latency=50,
+        )
+    )
+
+
+WORDS_PER_BLOCK = 64 // 8  # 8
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = small_hierarchy()
+        assert c.access(0, False) == 50  # cold: memory
+        assert c.access(0, False) == 1  # L1 hit
+        assert c.access(1, False) == 1  # same 64B block
+
+    def test_block_granularity(self):
+        c = small_hierarchy()
+        c.access(0, False)
+        assert c.access(WORDS_PER_BLOCK, False) == 50  # next block: miss
+
+    def test_l2_hit_after_l1_eviction(self):
+        c = small_hierarchy()
+        # Fill one L1 set (4 sets; blocks mapping to set 0: block 0, 4, 8...)
+        c.access(0 * WORDS_PER_BLOCK * 4, False)
+        c.access(1 * WORDS_PER_BLOCK * 4, False)
+        c.access(2 * WORDS_PER_BLOCK * 4, False)  # evicts the LRU line from L1
+        lat = c.access(0, False)  # evicted from L1, still in L2
+        assert lat == 5
+
+    def test_lru_order(self):
+        c = small_hierarchy()
+        a, b, d = (i * WORDS_PER_BLOCK * 4 for i in range(3))
+        c.access(a, False)
+        c.access(b, False)
+        c.access(a, False)  # refresh a: b is now LRU
+        c.access(d, False)  # evicts b
+        assert c.access(a, False) == 1
+        assert c.access(b, False) == 5  # b fell to L2
+
+    def test_store_write_allocate(self):
+        c = small_hierarchy()
+        assert c.access(0, True) == 50  # store miss allocates
+        assert c.access(0, False) == 1
+
+    def test_writeback_counted(self):
+        c = small_hierarchy()
+        c.access(0, True)  # dirty line in set 0
+        c.access(WORDS_PER_BLOCK * 4, False)
+        c.access(WORDS_PER_BLOCK * 8, False)  # evicts dirty line 0
+        assert c.stats.writebacks >= 1
+
+    def test_stats_accumulate(self):
+        c = small_hierarchy()
+        c.access(0, False)
+        c.access(0, False)
+        assert c.stats.accesses == 2
+        assert c.stats.hits["L1"] == 1
+        assert c.stats.misses["L1"] == 1
+        assert c.stats.hit_rate("L1") == 0.5
+
+    def test_reset(self):
+        c = small_hierarchy()
+        c.access(0, False)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.access(0, False) == 50  # cold again
+
+
+class TestItanium2Geometry:
+    def test_latencies(self):
+        c = CacheHierarchy(itanium2_cache())
+        assert c.access(0, False) == 150
+        assert c.access(0, False) == 1
+
+    def test_l1_capacity(self):
+        c = CacheHierarchy(itanium2_cache())
+        # touch 16KB of distinct data: all should then hit in L1
+        n_blocks = 16 * 1024 // 64
+        for i in range(n_blocks):
+            c.access(i * 8, False)
+        hits_before = c.stats.hits["L1"]
+        for i in range(n_blocks):
+            c.access(i * 8, False)
+        assert c.stats.hits["L1"] == hits_before + n_blocks
+
+    def test_l2_block_size_is_128(self):
+        c = CacheHierarchy(itanium2_cache())
+        c.access(0, False)  # fills L1(64B) and L2/L3 (128B)
+        # second half of the 128B L2 block: L1 miss (different 64B block),
+        # but L2 hit
+        assert c.access(8, False) == 5
+
+    def test_sequential_scan_mostly_hits(self):
+        c = CacheHierarchy(itanium2_cache())
+        for w in range(1024):
+            c.access(w, False)
+        # 1 miss per 8-word block
+        assert c.stats.misses["L1"] == 1024 // 8

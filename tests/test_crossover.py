@@ -1,0 +1,58 @@
+"""Crossover analysis module."""
+
+import pytest
+
+from repro.eval.crossover import (
+    crossover_map,
+    render_crossover_grid,
+    summarize_crossovers,
+)
+from repro.eval.experiment import Evaluator
+from repro.pipeline import Scheme
+
+
+@pytest.fixture(scope="module")
+def ev():
+    return Evaluator(seed=1, cache=False)
+
+
+@pytest.fixture(scope="module")
+def mcf_map(ev):
+    return crossover_map(ev, "mcf", issue_widths=(1, 2, 4), delays=(1, 4))
+
+
+class TestCrossoverMap:
+    def test_covers_grid(self, mcf_map):
+        assert len(mcf_map.cells) == 6
+
+    def test_mcf_has_crossover(self, mcf_map):
+        """mcf shows the canonical flip: DCED narrow, SCED wide."""
+        assert mcf_map.has_crossover
+        narrow = next(
+            c for c in mcf_map.cells if c.issue_width == 1 and c.delay == 1
+        )
+        wide = next(
+            c for c in mcf_map.cells if c.issue_width == 4 and c.delay == 4
+        )
+        assert narrow.winner is Scheme.DCED
+        assert wide.winner is Scheme.SCED
+
+    def test_margins_are_fractions(self, mcf_map):
+        for c in mcf_map.cells:
+            assert 0.0 <= c.margin < 1.0
+            assert c.casted_vs_winner > 0.5
+
+    def test_casted_tracks_winner(self, mcf_map):
+        assert mcf_map.worst_tracking() < 1.05
+
+
+class TestRendering:
+    def test_grid(self, mcf_map):
+        text = render_crossover_grid(mcf_map, delays=(1, 4), issue_widths=(1, 2, 4))
+        assert "mcf" in text
+        assert "S" in text and "D" in text
+        assert "legend" in text.lower() or "winner" in text
+
+    def test_summary(self, ev):
+        text = summarize_crossovers(ev, ["mcf"])
+        assert "mcf" in text and "crossover" in text

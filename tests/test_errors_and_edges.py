@@ -1,0 +1,159 @@
+"""Error hierarchy + miscellaneous edge cases across modules."""
+
+import pytest
+
+from repro.errors import (
+    ArithmeticTrap,
+    IRError,
+    MemoryFault,
+    ParseError,
+    ReproError,
+    ScheduleError,
+    SimTrap,
+    Watchdog,
+)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        for exc in (IRError, ParseError, ScheduleError, SimTrap, MemoryFault):
+            assert issubclass(exc, ReproError)
+
+    def test_traps_are_sim_traps(self):
+        for exc in (MemoryFault, ArithmeticTrap, Watchdog):
+            assert issubclass(exc, SimTrap)
+
+    def test_trap_kinds_distinct(self):
+        kinds = {
+            MemoryFault("x").kind,
+            ArithmeticTrap("x").kind,
+            Watchdog("x").kind,
+        }
+        assert len(kinds) == 3
+
+    def test_parse_error_position(self):
+        e = ParseError("bad", 3, 7)
+        assert "3:7" in str(e)
+        assert e.line == 3 and e.col == 7
+
+    def test_parse_error_without_position(self):
+        assert str(ParseError("bad")) == "bad"
+
+    def test_sim_trap_cycle(self):
+        assert MemoryFault("x", cycle=42).cycle == 42
+
+
+class TestPipelineEdges:
+    def test_scheme_properties(self):
+        from repro.pipeline import Scheme
+
+        assert not Scheme.NOED.protected
+        assert all(
+            s.protected for s in (Scheme.SCED, Scheme.DCED, Scheme.CASTED)
+        )
+
+    def test_dced_rejects_single_cluster(self):
+        from repro.errors import PassError
+        from repro.machine.config import MachineConfig
+        from repro.pipeline import Scheme, compile_program
+        from tests.conftest import build_loop_program
+
+        machine = MachineConfig(n_clusters=1, issue_width=2, inter_cluster_delay=0)
+        with pytest.raises(PassError):
+            compile_program(build_loop_program(), Scheme.DCED, machine)
+
+    def test_sced_works_on_single_cluster(self):
+        from repro.machine.config import MachineConfig
+        from repro.pipeline import Scheme, compile_program
+        from repro.sim.executor import VLIWExecutor
+        from tests.conftest import build_loop_program
+
+        machine = MachineConfig(n_clusters=1, issue_width=2, inter_cluster_delay=0)
+        cp = compile_program(build_loop_program(), Scheme.SCED, machine)
+        assert VLIWExecutor(cp).run().kind.value == "ok"
+
+    def test_bad_casted_candidates_rejected(self):
+        from repro.errors import PassError
+        from repro.passes.assignment.casted import CastedAssignmentPass
+
+        with pytest.raises(PassError):
+            CastedAssignmentPass(candidates=("magic",))
+        with pytest.raises(PassError):
+            CastedAssignmentPass(candidates=())
+
+    def test_bad_regalloc_policy_rejected(self):
+        from repro.errors import RegAllocError
+        from repro.passes.regalloc import LinearScanAllocator
+
+        with pytest.raises(RegAllocError):
+            LinearScanAllocator(reuse_policy="random")
+
+
+class TestPassManagerEdges:
+    def test_pass_failure_wrapped(self):
+        from repro.errors import PassError
+        from repro.passes.base import FunctionPass, PassContext
+        from repro.passes.pass_manager import PassManager
+        from tests.conftest import build_loop_program
+
+        class Exploder(FunctionPass):
+            name = "exploder"
+
+            def run(self, program, ctx):
+                raise RuntimeError("boom")
+
+        with pytest.raises(PassError, match="exploder"):
+            PassManager([Exploder()]).run(build_loop_program())
+
+    def test_malformed_ir_detected_between_passes(self):
+        from repro.errors import PassError
+        from repro.passes.base import FunctionPass
+        from repro.passes.pass_manager import PassManager
+        from tests.conftest import build_loop_program
+
+        class Corruptor(FunctionPass):
+            name = "corruptor"
+
+            def run(self, program, ctx):
+                # drop the terminator of the entry block
+                program.main.entry.instructions.pop()
+                return True
+
+        with pytest.raises(PassError, match="malformed IR"):
+            PassManager([Corruptor()]).run(build_loop_program())
+
+    def test_verify_can_be_disabled(self):
+        from repro.passes.base import FunctionPass
+        from repro.passes.pass_manager import PassManager
+        from tests.conftest import build_loop_program
+
+        class Noop(FunctionPass):
+            name = "noop"
+
+            def run(self, program, ctx):
+                return False
+
+        ctx = PassManager([Noop()], verify=False).run(build_loop_program())
+        assert ctx is not None
+
+
+class TestCompileStatsDetails:
+    def test_pass_stats_exposed(self, machine):
+        from repro.pipeline import Scheme, compile_program
+        from tests.conftest import build_loop_program
+
+        cp = compile_program(build_loop_program(), Scheme.CASTED, machine)
+        assert "error-detection" in cp.pass_stats
+        assert "assign-casted" in cp.pass_stats
+        assert "regalloc" in cp.pass_stats
+        assert "schedule" in cp.pass_stats
+        ed = cp.pass_stats["error-detection"]
+        assert ed["duplicates"] > 0
+        assert ed["code_growth"] > 1.5
+
+    def test_licm_runs_in_pipeline(self, machine):
+        from repro.pipeline import Scheme, compile_program
+        from repro.workloads import get_workload
+
+        cp = compile_program(get_workload("cjpeg").program, Scheme.NOED, machine)
+        assert cp.pass_stats.get("licm", {}).get("hoisted", 0) > 0

@@ -1,0 +1,112 @@
+"""Evaluator caching + metrics + figure/table renderers."""
+
+import pytest
+
+from repro.eval.experiment import Evaluator, PerfRecord
+from repro.eval.metrics import ilp_scaling, slowdown, summarize_scheme_slowdowns
+from repro.eval.figures import (
+    fig6_7_data,
+    fig8_data,
+    fig9_data,
+    render_fig6_7,
+    render_fig8,
+    render_fig9,
+)
+from repro.eval.tables import render_table1, render_table2, render_table3
+from repro.faults.classify import Outcome
+from repro.pipeline import Scheme
+
+
+@pytest.fixture(scope="module")
+def ev():
+    return Evaluator(seed=99, cache=False)
+
+
+class TestEvaluator:
+    def test_perf_record_fields(self, ev):
+        rec = ev.perf("mcf", Scheme.NOED, 2, 1)
+        assert rec.cycles > 0
+        assert rec.exit_code == 0
+        assert rec.compute_cycles == rec.cycles - rec.stall_cycles
+
+    def test_memoization(self, ev):
+        a = ev.perf("mcf", Scheme.NOED, 2, 1)
+        b = ev.perf("mcf", Scheme.NOED, 2, 1)
+        assert a == b
+
+    def test_single_cluster_schemes_ignore_delay(self, ev):
+        a = ev.perf("mcf", Scheme.SCED, 2, 1)
+        b = ev.perf("mcf", Scheme.SCED, 2, 4)
+        assert a.cycles == b.cycles
+        assert a.delay == b.delay == 0  # normalized key
+
+    def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        ev1 = Evaluator(seed=5, cache=True)
+        rec1 = ev1.perf("mcf", Scheme.NOED, 1, 1)
+        assert list(tmp_path.glob("*.json"))
+        ev2 = Evaluator(seed=5, cache=True)
+        rec2 = ev2.perf("mcf", Scheme.NOED, 1, 1)
+        assert rec1 == rec2
+
+    def test_coverage_record(self, ev):
+        rec = ev.coverage("mcf", Scheme.NOED, 2, 2, trials=30)
+        assert rec.trials == 30
+        total = sum(rec.fractions.values())
+        assert total == pytest.approx(1.0)
+        assert 0.0 <= rec.coverage <= 1.0
+
+    def test_coverage_protected_uses_rate_matching(self, ev):
+        rec = ev.coverage("mcf", Scheme.SCED, 2, 2, trials=30)
+        assert rec.total_faults > rec.trials  # > 1 flip per trial on average
+
+
+class TestMetrics:
+    def test_slowdown_noed_is_one(self, ev):
+        assert slowdown(ev, "mcf", Scheme.NOED, 2, 1) == 1.0
+
+    def test_slowdown_protected_above_one(self, ev):
+        assert slowdown(ev, "mcf", Scheme.SCED, 2, 1) > 1.0
+
+    def test_ilp_scaling_starts_at_one(self, ev):
+        scaling = ilp_scaling(ev, "mcf", Scheme.NOED)
+        assert scaling[0] == 1.0
+        assert all(b >= a - 1e-9 for a, b in zip(scaling, scaling[1:]))
+
+    def test_summary(self, ev):
+        s = summarize_scheme_slowdowns(
+            ev, ["mcf"], Scheme.SCED, issue_widths=(1, 2), delays=(1,)
+        )
+        assert s.scheme is Scheme.SCED
+        assert s.stats.n == 2
+
+
+class TestRenderers:
+    def test_fig6_7(self, ev):
+        data = fig6_7_data(ev, ["mcf"], issue_widths=(1, 2), delays=(1,))
+        text = render_fig6_7(data, issue_widths=(1, 2))
+        assert "mcf" in text and "d1 sced" in text and "iw2" in text
+
+    def test_fig8(self, ev):
+        data = fig8_data(ev, ["mcf"])
+        text = render_fig8(data)
+        assert "mcf noed" in text and "mcf casted" in text
+
+    def test_fig9(self, ev):
+        data = fig9_data(ev, ["mcf"], trials=20)
+        text = render_fig9(data)
+        assert "benign" in text and "data-corrupt" in text
+        assert "%" in text
+
+    def test_table1(self):
+        text = render_table1()
+        assert "L1" in text and "16KB" in text and "150" in text
+
+    def test_table2(self):
+        text = render_table2()
+        for name in ("cjpeg", "181.mcf", "197.parser"):
+            assert name in text
+
+    def test_table3(self):
+        text = render_table3()
+        assert "SWIFT" in text and "CASTED" in text and "adaptive" in text

@@ -1,0 +1,78 @@
+"""minic built-in functions (abs/min/max -> ISA ops)."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import compile_source
+from repro.ir.interp import Interpreter
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import to_signed
+
+
+def run_body(body: str):
+    return Interpreter(
+        compile_source(f"func main() {{ {body} return 0; }}")
+    ).run()
+
+
+class TestBuiltins:
+    def test_abs(self):
+        r = run_body("out(abs(-7)); out(abs(7)); out(abs(0));")
+        assert r.output == (7, 7, 0)
+
+    def test_min_max(self):
+        r = run_body("out(min(3, -5)); out(max(3, -5)); out(min(2, 2));")
+        assert tuple(map(to_signed, r.output)) == (-5, 3, 2)
+
+    def test_nested(self):
+        r = run_body("out(max(abs(-4), min(9, 6)));")
+        assert r.output == (6,)
+
+    def test_lowered_to_single_instructions(self):
+        prog = compile_source("func main() { out(abs(min(1, 2))); return 0; }")
+        ops = [i.opcode for _, _, i in prog.main.all_instructions()]
+        assert Opcode.ABS in ops
+        assert Opcode.MIN in ops
+        # no inlined call plumbing (ret-value movs) for builtins
+        assert Opcode.JMP not in ops
+
+    def test_in_expressions_and_conditions(self):
+        r = run_body(
+            "var a = -9; if (abs(a) > 5) { out(1); } else { out(0); }"
+        )
+        assert r.output == (1,)
+
+    def test_arity_checked(self):
+        with pytest.raises(SemanticError, match="expects 2 args"):
+            compile_source("func main() { out(min(1)); return 0; }")
+        with pytest.raises(SemanticError, match="expects 1 args"):
+            compile_source("func main() { out(abs(1, 2)); return 0; }")
+
+    def test_cannot_redefine_builtin(self):
+        with pytest.raises(SemanticError, match="built-in"):
+            compile_source(
+                "func abs(x) { return x; }\nfunc main() { return 0; }"
+            )
+
+    def test_protected_like_everything_else(self):
+        from repro.machine.config import MachineConfig
+        from repro.pipeline import Scheme, compile_program
+        from repro.sim.executor import VLIWExecutor
+
+        prog = compile_source(
+            """
+            func main() {
+                var s = 0;
+                for (var i = -10; i < 10; i = i + 1) {
+                    s = s + abs(i) + max(i, 0);
+                }
+                out(s);
+                return 0;
+            }
+            """
+        )
+        golden = Interpreter(prog).run()
+        machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+        for scheme in Scheme:
+            cp = compile_program(prog, scheme, machine)
+            assert VLIWExecutor(cp).run().output == golden.output

@@ -1,0 +1,284 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import compile_source
+from repro.ir.interp import ExitKind, Interpreter
+from repro.isa.semantics import to_signed, wrap64
+
+
+def run(src: str):
+    return Interpreter(compile_source(src)).run()
+
+
+def run_main_body(body: str, prelude: str = ""):
+    return run(f"{prelude}\nfunc main() {{\n{body}\nreturn 0;\n}}")
+
+
+class TestStatements:
+    def test_arithmetic_and_out(self):
+        r = run_main_body("var x = 2 + 3 * 4; out(x);")
+        assert r.output == (14,)
+
+    def test_if_else(self):
+        r = run_main_body(
+            "var x = 5; if (x > 3) { out(1); } else { out(2); }"
+        )
+        assert r.output == (1,)
+
+    def test_if_without_else(self):
+        r = run_main_body("if (0) { out(1); } out(2);")
+        assert r.output == (2,)
+
+    def test_else_if_chain(self):
+        r = run_main_body(
+            "var x = 2;"
+            "if (x == 1) { out(10); } else if (x == 2) { out(20); }"
+            "else { out(30); }"
+        )
+        assert r.output == (20,)
+
+    def test_while(self):
+        r = run_main_body(
+            "var i = 0; var s = 0; while (i < 5) { s = s + i; i = i + 1; } out(s);"
+        )
+        assert r.output == (10,)
+
+    def test_for_with_break_continue(self):
+        r = run_main_body(
+            """
+            var s = 0;
+            for (var i = 0; i < 100; i = i + 1) {
+                if (i == 7) { break; }
+                if (i % 2 == 1) { continue; }
+                s = s + i;
+            }
+            out(s);
+            """
+        )
+        assert r.output == (0 + 2 + 4 + 6,)
+
+    def test_continue_in_for_runs_step(self):
+        r = run_main_body(
+            """
+            var n = 0;
+            for (var i = 0; i < 4; i = i + 1) {
+                if (i == 1) { continue; }
+                n = n + 1;
+            }
+            out(n);
+            """
+        )
+        assert r.output == (3,)
+
+    def test_nested_loops(self):
+        r = run_main_body(
+            """
+            var s = 0;
+            for (var i = 0; i < 3; i = i + 1) {
+                for (var j = 0; j < 3; j = j + 1) {
+                    if (j > i) { break; }
+                    s = s + 1;
+                }
+            }
+            out(s);
+            """
+        )
+        assert r.output == (1 + 2 + 3,)
+
+    def test_return_exit_code(self):
+        r = run("func main() { return 3; }")
+        assert r.exit_code == 3
+
+    def test_early_return(self):
+        r = run("func main() { out(1); return 0; out(2); return 1; }")
+        assert r.output == (1,)
+        assert r.exit_code == 0
+
+    def test_globals(self):
+        r = run(
+            """
+            global g[3] = { 5, 6 };
+            func main() { g[2] = g[0] + g[1]; out(g[2]); return 0; }
+            """
+        )
+        assert r.output == (11,)
+
+    def test_global_dynamic_index(self):
+        r = run(
+            """
+            global g[4] = { 10, 20, 30, 40 };
+            func main() {
+                var s = 0;
+                for (var i = 0; i < 4; i = i + 1) { s = s + g[i]; }
+                out(s);
+                return 0;
+            }
+            """
+        )
+        assert r.output == (100,)
+
+
+class TestCallsAndInlining:
+    def test_simple_call(self):
+        r = run(
+            """
+            func sq(x) { return x * x; }
+            func main() { out(sq(7)); return 0; }
+            """
+        )
+        assert r.output == (49,)
+
+    def test_nested_calls(self):
+        r = run(
+            """
+            func inc(x) { return x + 1; }
+            func twice(x) { return inc(inc(x)); }
+            func main() { out(twice(5)); return 0; }
+            """
+        )
+        assert r.output == (7,)
+
+    def test_call_with_multiple_returns(self):
+        r = run(
+            """
+            func clamp(x) {
+                if (x > 10) { return 10; }
+                if (x < 0) { return 0; }
+                return x;
+            }
+            func main() { out(clamp(50)); out(clamp(-3)); out(clamp(4)); return 0; }
+            """
+        )
+        assert r.output == (10, 0, 4)
+
+    def test_missing_return_yields_zero(self):
+        r = run(
+            """
+            func f(x) { if (x > 100) { return 1; } }
+            func main() { out(f(1)); return 0; }
+            """
+        )
+        assert r.output == (0,)
+
+    def test_call_inside_loop(self):
+        r = run(
+            """
+            func add1(x) { return x + 1; }
+            func main() {
+                var v = 0;
+                for (var i = 0; i < 5; i = i + 1) { v = add1(v); }
+                out(v);
+                return 0;
+            }
+            """
+        )
+        assert r.output == (5,)
+
+    def test_library_instructions_tagged(self):
+        prog = compile_source(
+            """
+            lib func magic(x) { return x * 3; }
+            func main() { out(magic(2)); return 0; }
+            """
+        )
+        lib = [i for _, _, i in prog.main.all_instructions() if i.from_library]
+        non = [i for _, _, i in prog.main.all_instructions() if not i.from_library]
+        assert lib and non
+        assert Interpreter(prog).run().output == (6,)
+
+    def test_protected_func_called_from_lib_is_tagged(self):
+        prog = compile_source(
+            """
+            func helper(x) { return x + 1; }
+            lib func wrapper(x) { return helper(x) * 2; }
+            func main() { out(wrapper(1)); return 0; }
+            """
+        )
+        # everything inlined under the lib call must carry the lib tag
+        muls = [
+            i for _, _, i in prog.main.all_instructions()
+            if i.info.mnemonic == "mul"
+        ]
+        assert all(i.from_library for i in muls)
+        assert Interpreter(prog).run().output == (4,)
+
+
+class TestBooleansAndConditions:
+    def test_short_circuit_and(self):
+        # right side would divide by zero: must not evaluate
+        r = run_main_body("var x = 0; if (x != 0 && 10 / x > 1) { out(1); } out(2);")
+        assert r.kind is ExitKind.OK
+        assert r.output == (2,)
+
+    def test_short_circuit_or(self):
+        r = run_main_body("var x = 0; if (x == 0 || 10 / x > 1) { out(1); } out(2);")
+        assert r.kind is ExitKind.OK
+        assert r.output == (1, 2)
+
+    def test_bool_value_materialization(self):
+        r = run_main_body("var x = (3 < 5) + (5 < 3); out(x);")
+        assert r.output == (1,)
+
+    def test_logical_value(self):
+        r = run_main_body("var x = 1 && 0; var y = 1 || 0; out(x); out(y);")
+        assert r.output == (0, 1)
+
+    def test_not(self):
+        r = run_main_body("out(!0); out(!7);")
+        assert r.output == (1, 0)
+
+    def test_unary_ops(self):
+        r = run_main_body("out(-5); out(~0);")
+        assert to_signed(r.output[0]) == -5
+        assert to_signed(r.output[1]) == -1
+
+    def test_condition_on_plain_value(self):
+        r = run_main_body("var x = 3; if (x) { out(1); } else { out(0); }")
+        assert r.output == (1,)
+
+
+class TestTrapsFromSource:
+    def test_division_by_zero(self):
+        r = run_main_body("var z = 0; out(10 / z);")
+        assert r.kind is ExitKind.EXCEPTION
+
+    def test_out_of_bounds_global(self):
+        r = run(
+            "global g[2];\nfunc main() { var i = 100000; out(g[i]); return 0; }"
+        )
+        assert r.kind is ExitKind.EXCEPTION
+
+
+# -- property test: generated expressions match Python semantics ---------------
+
+_ops = ["+", "-", "*", "&", "|", "^"]
+
+
+@st.composite
+def expr_strategy(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            value = draw(st.integers(-100, 100))
+            return (f"({value})", value)
+        name = draw(st.sampled_from(["a", "b", "c"]))
+        env = {"a": 13, "b": -7, "c": 1000003}
+        return (name, env[name])
+    op = draw(st.sampled_from(_ops))
+    ls, lv = draw(expr_strategy(depth=depth + 1))
+    rs, rv = draw(expr_strategy(depth=depth + 1))
+    py = {
+        "+": lv + rv, "-": lv - rv, "*": lv * rv,
+        "&": lv & rv, "|": lv | rv, "^": lv ^ rv,
+    }[op]
+    return (f"({ls} {op} {rs})", py)
+
+
+class TestExpressionProperty:
+    @given(expr_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_python(self, pair):
+        text, expected = pair
+        r = run_main_body(f"var a = 13; var b = -7; var c = 1000003; out({text});")
+        assert r.kind is ExitKind.OK
+        assert r.output[0] == wrap64(expected)

@@ -1,0 +1,147 @@
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import TokenKind, tokenize
+from repro.frontend.parser import parse
+
+
+class TestLexer:
+    def test_kinds(self):
+        toks = tokenize("func main() { var x = 0x1f; }")
+        kinds = [t.kind for t in toks]
+        assert TokenKind.KEYWORD in kinds
+        assert TokenKind.IDENT in kinds
+        assert toks[-1].kind is TokenKind.EOF
+
+    def test_hex_literal(self):
+        toks = tokenize("0xFF")
+        assert toks[0].text == "0xFF"
+        assert int(toks[0].text, 0) == 255
+
+    def test_multichar_ops(self):
+        toks = tokenize("a <= b << 2 && c != d")
+        ops = [t.text for t in toks if t.kind is TokenKind.OP]
+        assert ops == ["<=", "<<", "&&", "!="]
+
+    def test_comments(self):
+        toks = tokenize("a // line\n/* block\nmore */ b")
+        idents = [t.text for t in toks if t.kind is TokenKind.IDENT]
+        assert idents == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* never closed")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+    def test_line_col_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_bad_hex(self):
+        with pytest.raises(ParseError):
+            tokenize("0x")
+
+
+class TestParser:
+    def test_module_structure(self):
+        m = parse(
+            """
+            global g[4] = { 1, 2 };
+            lib func helper(x) { return x; }
+            func main() { return 0; }
+            """
+        )
+        assert len(m.globals_) == 1
+        assert m.globals_[0].init == (1, 2)
+        assert m.function("helper").is_library
+        assert not m.function("main").is_library
+
+    def test_negative_global_init(self):
+        m = parse("global g[2] = { -3, 4 };\nfunc main() { return 0; }")
+        assert m.globals_[0].init == (-3, 4)
+
+    def test_precedence(self):
+        m = parse("func main() { var x = 1 + 2 * 3; return 0; }")
+        decl = m.function("main").body[0]
+        assert isinstance(decl.init, ast.Binary)
+        assert decl.init.op == "+"
+        assert isinstance(decl.init.right, ast.Binary)
+        assert decl.init.right.op == "*"
+
+    def test_left_associativity(self):
+        m = parse("func main() { var x = 10 - 4 - 3; return 0; }")
+        e = m.function("main").body[0].init
+        assert e.op == "-"
+        assert isinstance(e.left, ast.Binary)  # (10-4)-3
+
+    def test_logical_precedence(self):
+        m = parse("func main() { var x = 1 < 2 && 3 < 4 || 0; return 0; }")
+        e = m.function("main").body[0].init
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_unary_chain(self):
+        m = parse("func main() { var x = - - 5; var y = !~x; return 0; }")
+        e = m.function("main").body[0].init
+        assert isinstance(e, ast.Unary) and isinstance(e.operand, ast.Unary)
+
+    def test_if_else_if(self):
+        m = parse(
+            "func main() { if (1) { } else if (2) { } else { } return 0; }"
+        )
+        stmt = m.function("main").body[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body[0], ast.If)
+
+    def test_for_variants(self):
+        m = parse(
+            """
+            func main() {
+                for (var i = 0; i < 3; i = i + 1) { }
+                for (;;) { break; }
+                return 0;
+            }
+            """
+        )
+        f1, f2 = m.function("main").body[0], m.function("main").body[1]
+        assert isinstance(f1.init, ast.VarDecl)
+        assert f2.init is None and f2.cond is None and f2.step is None
+
+    def test_array_assignment_and_index(self):
+        m = parse(
+            "global a[4];\nfunc main() { a[1] = a[0] + 1; return 0; }"
+        )
+        stmt = m.function("main").body[0]
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_call_args(self):
+        m = parse(
+            "func f(a, b) { return a; }\nfunc main() { var x = f(1, 2 + 3); return 0; }"
+        )
+        call = m.function("main").body[0].init
+        assert isinstance(call, ast.Call)
+        assert len(call.args) == 2
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("func main() { var x = 1 return 0; }")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            parse("func main() { return 0;")
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(ParseError):
+            parse("var x = 1;")
+
+    def test_array_read_as_expression_statement(self):
+        # "a[0];" is an expression statement, not an assignment
+        m = parse("global a[1];\nfunc main() { a[0]; return 0; }")
+        stmt = m.function("main").body[0]
+        assert isinstance(stmt, ast.ExprStmt)

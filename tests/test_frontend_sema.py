@@ -1,0 +1,117 @@
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend.parser import parse
+from repro.frontend.sema import analyze
+
+
+def check(src: str):
+    analyze(parse(src))
+
+
+class TestSema:
+    def test_valid_program(self):
+        check(
+            """
+            global g[4];
+            func helper(x) { return x + 1; }
+            func main() { var a = helper(g[0]); out(a); return 0; }
+            """
+        )
+
+    def test_missing_main(self):
+        with pytest.raises(SemanticError, match="main"):
+            check("func notmain() { return 0; }")
+
+    def test_main_with_params(self):
+        with pytest.raises(SemanticError):
+            check("func main(x) { return 0; }")
+
+    def test_main_cannot_be_library(self):
+        with pytest.raises(SemanticError):
+            check("lib func main() { return 0; }")
+
+    def test_main_nonliteral_return(self):
+        with pytest.raises(SemanticError, match="integer literals"):
+            check("func main() { var x = 1; return x; }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError, match="duplicate global"):
+            check("global g[1];\nglobal g[2];\nfunc main() { return 0; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError, match="duplicate function"):
+            check("func f() { return 0; }\nfunc f() { return 0; }\nfunc main() { return 0; }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check("func main() { out(x); return 0; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check("func main() { var x = 1; var x = 2; return 0; }")
+
+    def test_assign_to_undeclared(self):
+        with pytest.raises(SemanticError):
+            check("func main() { x = 1; return 0; }")
+
+    def test_unknown_global(self):
+        with pytest.raises(SemanticError, match="unknown global"):
+            check("func main() { out(nope[0]); return 0; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError, match="unknown function"):
+            check("func main() { var x = ghost(); return 0; }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SemanticError, match="expects"):
+            check("func f(a, b) { return a; }\nfunc main() { var x = f(1); return 0; }")
+
+    def test_calling_main_rejected(self):
+        with pytest.raises(SemanticError, match="'main' cannot be called"):
+            check("func f() { return main(); }\nfunc main() { var x = f(); return 0; }")
+
+    def test_direct_recursion(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            check("func f(x) { return f(x); }\nfunc main() { var a = f(1); return 0; }")
+
+    def test_mutual_recursion(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            check(
+                """
+                func f(x) { return g(x); }
+                func g(x) { return f(x); }
+                func main() { var a = f(1); return 0; }
+                """
+            )
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break"):
+            check("func main() { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError, match="continue"):
+            check("func main() { continue; return 0; }")
+
+    def test_break_inside_loop_ok(self):
+        check("func main() { while (1) { break; } return 0; }")
+
+    def test_duplicate_params(self):
+        with pytest.raises(SemanticError, match="duplicate parameter"):
+            check("func f(a, a) { return a; }\nfunc main() { return 0; }")
+
+    def test_global_function_name_clash(self):
+        with pytest.raises(SemanticError):
+            check("global f[1];\nfunc f() { return 0; }\nfunc main() { return 0; }")
+
+    def test_nonmain_can_return_expressions(self):
+        check("func f(x) { return x * 2; }\nfunc main() { var a = f(3); return 0; }")
+
+    def test_recursion_through_for_step(self):
+        with pytest.raises(SemanticError, match="recursion"):
+            check(
+                """
+                func f(x) { for (var i = 0; i < 1; i = f(i)) { } return x; }
+                func main() { var a = f(1); return 0; }
+                """
+            )

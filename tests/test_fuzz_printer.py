@@ -1,0 +1,89 @@
+"""Property tests: random valid instructions round-trip through the
+textual IR printer/parser losslessly."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.parser import parse_instruction
+from repro.ir.printer import format_instruction
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import OP_INFO, Opcode
+from repro.isa.registers import Reg, RegClass
+
+
+@st.composite
+def registers(draw, rclass: RegClass) -> Reg:
+    if draw(st.booleans()):
+        return Reg(rclass, draw(st.integers(0, 200)))
+    return Reg(
+        rclass,
+        draw(st.integers(0, 63)),
+        virtual=False,
+        cluster=draw(st.integers(0, 3)),
+    )
+
+
+@st.composite
+def instructions(draw) -> Instruction:
+    opcode = draw(st.sampled_from(sorted(Opcode, key=lambda o: o.value)))
+    info = OP_INFO[opcode]
+
+    srcs = [draw(registers(rc)) for rc in info.in_classes]
+    imm = None
+    if info.needs_imm:
+        imm = draw(st.integers(-(2**31), 2**31))
+    elif info.allow_imm and draw(st.booleans()) and srcs:
+        srcs.pop()  # immediate replaces the last register input
+        imm = draw(st.integers(-(2**31), 2**31))
+
+    dests = ()
+    if info.out_class is not None:
+        dests = (draw(registers(info.out_class)),)
+
+    if opcode is Opcode.CHKBR:
+        targets: tuple[str, ...] = ("__detect__",)
+    else:
+        n = info.n_targets
+        targets = tuple(f"blk{draw(st.integers(0, 99))}" for _ in range(n))
+
+    role = Role.CHECK if opcode is Opcode.CHKBR else draw(st.sampled_from(list(Role)))
+    insn = Instruction(
+        opcode,
+        dests=dests,
+        srcs=tuple(srcs),
+        imm=imm,
+        targets=targets,
+        role=role,
+        from_library=draw(st.booleans()),
+    )
+    if draw(st.booleans()):
+        insn.cluster = draw(st.integers(0, 3))
+    if draw(st.booleans()):
+        insn.dup_of = draw(st.integers(0, 10**6))
+    return insn
+
+
+class TestPrinterParserFuzz:
+    @given(instructions())
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip_lossless(self, insn):
+        text = format_instruction(insn)
+        parsed = parse_instruction(text)
+        assert parsed.opcode is insn.opcode
+        assert parsed.dests == insn.dests
+        assert parsed.srcs == insn.srcs
+        assert parsed.imm == insn.imm
+        assert parsed.targets == insn.targets
+        assert parsed.role is insn.role
+        assert parsed.from_library == insn.from_library
+        assert parsed.cluster == insn.cluster
+        assert parsed.dup_of == insn.dup_of
+
+    @given(instructions())
+    @settings(max_examples=100, deadline=None)
+    def test_print_is_fixpoint(self, insn):
+        once = format_instruction(insn)
+        twice = format_instruction(parse_instruction(once))
+        assert once == twice

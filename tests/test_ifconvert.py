@@ -1,0 +1,184 @@
+"""If-conversion (predication) pass."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.interp import Interpreter
+from repro.ir.verifier import verify_program
+from repro.isa.opcodes import Opcode
+from repro.machine.config import MachineConfig
+from repro.passes.base import PassContext
+from repro.passes.ifconvert import IfConversionPass
+from repro.pipeline import Scheme, compile_program
+from repro.sim.executor import VLIWExecutor
+
+
+def convert(prog):
+    ctx = PassContext()
+    IfConversionPass().run(prog, ctx)
+    verify_program(prog)
+    return ctx.stats.get("if-convert", {}).get("converted", 0)
+
+
+def count_branches(prog):
+    return sum(
+        1
+        for _, _, i in prog.main.all_instructions()
+        if i.opcode in (Opcode.BRT, Opcode.BRF)
+    )
+
+
+def abs_program():
+    return compile_source(
+        """
+        func main() {
+            var s = 0;
+            for (var i = -20; i < 20; i = i + 1) {
+                var d = i * 3;
+                if (d < 0) { d = 0 - d; }
+                s = s + d;
+            }
+            out(s);
+            return 0;
+        }
+        """
+    )
+
+
+class TestTriangle:
+    def test_converts_abs_pattern(self):
+        prog = abs_program()
+        golden = Interpreter(prog).run()
+        before = count_branches(prog)
+        n = convert(prog)
+        assert n >= 1
+        assert count_branches(prog) < before
+        assert Interpreter(prog).run().output == golden.output
+
+    def test_select_emitted(self):
+        prog = abs_program()
+        convert(prog)
+        ops = [i.opcode for _, _, i in prog.main.all_instructions()]
+        assert Opcode.SELECT in ops
+
+
+class TestDiamond:
+    def diamond_program(self):
+        return compile_source(
+            """
+            func main() {
+                var s = 0;
+                for (var i = 0; i < 30; i = i + 1) {
+                    var v = 0;
+                    if (i % 3 == 0) { v = i * 5; } else { v = i - 7; }
+                    s = s ^ v;
+                }
+                out(s);
+                return 0;
+            }
+            """
+        )
+
+    def test_converts_and_preserves(self):
+        prog = self.diamond_program()
+        golden = Interpreter(prog).run()
+        assert convert(prog) >= 1
+        assert Interpreter(prog).run().output == golden.output
+        assert Interpreter(prog).run().dyn_instructions > 0
+
+
+class TestRefusals:
+    def test_memory_arm_not_converted(self):
+        prog = compile_source(
+            """
+            global g[4];
+            func main() {
+                for (var i = 0; i < 5; i = i + 1) {
+                    if (i > 2) { g[1] = i; }
+                }
+                out(g[1]);
+                return 0;
+            }
+            """
+        )
+        golden = Interpreter(prog).run()
+        branches = count_branches(prog)
+        convert(prog)
+        # the store-bearing arm must survive as a branch
+        assert count_branches(prog) == branches
+        assert Interpreter(prog).run().output == golden.output
+
+    def test_large_arm_not_converted(self):
+        body = " ".join(f"v = v * {k + 2};" for k in range(10))
+        prog = compile_source(
+            f"""
+            func main() {{
+                var v = 1;
+                if (v > 0) {{ {body} }}
+                out(v);
+                return 0;
+            }}
+            """
+        )
+        branches = count_branches(prog)
+        ctx = PassContext()
+        IfConversionPass(max_arm_size=4).run(prog, ctx)
+        verify_program(prog)
+        assert count_branches(prog) == branches
+
+    def test_out_arm_not_converted(self):
+        prog = compile_source(
+            """
+            func main() {
+                var x = 3;
+                if (x > 1) { out(x); }
+                out(0);
+                return 0;
+            }
+            """
+        )
+        golden = Interpreter(prog).run()
+        convert(prog)
+        assert Interpreter(prog).run().output == golden.output == (3, 0)
+
+
+class TestPipelineIntegration:
+    @pytest.mark.parametrize("name", ["h263enc", "parser"])
+    def test_equivalence_with_if_conversion(self, name):
+        from repro.workloads import get_workload
+
+        prog = get_workload(name).program
+        golden = Interpreter(prog).run()
+        machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+        for scheme in (Scheme.NOED, Scheme.SCED, Scheme.CASTED):
+            cp = compile_program(prog, scheme, machine, if_convert=True)
+            assert VLIWExecutor(cp).run().output == golden.output, scheme
+
+    def test_reduces_checks_on_branchy_code(self):
+        from repro.workloads import get_workload
+
+        prog = get_workload("h263enc").program
+        machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+        plain = compile_program(prog, Scheme.SCED, machine)
+        conv = compile_program(prog, Scheme.SCED, machine, if_convert=True)
+        assert conv.ed_info.n_checks < plain.ed_info.n_checks
+
+    def test_fuzz_interaction(self):
+        """Random programs stay correct with if-conversion enabled."""
+        from hypothesis import given, settings, HealthCheck
+        # reuse the minic generator from the differential fuzzer
+        from tests.test_fuzz_differential import minic_programs
+
+        @given(minic_programs())
+        @settings(max_examples=10, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        def inner(source):
+            prog = compile_source(source)
+            golden = Interpreter(prog).run(max_steps=2_000_000)
+            if golden.kind.value != "ok":
+                return
+            machine = MachineConfig(issue_width=2, inter_cluster_delay=2)
+            cp = compile_program(prog, Scheme.CASTED, machine, if_convert=True)
+            assert VLIWExecutor(cp).run().output == golden.output
+
+        inner()

@@ -1,0 +1,149 @@
+import pytest
+
+from repro.errors import IRError
+from repro.ir.basic_block import DETECT_LABEL, BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.isa.instruction import Role
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import RegClass
+
+
+class TestBasicBlock:
+    def test_append_and_terminate(self):
+        b = IRBuilder("f")
+        blk = b.add_and_enter("entry")
+        r = b.movi(1)
+        b.halt(0)
+        assert blk.is_terminated
+        assert blk.terminator.opcode is Opcode.HALT
+        assert len(blk.body()) == 1
+
+    def test_append_after_terminator_rejected(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        b.halt(0)
+        with pytest.raises(IRError):
+            b.movi(1)
+
+    def test_reserved_label_rejected(self):
+        with pytest.raises(IRError):
+            BasicBlock(DETECT_LABEL)
+        with pytest.raises(IRError):
+            BasicBlock("")
+
+    def test_successor_labels(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        p = b.function.new_pr()
+        b.add_block("t")
+        b.add_block("f2")
+        blk = b.current
+        b.emit(Opcode.CMPEQ, (p,), (b.movi(1),), imm=1)
+        b.brt(p, "t", "f2")
+        assert blk.successor_labels() == ("t", "f2")
+
+    def test_insert_before(self):
+        b = IRBuilder("f")
+        blk = b.add_and_enter("entry")
+        b.movi(1)
+        b.halt(0)
+        extra = b.function.new_gp()
+        from repro.isa.instruction import Instruction
+
+        blk.insert_before(0, Instruction(Opcode.MOVI, dests=(extra,), imm=9))
+        assert blk.instructions[0].imm == 9
+        with pytest.raises(IRError):
+            blk.insert_before(99, Instruction(Opcode.MOVI, dests=(extra,), imm=9))
+
+
+class TestFunction:
+    def test_duplicate_label_rejected(self):
+        f = Function("f")
+        f.add_block("a")
+        with pytest.raises(IRError):
+            f.add_block("a")
+
+    def test_entry_is_first_block(self):
+        f = Function("f")
+        f.add_block("one")
+        f.add_block("two")
+        assert f.entry.label == "one"
+
+    def test_missing_block(self):
+        f = Function("f")
+        with pytest.raises(IRError):
+            f.block("nope")
+        with pytest.raises(IRError):
+            _ = f.entry
+
+    def test_fresh_registers(self):
+        f = Function("f")
+        a, b = f.new_gp(), f.new_gp()
+        assert a != b
+        p = f.new_pr()
+        assert p.rclass is RegClass.PR
+        assert f.new_reg_like(a).rclass is RegClass.GP
+        assert f.new_reg_like(p).rclass is RegClass.PR
+
+    def test_reserve_vregs(self):
+        f = Function("f")
+        f.reserve_vregs(RegClass.GP, 10)
+        assert f.new_gp().index == 10
+
+    def test_clone_independent(self, loop_program):
+        clone = loop_program.main.clone()
+        assert clone.instruction_count() == loop_program.main.instruction_count()
+        # mutating the clone leaves the original alone
+        clone.block("loop").instructions[0].role = Role.DUP
+        assert loop_program.main.block("loop").instructions[0].role is Role.ORIG
+
+    def test_clone_remaps_dup_links(self, loop_program):
+        func = loop_program.main
+        insns = func.block("loop").instructions
+        insns[1].dup_of = insns[0].uid
+        clone = func.clone()
+        c = clone.block("loop").instructions
+        assert c[1].dup_of == c[0].uid
+        assert c[1].dup_of != insns[0].uid
+
+
+class TestBuilderHelpers:
+    def test_arith_helpers_pick_immediates(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        x = b.movi(4)
+        y = b.add(x, 3)
+        assert b.current.instructions[-1].imm == 3
+        z = b.mul(x, y)
+        assert b.current.instructions[-1].imm is None
+        b.halt(0)
+
+    def test_cmp_returns_predicate(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        p = b.cmplt(b.movi(1), 5)
+        assert p.rclass is RegClass.PR
+
+    def test_no_insertion_point(self):
+        b = IRBuilder("f")
+        with pytest.raises(IRError):
+            b.movi(1)
+
+    def test_library_context(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        with b.library():
+            r = b.movi(1)
+        s = b.movi(2)
+        insns = b.current.instructions
+        assert insns[0].from_library
+        assert not insns[1].from_library
+
+    def test_chkbr_targets_detect(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        p = b.cmpne(b.movi(0), 0)
+        chk = b.chkbr(p)
+        assert chk.targets == (DETECT_LABEL,)
+        assert chk.role is Role.CHECK

@@ -1,0 +1,126 @@
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import CFG
+from repro.ir.liveness import compute_liveness
+from repro.ir.program import Program
+
+
+def diamond():
+    """entry -> (a | b) -> join; x defined in entry, used in join."""
+    b = IRBuilder("f")
+    f = b.function
+    b.add_and_enter("entry")
+    x = f.new_gp()
+    b.movi_to(x, 1)
+    p = b.cmpeq(x, 1)
+    b.brt(p, "a", "bb")
+    b.add_and_enter("a")
+    y = f.new_gp()
+    b.movi_to(y, 2)
+    b.jmp("join")
+    b.add_and_enter("bb")
+    b.movi_to(y, 3)
+    b.jmp("join")
+    b.add_and_enter("join")
+    z = b.add(x, y)
+    b.out(z)
+    b.halt(0)
+    return Program(f), x, y
+
+
+class TestCFG:
+    def test_succs_preds(self):
+        prog, *_ = diamond()
+        cfg = CFG(prog.main)
+        assert set(cfg.succs["entry"]) == {"a", "bb"}
+        assert set(cfg.preds["join"]) == {"a", "bb"}
+        assert cfg.preds["entry"] == []
+
+    def test_reverse_postorder_starts_at_entry(self):
+        prog, *_ = diamond()
+        rpo = CFG(prog.main).reverse_postorder()
+        assert rpo[0] == "entry"
+        assert rpo.index("join") > rpo.index("a")
+        assert rpo.index("join") > rpo.index("bb")
+
+    def test_unknown_target_rejected(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        b.jmp("nowhere")
+        with pytest.raises(IRError):
+            CFG(b.function)
+
+    def test_unreachable_detection(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        b.halt(0)
+        b.add_and_enter("island")
+        b.halt(0)
+        cfg = CFG(b.function)
+        assert cfg.unreachable() == {"island"}
+
+    def test_back_edges_and_depths(self, loop_program):
+        cfg = CFG(loop_program.main)
+        assert cfg.back_edges() == {("loop", "loop")}
+        depths = cfg.loop_depths()
+        assert depths == {"entry": 0, "loop": 1, "exit": 0}
+
+    def test_nested_loop_depths(self):
+        b = IRBuilder("f")
+        f = b.function
+        b.add_and_enter("entry")
+        i = f.new_gp()
+        j = f.new_gp()
+        b.movi_to(i, 0)
+        b.jmp("outer")
+        b.add_and_enter("outer")
+        b.movi_to(j, 0)
+        b.jmp("inner")
+        b.add_and_enter("inner")
+        j2 = b.add(j, 1)
+        b.mov_to(j, j2)
+        p = b.cmplt(j, 3)
+        b.brt(p, "inner", "outer_latch")
+        b.add_and_enter("outer_latch")
+        i2 = b.add(i, 1)
+        b.mov_to(i, i2)
+        q = b.cmplt(i, 3)
+        b.brt(q, "outer", "exit")
+        b.add_and_enter("exit")
+        b.halt(0)
+        depths = CFG(f).loop_depths()
+        assert depths["inner"] == 2
+        assert depths["outer"] == 1
+        assert depths["outer_latch"] == 1
+        assert depths["entry"] == 0
+        assert depths["exit"] == 0
+
+
+class TestLiveness:
+    def test_diamond(self):
+        prog, x, y = diamond()
+        live = compute_liveness(prog.main)
+        assert x in live.live_out["entry"]
+        assert x in live.live_in["a"]  # live-through
+        assert y in live.live_out["a"]
+        assert y in live.live_in["join"]
+        assert not live.live_out["join"]
+
+    def test_loop_carried(self, loop_program):
+        live = compute_liveness(loop_program.main)
+        # loop variables are live around the back edge
+        loop_in = live.live_in["loop"]
+        loop_out = live.live_out["loop"]
+        assert loop_in & loop_out, "loop-carried registers expected"
+
+    def test_dead_def_not_live(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        dead = b.movi(42)
+        live_reg = b.movi(1)
+        b.out(live_reg)
+        b.halt(0)
+        live = compute_liveness(b.function)
+        assert dead not in live.live_out["entry"]

@@ -1,0 +1,145 @@
+from repro.ir.basic_block import DETECT_LABEL
+from repro.ir.builder import IRBuilder
+from repro.ir.dfg import DFG, DepKind
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import Opcode
+
+
+def edges_of(dfg, kind=None):
+    return [
+        (e.src, e.dst, e.kind)
+        for e in dfg.edges
+        if kind is None or e.kind is kind
+    ]
+
+
+def build_block(emit):
+    b = IRBuilder("f")
+    b.add_and_enter("entry")
+    emit(b)
+    if not b.current.is_terminated:
+        b.halt(0)
+    return b.current
+
+
+class TestDataEdges:
+    def test_true_dependence(self):
+        blk = build_block(lambda b: b.add(b.movi(1), b.movi(2)))
+        dfg = DFG(blk)
+        data = edges_of(dfg, DepKind.DATA)
+        assert (0, 2, DepKind.DATA) in data
+        assert (1, 2, DepKind.DATA) in data
+
+    def test_anti_dependence(self):
+        def emit(b):
+            x = b.function.new_gp()
+            b.movi_to(x, 1)       # 0: def x
+            y = b.add(x, 2)       # 1: read x
+            b.movi_to(x, 3)       # 2: redef x -> ANTI 1->2, OUTPUT 0->2
+            b.out(y)
+
+        dfg = DFG(build_block(emit))
+        assert (1, 2, DepKind.ANTI) in edges_of(dfg, DepKind.ANTI)
+        assert (0, 2, DepKind.OUTPUT) in edges_of(dfg, DepKind.OUTPUT)
+
+    def test_dag_property(self, loop_program):
+        for block in loop_program.main.blocks():
+            assert DFG(block).is_dag()
+
+
+class TestMemoryEdges:
+    def test_store_orders_everything(self):
+        def emit(b):
+            a = b.movi(1)
+            v = b.movi(2)
+            b.store(a, v)         # 2
+            x = b.load(a)         # 3: MEM 2->3
+            b.store(a, x)         # 4: MEM 2->4 and 3->4
+            b.out(x)
+
+        dfg = DFG(build_block(emit))
+        mem = edges_of(dfg, DepKind.MEM)
+        assert (2, 3, DepKind.MEM) in mem
+        assert (2, 4, DepKind.MEM) in mem
+        assert (3, 4, DepKind.MEM) in mem
+
+    def test_loads_unordered_between_stores(self):
+        def emit(b):
+            a = b.movi(1)
+            x = b.load(a)        # 1
+            y = b.load(a, 1)     # 2 — no edge between loads
+            b.out(b.add(x, y))
+
+        dfg = DFG(build_block(emit))
+        mem = edges_of(dfg, DepKind.MEM)
+        assert (1, 2, DepKind.MEM) not in mem
+
+    def test_out_keeps_program_order(self):
+        def emit(b):
+            x = b.movi(1)
+            b.out(x)             # 1
+            b.out(x)             # 2: MEM 1->2 so the stream stays ordered
+
+        dfg = DFG(build_block(emit))
+        assert (1, 2, DepKind.MEM) in edges_of(dfg, DepKind.MEM)
+
+    def test_frame_slots_disambiguate_exactly(self):
+        def emit(b):
+            f = b.function
+            t0, t1 = f.new_gp(), f.new_gp()
+            b.emit(Opcode.MOVI, (t0,), imm=1)
+            b.emit(Opcode.STOREFP, srcs=(t0,), imm=0, role=Role.SPILL)   # 1
+            b.emit(Opcode.STOREFP, srcs=(t0,), imm=1, role=Role.SPILL)   # 2
+            b.emit(Opcode.LOADFP, (t1,), imm=0, role=Role.SPILL)         # 3
+            b.out(t1)
+
+        dfg = DFG(build_block(emit))
+        mem = edges_of(dfg, DepKind.MEM)
+        assert (1, 3, DepKind.MEM) in mem      # same slot
+        assert (2, 3, DepKind.MEM) not in mem  # different slot
+        assert (1, 2, DepKind.MEM) not in mem  # different slots
+
+
+class TestControlEdges:
+    def test_check_guards_next_store(self):
+        def emit(b):
+            a = b.movi(1)
+            v = b.movi(2)
+            p = b.cmpne(a, v)     # 2
+            b.chkbr(p)            # 3
+            b.store(a, v)         # 4: CTRL 3->4
+
+        dfg = DFG(build_block(emit))
+        assert (3, 4, DepKind.CTRL) in edges_of(dfg, DepKind.CTRL)
+
+    def test_spill_store_does_not_consume_check(self):
+        def emit(b):
+            a = b.movi(1)
+            p = b.cmpne(a, 0)     # 1
+            b.chkbr(p)            # 2
+            b.emit(Opcode.STOREFP, srcs=(a,), imm=0, role=Role.SPILL)  # 3
+            b.store(a, a)         # 4: the real guarded store
+
+        dfg = DFG(build_block(emit))
+        ctrl = edges_of(dfg, DepKind.CTRL)
+        assert (2, 4, DepKind.CTRL) in ctrl
+
+    def test_terminator_barrier(self):
+        blk = build_block(lambda b: b.out(b.add(b.movi(1), 2)))
+        dfg = DFG(blk)
+        term = len(blk.instructions) - 1
+        for i in range(term):
+            assert any(e.dst == term for e in dfg.succs[i]), f"node {i}"
+
+    def test_heights_monotone(self, loop_program):
+        block = loop_program.main.block("loop")
+        dfg = DFG(block)
+        h = dfg.heights(lambda e: 1)
+        for e in dfg.edges:
+            assert h[e.src] >= 1 + h[e.dst] - (0 if e.kind else 0) or h[e.src] >= h[e.dst]
+
+    def test_roots_have_no_preds(self, loop_program):
+        for block in loop_program.main.blocks():
+            dfg = DFG(block)
+            for r in dfg.roots():
+                assert not dfg.preds[r]

@@ -1,0 +1,122 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import Interpreter
+from repro.ir.parser import parse_instruction, parse_program
+from repro.ir.printer import format_instruction, print_program
+from repro.ir.program import GlobalArray, Program
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import GP, PR
+from tests.conftest import build_loop_program
+
+
+class TestInstructionRoundTrip:
+    CASES = [
+        Instruction(Opcode.ADD, dests=(GP(1),), srcs=(GP(2), GP(3))),
+        Instruction(Opcode.ADD, dests=(GP(1),), srcs=(GP(2),), imm=-5),
+        Instruction(Opcode.MOVI, dests=(GP(0),), imm=123),
+        Instruction(Opcode.LOAD, dests=(GP(1),), srcs=(GP(2),), imm=4),
+        Instruction(Opcode.STORE, srcs=(GP(1), GP(2)), imm=0),
+        Instruction(Opcode.LOADFP, dests=(GP(1),), imm=3),
+        Instruction(Opcode.STOREFP, srcs=(GP(1),), imm=3),
+        Instruction(Opcode.CMPLT, dests=(PR(0),), srcs=(GP(1), GP(2))),
+        Instruction(Opcode.PNE, dests=(PR(2),), srcs=(PR(0), PR(1))),
+        Instruction(Opcode.BRT, srcs=(PR(0),), targets=("a", "b")),
+        Instruction(Opcode.JMP, targets=("x",)),
+        Instruction(Opcode.HALT, imm=3),
+        Instruction(Opcode.CHKBR, srcs=(PR(0),), targets=("__detect__",), role=Role.CHECK),
+        Instruction(Opcode.SELECT, dests=(GP(0),), srcs=(PR(0), GP(1), GP(2))),
+        Instruction(
+            Opcode.MOV,
+            dests=(GP(0, virtual=False, cluster=1),),
+            srcs=(GP(1, virtual=False, cluster=0),),
+        ),
+    ]
+
+    @pytest.mark.parametrize("insn", CASES, ids=lambda i: i.info.mnemonic)
+    def test_roundtrip(self, insn):
+        parsed = parse_instruction(format_instruction(insn))
+        assert parsed.opcode is insn.opcode
+        assert parsed.dests == insn.dests
+        assert parsed.srcs == insn.srcs
+        assert parsed.imm == insn.imm
+        assert parsed.targets == insn.targets
+        assert parsed.role is insn.role
+
+    def test_tags_roundtrip(self):
+        insn = Instruction(Opcode.ADD, dests=(GP(1),), srcs=(GP(2), GP(3)))
+        insn.role = Role.DUP
+        insn.cluster = 1
+        insn.from_library = True
+        insn.dup_of = 42
+        parsed = parse_instruction(format_instruction(insn))
+        assert parsed.role is Role.DUP
+        assert parsed.cluster == 1
+        assert parsed.from_library
+        assert parsed.dup_of == 42
+
+    def test_bad_mnemonic(self):
+        with pytest.raises(ParseError):
+            parse_instruction("frobnicate vr1")
+
+    def test_bad_register(self):
+        with pytest.raises(ParseError):
+            parse_instruction("add vq1, vr2, vr3")
+
+    def test_bad_shape(self):
+        with pytest.raises(ParseError):
+            parse_instruction("add vr1, vr2, vr3, vr4")
+
+
+class TestProgramRoundTrip:
+    def test_loop_program_semantics_preserved(self):
+        prog = build_loop_program()
+        text = print_program(prog)
+        reparsed = parse_program(text)
+        r1 = Interpreter(prog).run()
+        r2 = Interpreter(reparsed).run()
+        assert r1.output == r2.output
+        assert r1.exit_code == r2.exit_code
+        assert r1.dyn_instructions == r2.dyn_instructions
+
+    def test_globals_roundtrip(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        b.halt(0)
+        prog = Program(b.function, [GlobalArray("t", 4, (1, 2)), GlobalArray("u", 2)])
+        text = print_program(prog)
+        reparsed = parse_program(text)
+        assert reparsed.globals["t"].init == (1, 2)
+        assert reparsed.globals["u"].n_words == 2
+
+    def test_double_roundtrip_fixpoint(self):
+        prog = build_loop_program()
+        text1 = print_program(prog)
+        text2 = print_program(parse_program(text1))
+        assert text1 == text2
+
+    def test_workload_roundtrip(self):
+        from repro.workloads import get_workload
+
+        prog = get_workload("mcf").program
+        reparsed = parse_program(print_program(prog))
+        r1 = Interpreter(prog).run()
+        r2 = Interpreter(reparsed).run()
+        assert r1.output == r2.output
+
+    def test_comments_ignored(self):
+        text = print_program(build_loop_program())
+        text = "; leading comment\n" + text.replace(
+            "entry:", "entry:  ; the entry block"
+        )
+        parse_program(text)
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_program("nonsense")
+        with pytest.raises(ParseError):
+            parse_program("program {\nfunc main {\n}\n}")  # no blocks

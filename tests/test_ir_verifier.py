@@ -1,0 +1,128 @@
+import pytest
+
+from repro.errors import IRError
+from repro.ir.basic_block import DETECT_LABEL
+from repro.ir.builder import IRBuilder
+from repro.ir.program import GlobalArray, Program
+from repro.ir.verifier import verify_function, verify_program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import GP, PR
+
+
+class TestVerifier:
+    def test_valid_program_passes(self, loop_program):
+        verify_program(loop_program)
+
+    def test_empty_function(self):
+        b = IRBuilder("f")
+        with pytest.raises(IRError):
+            verify_function(b.function)
+
+    def test_missing_terminator(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        b.movi(1)
+        with pytest.raises(IRError, match="terminator"):
+            verify_function(b.function)
+
+    def test_terminator_mid_block(self):
+        b = IRBuilder("f")
+        blk = b.add_and_enter("entry")
+        b.halt(0)
+        blk.instructions.append(Instruction(Opcode.HALT, imm=0))
+        with pytest.raises(IRError, match="mid-block"):
+            verify_function(b.function)
+
+    def test_unknown_branch_target(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        b.jmp("ghost")
+        with pytest.raises(IRError):
+            verify_function(b.function)
+
+    def test_unreachable_block_rejected(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        b.halt(0)
+        b.add_and_enter("dead")
+        b.halt(0)
+        with pytest.raises(IRError, match="unreachable"):
+            verify_function(b.function)
+        verify_function(b.function, allow_unreachable=True)
+
+    def test_use_before_def(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        ghost = b.function.new_gp()
+        b.out(ghost)
+        b.halt(0)
+        with pytest.raises(IRError, match="before definition"):
+            verify_function(b.function)
+
+    def test_def_on_one_path_only(self):
+        b = IRBuilder("f")
+        f = b.function
+        b.add_and_enter("entry")
+        x = f.new_gp()
+        c = b.movi(1)
+        p = b.cmpeq(c, 1)
+        b.brt(p, "a", "join")
+        b.add_and_enter("a")
+        b.movi_to(x, 5)
+        b.jmp("join")
+        b.add_and_enter("join")
+        b.out(x)  # undefined when coming from entry directly
+        b.halt(0)
+        with pytest.raises(IRError, match="before definition"):
+            verify_function(f)
+
+    def test_def_on_both_paths_ok(self):
+        b = IRBuilder("f")
+        f = b.function
+        b.add_and_enter("entry")
+        x = f.new_gp()
+        c = b.movi(1)
+        p = b.cmpeq(c, 1)
+        b.brt(p, "a", "bb")
+        b.add_and_enter("a")
+        b.movi_to(x, 5)
+        b.jmp("join")
+        b.add_and_enter("bb")
+        b.movi_to(x, 6)
+        b.jmp("join")
+        b.add_and_enter("join")
+        b.out(x)
+        b.halt(0)
+        verify_function(f)
+
+    def test_loop_carried_def_ok(self, loop_program):
+        verify_function(loop_program.main)
+
+    def test_chkbr_must_target_detect(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        p = b.cmpne(b.movi(0), 0)
+        chk = b.chkbr(p)
+        chk.targets = ("entry",)
+        b.halt(0)
+        with pytest.raises(IRError, match="CHKBR"):
+            verify_function(b.function)
+
+
+class TestProgramLevel:
+    def test_duplicate_global(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        b.halt(0)
+        with pytest.raises(IRError, match="duplicate global"):
+            Program(b.function, [GlobalArray("g", 4), GlobalArray("g", 4)])
+
+    def test_global_initializer_too_long(self):
+        with pytest.raises(IRError):
+            GlobalArray("g", 2, (1, 2, 3))
+
+    def test_layout_reserves_null_word(self, loop_program):
+        layout = loop_program.layout()
+        assert min(layout.base_of.values()) == 1
+        assert layout.spill_base == layout.data_end

@@ -1,0 +1,128 @@
+import pytest
+
+from repro.errors import IRError
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import OP_INFO, Opcode
+from repro.isa.registers import GP, PR
+
+
+def add(dest, a, b):
+    return Instruction(Opcode.ADD, dests=(dest,), srcs=(a, b))
+
+
+class TestShapeValidation:
+    def test_valid_add(self):
+        insn = add(GP(0), GP(1), GP(2))
+        assert insn.dest == GP(0)
+        assert insn.reads() == (GP(1), GP(2))
+
+    def test_add_with_immediate_drops_last_src(self):
+        insn = Instruction(Opcode.ADD, dests=(GP(0),), srcs=(GP(1),), imm=5)
+        assert insn.imm == 5
+
+    def test_wrong_src_count(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.ADD, dests=(GP(0),), srcs=(GP(1),))
+
+    def test_wrong_register_class(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.ADD, dests=(GP(0),), srcs=(GP(1), PR(0)))
+
+    def test_missing_dest(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.ADD, srcs=(GP(1), GP(2)))
+
+    def test_store_has_no_dest(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.STORE, dests=(GP(0),), srcs=(GP(1), GP(2)), imm=0)
+
+    def test_movi_requires_imm(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.MOVI, dests=(GP(0),))
+
+    def test_imm_rejected_where_not_allowed(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.MOV, dests=(GP(0),), srcs=(GP(1),), imm=3)
+
+    def test_branch_target_arity(self):
+        with pytest.raises(IRError):
+            Instruction(Opcode.BRT, srcs=(PR(0),), targets=("one",))
+        Instruction(Opcode.BRT, srcs=(PR(0),), targets=("a", "b"))
+
+    def test_chkbr_needs_one_target(self):
+        Instruction(Opcode.CHKBR, srcs=(PR(0),), targets=("__detect__",))
+        with pytest.raises(IRError):
+            Instruction(Opcode.CHKBR, srcs=(PR(0),), targets=())
+
+
+class TestMetadata:
+    def test_uids_unique(self):
+        a = add(GP(0), GP(1), GP(2))
+        b = add(GP(0), GP(1), GP(2))
+        assert a.uid != b.uid
+
+    def test_clone_fresh_uid_same_shape(self):
+        a = add(GP(0), GP(1), GP(2))
+        c = a.clone()
+        assert c.uid != a.uid
+        assert c.opcode is a.opcode
+        assert c.dests == a.dests and c.srcs == a.srcs
+
+    def test_protectable(self):
+        assert add(GP(0), GP(1), GP(2)).protectable
+        lib = add(GP(0), GP(1), GP(2))
+        lib.from_library = True
+        assert not lib.protectable
+        dup = add(GP(0), GP(1), GP(2))
+        dup.role = Role.DUP
+        assert not dup.protectable
+        store = Instruction(Opcode.STORE, srcs=(GP(0), GP(1)), imm=0)
+        assert not store.protectable
+
+    def test_redundant_roles(self):
+        insn = add(GP(0), GP(1), GP(2))
+        assert not insn.is_redundant
+        for role in (Role.DUP, Role.SHADOW_COPY, Role.CHECK):
+            insn.role = role
+            assert insn.is_redundant
+        insn.role = Role.SPILL
+        assert not insn.is_redundant
+
+    def test_replace_srcs_and_dests(self):
+        insn = add(GP(0), GP(1), GP(2))
+        insn.replace_srcs({GP(1): GP(9)})
+        assert insn.srcs == (GP(9), GP(2))
+        insn.replace_dests({GP(0): GP(7)})
+        assert insn.dests == (GP(7),)
+
+    def test_str_contains_tags(self):
+        insn = add(GP(0), GP(1), GP(2))
+        insn.role = Role.DUP
+        insn.cluster = 1
+        text = str(insn)
+        assert "dup" in text and "cl1" in text
+
+
+class TestOpInfoTable:
+    def test_every_opcode_covered(self):
+        assert set(OP_INFO) == set(Opcode)
+
+    def test_replicable_categories(self):
+        assert OP_INFO[Opcode.ADD].replicable
+        assert OP_INFO[Opcode.LOAD].replicable
+        assert not OP_INFO[Opcode.STORE].replicable
+        assert not OP_INFO[Opcode.OUT].replicable
+        assert not OP_INFO[Opcode.BRT].replicable
+        assert not OP_INFO[Opcode.JMP].replicable
+        assert not OP_INFO[Opcode.HALT].replicable
+        assert not OP_INFO[Opcode.CHKBR].replicable
+
+    def test_memory_flags(self):
+        assert OP_INFO[Opcode.LOAD].is_mem and OP_INFO[Opcode.LOAD].is_load
+        assert OP_INFO[Opcode.STOREFP].is_store
+        assert OP_INFO[Opcode.LOADFP].is_load
+        assert not OP_INFO[Opcode.OUT].is_mem
+
+    def test_mnemonics_unique(self):
+        mnemonics = [info.mnemonic for info in OP_INFO.values()]
+        assert len(mnemonics) == len(set(mnemonics))

@@ -1,0 +1,38 @@
+import pytest
+
+from repro.isa.registers import GP, PR, Reg, RegClass
+
+
+class TestReg:
+    def test_virtual_constructors(self):
+        r = GP(3)
+        assert r.is_gp and r.virtual and r.cluster == -1
+        p = PR(1)
+        assert p.is_pr
+
+    def test_physical(self):
+        r = GP(5, virtual=False, cluster=1)
+        assert not r.virtual and r.cluster == 1
+        assert str(r) == "c1.r5"
+
+    def test_virtual_str(self):
+        assert str(GP(2)) == "vr2"
+        assert str(PR(0)) == "vp0"
+
+    def test_hashable_and_equal(self):
+        assert GP(1) == GP(1)
+        assert GP(1) != PR(1)
+        assert GP(1) != GP(1, virtual=False, cluster=0)
+        assert len({GP(1), GP(1), GP(2)}) == 2
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Reg(RegClass.GP, -1)
+
+    def test_physical_requires_cluster(self):
+        with pytest.raises(ValueError):
+            Reg(RegClass.GP, 0, virtual=False)
+
+    def test_virtual_must_not_have_cluster(self):
+        with pytest.raises(ValueError):
+            Reg(RegClass.GP, 0, virtual=True, cluster=0)

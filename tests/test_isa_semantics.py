@@ -1,0 +1,121 @@
+"""The ISA's functional semantics vs an independent Python model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ArithmeticTrap
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import eval_alu, eval_compare, to_signed, wrap64
+
+u64 = st.integers(0, 2**64 - 1)
+s64 = st.integers(-(2**63), 2**63 - 1)
+
+
+class TestWrapSigned:
+    @given(st.integers(-(2**70), 2**70))
+    def test_wrap_in_range(self, x):
+        assert 0 <= wrap64(x) < 2**64
+
+    @given(u64)
+    def test_roundtrip(self, x):
+        assert wrap64(to_signed(x)) == x
+
+    @given(s64)
+    def test_signed_roundtrip(self, x):
+        assert to_signed(wrap64(x)) == x
+
+    def test_sign_boundary(self):
+        assert to_signed(2**63) == -(2**63)
+        assert to_signed(2**63 - 1) == 2**63 - 1
+
+
+class TestArithmetic:
+    @given(s64, s64)
+    def test_add_sub_mul(self, a, b):
+        ua, ub = wrap64(a), wrap64(b)
+        assert to_signed(eval_alu(Opcode.ADD, (ua, ub))) == to_signed(wrap64(a + b))
+        assert to_signed(eval_alu(Opcode.SUB, (ua, ub))) == to_signed(wrap64(a - b))
+        assert eval_alu(Opcode.MUL, (ua, ub)) == wrap64(a * b)
+
+    @given(s64, s64.filter(lambda b: b != 0))
+    def test_div_truncates_toward_zero(self, a, b):
+        q = to_signed(eval_alu(Opcode.DIV, (wrap64(a), wrap64(b))))
+        expected = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            expected = -expected
+        assert q == to_signed(wrap64(expected))
+
+    @given(s64, s64.filter(lambda b: b != 0))
+    def test_rem_identity(self, a, b):
+        q = to_signed(eval_alu(Opcode.DIV, (wrap64(a), wrap64(b))))
+        r = to_signed(eval_alu(Opcode.REM, (wrap64(a), wrap64(b))))
+        assert to_signed(wrap64(q * b + r)) == a
+        if r != 0:
+            assert (r < 0) == (a < 0)  # C-style remainder sign
+
+    def test_div_by_zero_traps(self):
+        with pytest.raises(ArithmeticTrap):
+            eval_alu(Opcode.DIV, (5, 0))
+        with pytest.raises(ArithmeticTrap):
+            eval_alu(Opcode.REM, (5, 0))
+
+    @given(u64, u64)
+    def test_bitwise(self, a, b):
+        assert eval_alu(Opcode.AND, (a, b)) == a & b
+        assert eval_alu(Opcode.OR, (a, b)) == a | b
+        assert eval_alu(Opcode.XOR, (a, b)) == a ^ b
+
+    @given(u64, st.integers(0, 200))
+    def test_shifts_mask_amount(self, a, sh):
+        assert eval_alu(Opcode.SHL, (a, sh)) == wrap64(a << (sh & 63))
+        assert eval_alu(Opcode.SHRL, (a, sh)) == a >> (sh & 63)
+        assert to_signed(eval_alu(Opcode.SHRA, (a, sh))) == to_signed(a) >> (sh & 63)
+
+    @given(s64, s64)
+    def test_min_max(self, a, b):
+        assert to_signed(eval_alu(Opcode.MIN, (wrap64(a), wrap64(b)))) == min(a, b)
+        assert to_signed(eval_alu(Opcode.MAX, (wrap64(a), wrap64(b)))) == max(a, b)
+
+    @given(s64)
+    def test_unary(self, a):
+        ua = wrap64(a)
+        assert to_signed(eval_alu(Opcode.NEG, (ua,))) == to_signed(wrap64(-a))
+        assert to_signed(eval_alu(Opcode.ABS, (ua,))) == to_signed(wrap64(abs(a)))
+        assert eval_alu(Opcode.NOT, (ua,)) == wrap64(~a)
+
+    @given(u64, u64, st.integers(0, 1))
+    def test_select(self, a, b, p):
+        assert eval_alu(Opcode.SELECT, (p, a, b)) == (a if p else b)
+
+    def test_mov_identity(self):
+        assert eval_alu(Opcode.MOV, (123,)) == 123
+
+
+class TestCompares:
+    @given(s64, s64)
+    def test_all_orderings(self, a, b):
+        ua, ub = wrap64(a), wrap64(b)
+        assert eval_compare(Opcode.CMPEQ, ua, ub) == int(a == b)
+        assert eval_compare(Opcode.CMPNE, ua, ub) == int(a != b)
+        assert eval_compare(Opcode.CMPLT, ua, ub) == int(a < b)
+        assert eval_compare(Opcode.CMPLE, ua, ub) == int(a <= b)
+        assert eval_compare(Opcode.CMPGT, ua, ub) == int(a > b)
+        assert eval_compare(Opcode.CMPGE, ua, ub) == int(a >= b)
+
+    @given(st.integers(0, 1), st.integers(0, 1))
+    def test_pne(self, a, b):
+        assert eval_compare(Opcode.PNE, a, b) == int(a != b)
+
+    def test_signed_comparison_across_boundary(self):
+        # unsigned 2**63 is the most negative signed value
+        assert eval_compare(Opcode.CMPLT, 2**63, 0) == 1
+        assert eval_compare(Opcode.CMPGT, 2**63 - 1, 0) == 1
+
+    def test_non_compare_raises(self):
+        with pytest.raises(ValueError):
+            eval_compare(Opcode.ADD, 1, 2)
+
+    def test_non_alu_raises(self):
+        with pytest.raises(ValueError):
+            eval_alu(Opcode.CMPEQ, (1, 2))

@@ -1,0 +1,69 @@
+"""Dynamic instruction-mix profiling."""
+
+import pytest
+
+from repro.eval.mixstats import MixProfile, dynamic_mix, render_mix_table, render_role_table
+from repro.machine.config import MachineConfig
+from repro.pipeline import Scheme, compile_program
+from repro.workloads import get_workload
+from tests.conftest import build_loop_program
+
+
+class TestDynamicMix:
+    def test_totals_match_interpreter(self, loop_program):
+        from repro.ir.interp import Interpreter
+
+        mix = dynamic_mix(loop_program, "loop")
+        golden = Interpreter(loop_program).run()
+        assert mix.total == golden.dyn_instructions
+        assert sum(mix.by_category.values()) == mix.total
+
+    def test_categories_sane(self, loop_program):
+        mix = dynamic_mix(loop_program, "loop")
+        assert mix.fraction("load") > 0
+        assert mix.fraction("store") > 0
+        assert mix.fraction("control") > 0
+        assert mix.fraction("div") == 0.0
+        assert 0 < mix.memory_density < 1
+        assert 0 < mix.branch_density < 1
+
+    def test_unprotected_code_has_orig_role_only(self, loop_program):
+        mix = dynamic_mix(loop_program, "loop")
+        assert mix.role_fraction("orig") == 1.0
+
+    def test_protected_code_role_split(self, machine):
+        cp = compile_program(build_loop_program(), Scheme.SCED, machine)
+        mix = dynamic_mix(
+            cp.program, "sced", mem_words=cp.mem_words, frame_words=cp.frame_words
+        )
+        assert mix.role_fraction("dup") > 0.2
+        assert mix.role_fraction("check") > 0.05
+        assert mix.role_fraction("orig") < 0.7
+
+    def test_check_branches_counted_separately(self, machine):
+        cp = compile_program(build_loop_program(), Scheme.SCED, machine)
+        mix = dynamic_mix(
+            cp.program, "sced", mem_words=cp.mem_words, frame_words=cp.frame_words
+        )
+        assert mix.fraction("check-branch") > 0
+
+    def test_workload_characters_visible(self):
+        enc = dynamic_mix(get_workload("h263enc").program, "h263enc")
+        jpg = dynamic_mix(get_workload("cjpeg").program, "cjpeg")
+        mcf = dynamic_mix(get_workload("mcf").program, "mcf")
+        assert enc.branch_density > jpg.branch_density
+        assert jpg.fraction("mul") > mcf.fraction("mul")
+
+
+class TestRendering:
+    def test_mix_table(self, loop_program):
+        text = render_mix_table([dynamic_mix(loop_program, "loop")])
+        assert "loop" in text and "alu" in text and "%" in text
+
+    def test_role_table(self, machine):
+        cp = compile_program(build_loop_program(), Scheme.DCED, machine)
+        mix = dynamic_mix(
+            cp.program, "dced", mem_words=cp.mem_words, frame_words=cp.frame_words
+        )
+        text = render_role_table([mix])
+        assert "dup" in text and "check" in text

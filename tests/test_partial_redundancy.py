@@ -1,0 +1,131 @@
+"""Partial redundancy (extension): check policies + criticality slicing."""
+
+import pytest
+
+from repro.faults.classify import Outcome
+from repro.faults.injector import FaultInjector
+from repro.ir.interp import Interpreter
+from repro.machine.config import MachineConfig
+from repro.passes.base import PassContext
+from repro.passes.checks import FULL_POLICY, CheckPolicy
+from repro.passes.error_detection import ErrorDetectionPass
+from repro.pipeline import Scheme, compile_program
+from repro.sim.executor import VLIWExecutor
+from repro.workloads import get_workload
+from tests.conftest import build_loop_program
+
+MACHINE = MachineConfig(issue_width=2, inter_cluster_delay=1)
+
+
+class TestCheckPolicy:
+    def test_full_policy_opcodes(self):
+        ops = {o.name for o in FULL_POLICY.checked_opcodes()}
+        assert ops == {"STORE", "OUT", "BRT", "BRF"}
+
+    def test_branchless_policy(self):
+        ops = CheckPolicy(branches=False).checked_opcodes()
+        assert all(o.name not in ("BRT", "BRF") for o in ops)
+
+    def test_fewer_checks_without_branch_checking(self):
+        full = build_loop_program()
+        ctx = PassContext()
+        ErrorDetectionPass().run(full, ctx)
+        n_full = ctx.artifacts["error_detection"].n_checks
+
+        lean = build_loop_program()
+        ctx2 = PassContext()
+        ErrorDetectionPass(check_policy=CheckPolicy(branches=False)).run(lean, ctx2)
+        n_lean = ctx2.artifacts["error_detection"].n_checks
+        assert 0 < n_lean < n_full
+
+    def test_semantics_preserved(self):
+        golden = Interpreter(build_loop_program()).run()
+        for policy in (
+            CheckPolicy(branches=False),
+            CheckPolicy(stores=False),
+            CheckPolicy(stores=False, branches=False, outs=False),
+        ):
+            cp = compile_program(
+                build_loop_program(), Scheme.SCED, MACHINE, check_policy=policy
+            )
+            assert VLIWExecutor(cp).run().output == golden.output
+
+    def test_policy_affects_performance(self):
+        prog = get_workload("h263enc").program  # branch-dense
+        full = VLIWExecutor(
+            compile_program(prog, Scheme.SCED, MACHINE)
+        ).run().cycles
+        lean = VLIWExecutor(
+            compile_program(
+                prog, Scheme.SCED, MACHINE, check_policy=CheckPolicy(branches=False)
+            )
+        ).run().cycles
+        assert lean < full
+
+
+class TestCriticalitySlicing:
+    def test_depth_zero_duplicates_nothing(self):
+        prog = build_loop_program()
+        ctx = PassContext()
+        ErrorDetectionPass(protect_slice_depth=0).run(prog, ctx)
+        info = ctx.artifacts["error_detection"]
+        assert info.n_duplicates == 0
+        assert info.n_checks == 0  # no shadows -> nothing to compare
+
+    def test_depth_grows_protection_monotonically(self):
+        counts = []
+        for depth in (1, 2, 4, None):
+            prog = get_workload("parser").program.clone()
+            ctx = PassContext()
+            ErrorDetectionPass(protect_slice_depth=depth).run(prog, ctx)
+            counts.append(ctx.artifacts["error_detection"].n_duplicates)
+        assert counts == sorted(counts)
+        assert counts[0] > 0
+        assert counts[-1] > counts[0]
+
+    def test_semantics_preserved_at_every_depth(self):
+        golden = Interpreter(build_loop_program()).run()
+        for depth in (0, 1, 3):
+            cp = compile_program(
+                build_loop_program(), Scheme.SCED, MACHINE,
+                protect_slice_depth=depth,
+            )
+            assert VLIWExecutor(cp).run().output == golden.output, depth
+
+    def test_negative_depth_rejected(self):
+        from repro.errors import PassError
+
+        with pytest.raises(PassError):
+            ErrorDetectionPass(protect_slice_depth=-1)
+
+    def test_tradeoff_coverage_vs_depth(self):
+        """Silent corruption shrinks monotonically as the slice deepens.
+
+        Note the performance side is *not* monotone: shallow slices pay a
+        shadow-copy at every boundary between unprotected producers and
+        protected consumers, which can cost as much as the duplication it
+        avoids — the reason Shoestring selects slices with cheap boundaries
+        rather than by plain depth (measured in the extension benchmark).
+        """
+        prog = get_workload("parser").program
+        noed = compile_program(prog, Scheme.NOED, MACHINE)
+        ref = VLIWExecutor(noed).run().dyn_instructions
+
+        def measure(depth):
+            cp = compile_program(
+                prog, Scheme.SCED, MACHINE, protect_slice_depth=depth
+            )
+            cycles = VLIWExecutor(cp).run().cycles
+            inj = FaultInjector(
+                cp.program, mem_words=cp.mem_words, frame_words=cp.frame_words
+            )
+            res = inj.run_campaign(120, seed=9, reference_dyn=ref)
+            return cycles, res.fraction(Outcome.SDC)
+
+        c1, sdc1 = measure(1)
+        c4, sdc4 = measure(4)
+        cf, sdcf = measure(None)
+        assert sdc1 > sdc4 >= sdcf  # deeper slice -> better coverage
+        # a mid-depth slice avoids both most boundary copies and some
+        # duplication: not slower than full protection
+        assert c4 <= cf * 1.02

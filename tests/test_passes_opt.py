@@ -1,0 +1,292 @@
+"""Classic optimization passes: constant folding, copy propagation, CSE, DCE."""
+
+import pytest
+
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import Interpreter
+from repro.ir.program import Program
+from repro.ir.verifier import verify_program
+from repro.isa.instruction import Role
+from repro.isa.opcodes import Opcode
+from repro.passes.base import PassContext
+from repro.passes.constfold import ConstFoldPass
+from repro.passes.copyprop import CopyPropPass
+from repro.passes.cse import LocalCSEPass
+from repro.passes.dce import DeadCodeEliminationPass
+from tests.conftest import build_loop_program
+
+
+def count_ops(program, opcode):
+    return sum(
+        1 for _, _, i in program.main.all_instructions() if i.opcode is opcode
+    )
+
+
+def run_pass(p, program):
+    ctx = PassContext()
+    changed = p.run(program, ctx)
+    verify_program(program, allow_unreachable=True)
+    return changed
+
+
+def check_semantics_preserved(make_program, passes):
+    prog = make_program()
+    golden = Interpreter(prog).run()
+    for p in passes:
+        run_pass(p, prog)
+    result = Interpreter(prog).run()
+    assert result.output == golden.output
+    assert result.exit_code == golden.exit_code
+    return prog, golden
+
+
+class TestConstFold:
+    def test_folds_constant_chain(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        x = b.movi(4)
+        y = b.movi(5)
+        z = b.add(x, y)
+        w = b.mul(z, 2)
+        b.out(w)
+        b.halt(0)
+        prog = Program(b.function)
+        assert run_pass(ConstFoldPass(), prog)
+        # add and mul both became MOVI
+        assert count_ops(prog, Opcode.ADD) == 0
+        assert count_ops(prog, Opcode.MUL) == 0
+        assert Interpreter(prog).run().output == (18,)
+
+    def test_identities(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        unknown = b.load(b.movi(1))
+        r1 = b.add(unknown, 0)    # -> mov
+        r2 = b.mul(unknown, 1)    # -> mov
+        r3 = b.mul(unknown, 0)    # -> movi 0
+        b.out(r1)
+        b.out(r2)
+        b.out(r3)
+        b.halt(0)
+        from repro.ir.program import GlobalArray
+
+        prog = Program(b.function, [GlobalArray("g", 1, (9,))])
+        run_pass(ConstFoldPass(), prog)
+        assert count_ops(prog, Opcode.ADD) == 0
+        assert count_ops(prog, Opcode.MUL) == 0
+        assert Interpreter(prog).run().output == (9, 9, 0)
+
+    def test_divide_by_zero_not_folded(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        z = b.movi(0)
+        d = b.div(b.movi(4), z)
+        b.out(d)
+        b.halt(0)
+        prog = Program(b.function)
+        run_pass(ConstFoldPass(), prog)
+        assert count_ops(prog, Opcode.DIV) == 1  # trap preserved
+        assert Interpreter(prog).run().kind.value == "exception"
+
+    def test_tracking_invalidated_on_redefinition(self):
+        b = IRBuilder("main")
+        f = b.function
+        b.add_and_enter("entry")
+        x = f.new_gp()
+        b.movi_to(x, 1)
+        b.jmp("loop")
+        b.add_and_enter("loop")
+        y = b.add(x, 1)     # x not constant here (loop-carried)
+        b.mov_to(x, y)
+        p = b.cmplt(x, 5)
+        b.brt(p, "loop", "exit")
+        b.add_and_enter("exit")
+        b.out(x)
+        b.halt(0)
+        prog = Program(f)
+        golden = Interpreter(prog).run()
+        run_pass(ConstFoldPass(), prog)
+        assert Interpreter(prog).run().output == golden.output
+
+    def test_loop_program_preserved(self):
+        check_semantics_preserved(build_loop_program, [ConstFoldPass()])
+
+
+class TestCopyProp:
+    def test_propagates(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        x = b.movi(3)
+        y = b.mov(x)
+        z = b.add(y, 1)
+        b.out(z)
+        b.halt(0)
+        prog = Program(b.function)
+        run_pass(CopyPropPass(), prog)
+        add = next(
+            i for _, _, i in prog.main.all_instructions() if i.opcode is Opcode.ADD
+        )
+        assert add.srcs == (x,)
+        assert Interpreter(prog).run().output == (4,)
+
+    def test_invalidated_by_source_redefinition(self):
+        b = IRBuilder("main")
+        f = b.function
+        b.add_and_enter("entry")
+        x = f.new_gp()
+        b.movi_to(x, 3)
+        y = b.mov(x)
+        b.movi_to(x, 99)       # x changes: y must keep the old value
+        z = b.add(y, 1)
+        b.out(z)
+        b.halt(0)
+        prog = Program(f)
+        golden = Interpreter(prog).run()
+        run_pass(CopyPropPass(), prog)
+        assert Interpreter(prog).run().output == golden.output == (4,)
+
+    def test_loop_program_preserved(self):
+        check_semantics_preserved(build_loop_program, [CopyPropPass()])
+
+
+class TestLocalCSE:
+    def test_merges_duplicate_expression(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        x = b.movi(3)
+        y = b.movi(4)
+        a = b.add(x, y)
+        bb = b.add(x, y)
+        b.out(a)
+        b.out(bb)
+        b.halt(0)
+        prog = Program(b.function)
+        run_pass(LocalCSEPass(), prog)
+        assert count_ops(prog, Opcode.ADD) == 1
+        assert Interpreter(prog).run().output == (7, 7)
+
+    def test_commutative_normalization(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        x = b.movi(3)
+        y = b.movi(4)
+        a = b.add(x, y)
+        bb = b.add(y, x)
+        b.out(b.sub(a, bb))
+        b.halt(0)
+        prog = Program(b.function)
+        run_pass(LocalCSEPass(), prog)
+        assert count_ops(prog, Opcode.ADD) == 1
+
+    def test_sees_through_copies(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        x = b.movi(3)
+        x2 = b.mov(x)
+        a = b.add(x, 1)
+        bb = b.add(x2, 1)  # same value number through the copy
+        b.out(a)
+        b.out(bb)
+        b.halt(0)
+        prog = Program(b.function)
+        run_pass(LocalCSEPass(), prog)
+        assert count_ops(prog, Opcode.ADD) == 1
+
+    def test_load_cse_invalidated_by_store(self):
+        from repro.ir.program import GlobalArray
+
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        addr = b.movi(1)
+        v1 = b.load(addr)
+        v2 = b.load(addr)          # merged with v1
+        b.store(addr, b.movi(42))
+        v3 = b.load(addr)          # must NOT merge across the store
+        b.out(v1)
+        b.out(v2)
+        b.out(v3)
+        b.halt(0)
+        prog = Program(b.function, [GlobalArray("g", 1, (7,))])
+        run_pass(LocalCSEPass(), prog)
+        assert count_ops(prog, Opcode.LOAD) == 2
+        assert Interpreter(prog).run().output == (7, 7, 42)
+
+    def test_does_not_touch_redundant_stream_by_default(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        x = b.movi(3)
+        a = b.add(x, 1)
+        dup = b.current.instructions[-1].clone()
+        dup.role = Role.DUP
+        b.current.instructions.append(dup)
+        b.out(a)
+        b.halt(0)
+        prog = Program(b.function)
+        run_pass(LocalCSEPass(), prog)
+        assert count_ops(prog, Opcode.ADD) == 2  # replica untouched
+
+    def test_loop_program_preserved(self):
+        check_semantics_preserved(build_loop_program, [LocalCSEPass()])
+
+
+class TestDCE:
+    def test_removes_dead_chain(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        live = b.movi(1)
+        dead1 = b.movi(2)
+        dead2 = b.add(dead1, 3)
+        b.out(live)
+        b.halt(0)
+        prog = Program(b.function)
+        run_pass(DeadCodeEliminationPass(), prog)
+        assert prog.main.instruction_count() == 3  # movi, out, halt
+
+    def test_keeps_side_effects(self):
+        from repro.ir.program import GlobalArray
+
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        addr = b.movi(1)
+        b.store(addr, b.movi(5))  # dead value? no: store is a side effect
+        b.halt(0)
+        prog = Program(b.function, [GlobalArray("g", 1)])
+        run_pass(DeadCodeEliminationPass(), prog)
+        assert count_ops(prog, Opcode.STORE) == 1
+
+    def test_removes_dead_load(self):
+        from repro.ir.program import GlobalArray
+
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        addr = b.movi(1)
+        b.load(addr)  # result unused
+        b.halt(0)
+        prog = Program(b.function, [GlobalArray("g", 1)])
+        run_pass(DeadCodeEliminationPass(), prog)
+        assert count_ops(prog, Opcode.LOAD) == 0
+
+    def test_cross_block_liveness_respected(self, loop_program):
+        before = loop_program.main.instruction_count()
+        golden = Interpreter(loop_program).run()
+        run_pass(DeadCodeEliminationPass(), loop_program)
+        assert Interpreter(loop_program).run().output == golden.output
+        assert loop_program.main.instruction_count() <= before
+
+    def test_full_o1_pipeline_on_workloads(self):
+        from repro.workloads import all_workloads
+
+        passes = [
+            ConstFoldPass(),
+            CopyPropPass(),
+            LocalCSEPass(),
+            DeadCodeEliminationPass(),
+        ]
+        for w in all_workloads()[:3]:
+            prog = w.program.clone()
+            golden = Interpreter(w.program).run()
+            for p in passes:
+                run_pass(p, prog)
+            r = Interpreter(prog).run()
+            assert r.output == golden.output, w.name
+            assert r.dyn_instructions <= golden.dyn_instructions, w.name

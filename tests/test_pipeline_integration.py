@@ -1,0 +1,122 @@
+"""End-to-end pipeline integration across workloads, schemes and machines."""
+
+import pytest
+
+from repro.ir.interp import Interpreter
+from repro.isa.instruction import Role
+from repro.machine.config import MachineConfig
+from repro.pipeline import Scheme, compile_program
+from repro.passes.schedule_check import validate_compiled
+from repro.sim.executor import VLIWExecutor
+from repro.workloads import get_workload, workload_names
+from tests.conftest import build_loop_program
+
+
+class TestCompileProgram:
+    def test_source_not_mutated(self, machine):
+        prog = build_loop_program()
+        before = prog.main.instruction_count()
+        compile_program(prog, Scheme.CASTED, machine)
+        assert prog.main.instruction_count() == before
+        assert all(
+            i.cluster is None for _, _, i in prog.main.all_instructions()
+        )
+
+    def test_noed_has_no_redundant_code(self, machine):
+        cp = compile_program(build_loop_program(), Scheme.NOED, machine)
+        assert set(cp.stats.n_by_role) <= {"orig", "spill"}
+        assert cp.ed_info is None
+
+    def test_protected_schemes_carry_ed_info(self, machine):
+        cp = compile_program(build_loop_program(), Scheme.SCED, machine)
+        assert cp.ed_info is not None
+        assert cp.ed_info.n_duplicates > 0
+        assert cp.stats.code_growth > 1.5
+
+    def test_stats_roles_add_up(self, machine):
+        cp = compile_program(build_loop_program(), Scheme.DCED, machine)
+        assert sum(cp.stats.n_by_role.values()) == cp.stats.n_instructions
+
+    def test_schedules_validate(self, machine):
+        for scheme in Scheme:
+            cp = compile_program(build_loop_program(), scheme, machine)
+            validate_compiled(cp.program, cp.schedules, machine)
+
+    def test_optimize_flag(self, machine):
+        opt = compile_program(build_loop_program(), Scheme.NOED, machine)
+        raw = compile_program(
+            build_loop_program(), Scheme.NOED, machine, optimize=False
+        )
+        assert opt.stats.n_instructions <= raw.stats.n_instructions
+
+    def test_mem_words_covers_frame(self, machine):
+        cp = compile_program(build_loop_program(), Scheme.SCED, machine)
+        assert cp.mem_words >= cp.program.layout().data_end + cp.frame_words
+
+
+@pytest.mark.parametrize("name", workload_names())
+class TestAllWorkloadsAllSchemes:
+    def test_functional_equivalence(self, name):
+        machine = MachineConfig(issue_width=2, inter_cluster_delay=2)
+        golden = Interpreter(get_workload(name).program).run()
+        assert golden.kind.value == "ok"
+        for scheme in Scheme:
+            cp = compile_program(get_workload(name).program, scheme, machine)
+            r = VLIWExecutor(cp).run()
+            assert r.output == golden.output, (name, scheme)
+            assert r.exit_code == golden.exit_code, (name, scheme)
+
+    def test_protected_dyn_growth_in_paper_range(self, name):
+        machine = MachineConfig(issue_width=2, inter_cluster_delay=2)
+        noed = VLIWExecutor(
+            compile_program(get_workload(name).program, Scheme.NOED, machine)
+        ).run()
+        sced = VLIWExecutor(
+            compile_program(get_workload(name).program, Scheme.SCED, machine)
+        ).run()
+        growth = sced.dyn_instructions / noed.dyn_instructions
+        # paper: binaries grow 2.4x on average; dynamic growth is similar
+        assert 1.5 < growth < 3.5, (name, growth)
+
+
+@pytest.mark.heavy
+class TestExtremeConfigurations:
+    @pytest.mark.parametrize("iw", [1, 2, 3, 4])
+    @pytest.mark.parametrize("d", [1, 4])
+    def test_grid_equivalence(self, iw, d):
+        machine = MachineConfig(issue_width=iw, inter_cluster_delay=d)
+        for name in workload_names():
+            golden = Interpreter(get_workload(name).program).run()
+            for scheme in Scheme:
+                cp = compile_program(get_workload(name).program, scheme, machine)
+                validate_compiled(cp.program, cp.schedules, machine)
+                r = VLIWExecutor(cp).run()
+                assert r.output == golden.output, (name, scheme, iw, d)
+
+
+class TestUnsafePostEdCse:
+    def test_destroys_redundancy(self, machine):
+        """Re-running CSE after ED merges replicas — the reason the paper
+        disables it (§IV-A)."""
+        safe = compile_program(build_loop_program(), Scheme.SCED, machine)
+        unsafe = compile_program(
+            build_loop_program(), Scheme.SCED, machine, unsafe_post_ed_cse=True
+        )
+        n_dup_safe = safe.stats.n_by_role.get("dup", 0)
+        n_dup_unsafe = unsafe.stats.n_by_role.get("dup", 0)
+        # replicas either disappear (DCE'd) or degrade into MOVs
+        from repro.isa.opcodes import Opcode
+
+        real_dup_ops = sum(
+            1
+            for _, _, i in unsafe.program.main.all_instructions()
+            if i.role is Role.DUP and i.opcode not in (Opcode.MOV, Opcode.PMOV)
+        )
+        assert real_dup_ops < n_dup_safe
+
+    def test_still_functionally_correct_fault_free(self, machine):
+        golden = Interpreter(build_loop_program()).run()
+        cp = compile_program(
+            build_loop_program(), Scheme.SCED, machine, unsafe_post_ed_cse=True
+        )
+        assert VLIWExecutor(cp).run().output == golden.output

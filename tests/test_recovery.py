@@ -1,0 +1,127 @@
+"""Detection-triggered restart recovery (extension)."""
+
+import pytest
+
+from repro.ir.interp import ExitKind, FaultSpec, Interpreter
+from repro.machine.config import MachineConfig
+from repro.pipeline import Scheme, compile_program
+from repro.recovery import (
+    RecoveringExecutor,
+    run_recovery_campaign,
+)
+from repro.sim.executor import VLIWExecutor
+from repro.workloads import get_workload
+from tests.conftest import build_loop_program
+
+
+@pytest.fixture(scope="module")
+def protected():
+    machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+    return compile_program(build_loop_program(), Scheme.SCED, machine)
+
+
+def find_detected_fault(cp):
+    """A FaultSpec that makes the protected program detect."""
+    interp = Interpreter(cp.program, mem_words=cp.mem_words, frame_words=cp.frame_words)
+    golden = interp.run()
+    for dyn in range(0, golden.dyn_instructions, 3):
+        r = interp.run(faults=(FaultSpec(dyn, 7),))
+        if r.kind is ExitKind.DETECTED:
+            return FaultSpec(dyn, 7)
+    pytest.fail("no detecting fault found")
+
+
+class TestRecoveringExecutor:
+    def test_fault_free_single_attempt(self, protected):
+        rec = RecoveringExecutor(
+            protected.program,
+            mem_words=protected.mem_words,
+            frame_words=protected.frame_words,
+        ).run()
+        assert rec.attempts == 1
+        assert not rec.recovered
+        assert rec.final.kind is ExitKind.OK
+
+    def test_detected_fault_recovers(self, protected):
+        spec = find_detected_fault(protected)
+        executor = RecoveringExecutor(
+            protected.program,
+            mem_words=protected.mem_words,
+            frame_words=protected.frame_words,
+        )
+        golden = executor.interp.run()
+        rec = executor.run(faults=(spec,))
+        assert rec.recovered
+        assert rec.attempts == 2
+        assert rec.final.output == golden.output
+        assert rec.total_dyn_instructions > rec.final.dyn_instructions
+
+    def test_persistent_fault_gives_up(self, protected):
+        spec = find_detected_fault(protected)
+        executor = RecoveringExecutor(
+            protected.program,
+            mem_words=protected.mem_words,
+            frame_words=protected.frame_words,
+            max_attempts=2,
+        )
+        rec = executor.run(
+            fault_schedule={1: (spec,), 2: (spec,)},
+        )
+        assert rec.final.kind is ExitKind.DETECTED
+        assert rec.attempts == 2
+        assert not rec.recovered
+
+    def test_bad_attempts_rejected(self, protected):
+        from repro.errors import SimError
+
+        with pytest.raises(SimError):
+            RecoveringExecutor(protected.program, max_attempts=0)
+
+
+class TestRecoveryCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+        prog = get_workload("parser").program
+        noed = compile_program(prog, Scheme.NOED, machine)
+        ref = VLIWExecutor(noed).run().dyn_instructions
+        cp = compile_program(prog, Scheme.CASTED, machine)
+        return run_recovery_campaign(
+            cp.program,
+            trials=100,
+            seed=21,
+            mem_words=cp.mem_words,
+            frame_words=cp.frame_words,
+            reference_dyn=ref,
+        )
+
+    def test_counts_sum(self, campaign):
+        assert sum(campaign.counts.values()) == 100
+
+    def test_most_trials_complete_correctly(self, campaign):
+        # benign + recovered dominates once detection triggers restart
+        assert campaign.correct_completion_rate > 0.5
+
+    def test_recovered_trials_exist(self, campaign):
+        assert campaign.counts.get("recovered", 0) > 10
+
+    def test_no_unrecovered_transients(self, campaign):
+        # a transient fault never survives a re-execution
+        assert campaign.counts.get("unrecovered", 0) == 0
+
+    def test_overhead_accounted(self, campaign):
+        assert campaign.recovery_instructions > 0
+        assert 0.0 < campaign.recovery_overhead < 3.0
+
+    def test_deterministic(self):
+        machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+        cp = compile_program(build_loop_program(), Scheme.SCED, machine)
+        kw = dict(
+            trials=40,
+            seed=5,
+            mem_words=cp.mem_words,
+            frame_words=cp.frame_words,
+        )
+        a = run_recovery_campaign(cp.program, **kw)
+        b = run_recovery_campaign(cp.program, **kw)
+        assert a.counts == b.counts

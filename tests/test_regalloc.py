@@ -1,0 +1,146 @@
+"""Linear-scan register allocation: correctness and spilling."""
+
+import pytest
+
+from repro.errors import RegAllocError
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import Interpreter
+from repro.ir.program import Program
+from repro.ir.verifier import verify_program
+from repro.isa.instruction import Role
+from repro.isa.opcodes import Opcode
+from repro.machine.config import MachineConfig
+from repro.passes.assignment import ScedAssignmentPass
+from repro.passes.base import PassContext
+from repro.passes.regalloc import LinearScanAllocator
+from tests.conftest import build_loop_program
+
+
+def allocate(program, machine):
+    ctx = PassContext(machine=machine)
+    ScedAssignmentPass().run(program, ctx)
+    LinearScanAllocator().run(program, ctx)
+    verify_program(program)
+    return ctx.artifacts["regalloc"]
+
+
+def tiny_machine(gp=8, pr=4):
+    return MachineConfig(gp_per_cluster=gp, pr_per_cluster=pr)
+
+
+def wide_pressure_program(n_values=20):
+    """Defines n live values, then consumes them all — pressure = n."""
+    b = IRBuilder("main")
+    b.add_and_enter("entry")
+    values = [b.movi(i * 3 + 1) for i in range(n_values)]
+    acc = values[0]
+    for v in values[1:]:
+        acc = b.add(acc, v)
+    b.out(acc)
+    b.halt(0)
+    return Program(b.function), sum(i * 3 + 1 for i in range(n_values))
+
+
+class TestBasicAllocation:
+    def test_all_registers_physical(self, loop_program, machine):
+        allocate(loop_program, machine)
+        for _, _, insn in loop_program.main.all_instructions():
+            for r in (*insn.reads(), *insn.writes()):
+                assert not r.virtual, f"{r} still virtual in {insn}"
+
+    def test_semantics_preserved(self, machine):
+        prog = build_loop_program()
+        golden = Interpreter(build_loop_program()).run()
+        allocate(prog, machine)
+        r = Interpreter(prog).run()
+        assert r.output == golden.output
+
+    def test_no_spills_when_plenty(self, loop_program, machine):
+        result = allocate(loop_program, machine)
+        assert result.n_spilled == 0
+        assert result.frame_words == 0
+
+    def test_registers_within_file_bounds(self, machine):
+        prog = build_loop_program()
+        allocate(prog, machine)
+        for _, _, insn in prog.main.all_instructions():
+            for r in (*insn.reads(), *insn.writes()):
+                limit = machine.gp_per_cluster if r.is_gp else machine.pr_per_cluster
+                assert 0 <= r.index < limit
+
+    def test_no_live_range_overlap_same_register(self, machine):
+        """Differential check: values must survive to their uses."""
+        prog, expected = wide_pressure_program(30)
+        allocate(prog, machine)
+        assert Interpreter(prog).run().output == (expected,)
+
+
+class TestSpilling:
+    def test_spills_under_pressure(self):
+        prog, expected = wide_pressure_program(20)
+        result = allocate(prog, tiny_machine(gp=8))
+        assert result.n_spilled > 0
+        assert result.frame_words == result.n_spilled
+        r = Interpreter(prog, frame_words=result.frame_words).run()
+        assert r.output == (expected,)
+
+    def test_spill_instructions_tagged(self):
+        prog, _ = wide_pressure_program(20)
+        allocate(prog, tiny_machine(gp=8))
+        spill_ops = [
+            i for _, _, i in prog.main.all_instructions()
+            if i.opcode in (Opcode.LOADFP, Opcode.STOREFP)
+        ]
+        assert spill_ops
+        assert all(i.role is Role.SPILL for i in spill_ops)
+
+    def test_loop_program_with_tiny_file(self):
+        prog = build_loop_program()
+        golden = Interpreter(build_loop_program()).run()
+        result = allocate(prog, tiny_machine(gp=4))
+        r = Interpreter(prog, frame_words=result.frame_words).run()
+        assert r.output == golden.output
+
+    def test_workload_with_small_file(self):
+        from repro.workloads import get_workload
+
+        w = get_workload("mcf")
+        prog = w.program.clone()
+        golden = Interpreter(w.program).run()
+        result = allocate(prog, tiny_machine(gp=6, pr=8))
+        assert result.n_spilled > 0
+        r = Interpreter(
+            prog,
+            frame_words=result.frame_words,
+            mem_words=prog.layout().data_end + result.frame_words + 8,
+        ).run()
+        assert r.output == golden.output
+
+    def test_impossible_allocation_raises(self):
+        prog, _ = wide_pressure_program(6)
+        with pytest.raises(RegAllocError):
+            allocate(prog, tiny_machine(gp=2))  # below minimum operand needs
+
+
+class TestEDInteraction:
+    def test_error_detection_doubles_pressure(self):
+        from repro.passes.error_detection import ErrorDetectionPass
+
+        plain = build_loop_program()
+        res_plain = allocate(plain, tiny_machine(gp=10))
+
+        protected = build_loop_program()
+        ErrorDetectionPass().run(protected, PassContext())
+        res_prot = allocate(protected, tiny_machine(gp=10))
+        assert res_prot.n_spilled >= res_plain.n_spilled
+
+    def test_protected_spilled_program_still_correct(self):
+        from repro.passes.error_detection import ErrorDetectionPass
+
+        golden = Interpreter(build_loop_program()).run()
+        prog = build_loop_program()
+        ErrorDetectionPass().run(prog, PassContext())
+        result = allocate(prog, tiny_machine(gp=10, pr=8))
+        r = Interpreter(prog, frame_words=result.frame_words).run()
+        assert r.kind.value == "ok"
+        assert r.output == golden.output

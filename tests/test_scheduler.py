@@ -1,0 +1,128 @@
+"""VLIW list scheduler + the independent legality validator."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.machine.config import MachineConfig
+from repro.passes.schedule_check import validate_block_schedule, validate_compiled
+from repro.passes.scheduler import BlockSchedule, ScheduleResult, schedule_block
+from repro.pipeline import Scheme, compile_program
+from tests.conftest import build_loop_program
+from repro.workloads import get_workload
+
+
+def compile_loop(scheme=Scheme.SCED, iw=2, d=1):
+    machine = MachineConfig(issue_width=iw, inter_cluster_delay=d)
+    return compile_program(build_loop_program(), scheme, machine), machine
+
+
+class TestSchedulerLegality:
+    @pytest.mark.parametrize("scheme", list(Scheme), ids=lambda s: s.value)
+    @pytest.mark.parametrize("iw,d", [(1, 1), (2, 2), (4, 4)])
+    def test_loop_program_schedules_validate(self, scheme, iw, d):
+        cp, machine = compile_loop(scheme, iw, d)
+        validate_compiled(cp.program, cp.schedules, machine)
+
+    @pytest.mark.parametrize("scheme", list(Scheme), ids=lambda s: s.value)
+    def test_workload_schedules_validate(self, scheme):
+        machine = MachineConfig(issue_width=2, inter_cluster_delay=2)
+        cp = compile_program(get_workload("h263enc").program, scheme, machine)
+        validate_compiled(cp.program, cp.schedules, machine)
+
+    def test_terminator_is_last(self):
+        cp, _ = compile_loop()
+        for block in cp.program.main.blocks():
+            sched = cp.schedules.blocks[block.label]
+            term_cycle = sched.cycle_of[-1]
+            assert all(c <= term_cycle for c in sched.cycle_of)
+
+    def test_issue_width_respected(self):
+        cp, machine = compile_loop(Scheme.SCED, iw=1)
+        for block in cp.program.main.blocks():
+            sched = cp.schedules.blocks[block.label]
+            per_cycle = {}
+            for i, insn in enumerate(block.instructions):
+                key = (sched.cycle_of[i], insn.cluster)
+                per_cycle[key] = per_cycle.get(key, 0) + 1
+            assert all(v <= 1 for v in per_cycle.values())
+
+    def test_narrower_issue_never_faster(self):
+        lengths = {}
+        for iw in (1, 2, 4):
+            cp, _ = compile_loop(Scheme.SCED, iw=iw)
+            lengths[iw] = cp.schedules.total_cycles_static()
+        assert lengths[1] >= lengths[2] >= lengths[4]
+
+    def test_delay_does_not_affect_single_cluster(self):
+        a, _ = compile_loop(Scheme.SCED, iw=2, d=1)
+        b, _ = compile_loop(Scheme.SCED, iw=2, d=4)
+        assert (
+            a.schedules.total_cycles_static() == b.schedules.total_cycles_static()
+        )
+
+    def test_dced_lengthens_with_delay(self):
+        a, _ = compile_loop(Scheme.DCED, iw=2, d=1)
+        b, _ = compile_loop(Scheme.DCED, iw=2, d=4)
+        assert (
+            b.schedules.total_cycles_static() >= a.schedules.total_cycles_static()
+        )
+
+
+class TestValidatorCatchesBadSchedules:
+    def _block_and_schedule(self):
+        cp, machine = compile_loop()
+        block = cp.program.main.block("loop")
+        sched = cp.schedules.blocks["loop"]
+        homes = {}
+        for _, _, insn in cp.program.main.all_instructions():
+            for dreg in insn.writes():
+                homes[dreg] = insn.cluster
+        return block, sched, machine, homes
+
+    def test_accepts_valid(self):
+        block, sched, machine, homes = self._block_and_schedule()
+        validate_block_schedule(block, sched, machine, homes)
+
+    def test_rejects_dependence_violation(self):
+        block, sched, machine, homes = self._block_and_schedule()
+        bad = BlockSchedule(
+            label=sched.label,
+            cycle_of=tuple(0 for _ in sched.cycle_of),
+            slot_of=sched.slot_of,
+            length=1,
+        )
+        with pytest.raises(ScheduleError):
+            validate_block_schedule(block, bad, machine, homes)
+
+    def test_rejects_oversubscription(self):
+        block, sched, machine, homes = self._block_and_schedule()
+        narrow = machine.with_(issue_width=1)
+        with pytest.raises(ScheduleError):
+            validate_block_schedule(block, sched, narrow, homes)
+
+    def test_rejects_wrong_length(self):
+        block, sched, machine, homes = self._block_and_schedule()
+        bad = BlockSchedule(
+            label=sched.label,
+            cycle_of=sched.cycle_of,
+            slot_of=sched.slot_of,
+            length=sched.length + 3,
+        )
+        with pytest.raises(ScheduleError, match="length"):
+            validate_block_schedule(block, bad, machine, homes)
+
+    def test_rejects_arity_mismatch(self):
+        block, sched, machine, homes = self._block_and_schedule()
+        bad = BlockSchedule(sched.label, sched.cycle_of[:-1], sched.slot_of[:-1], sched.length)
+        with pytest.raises(ScheduleError, match="arity"):
+            validate_block_schedule(block, bad, machine, homes)
+
+
+class TestScheduleResult:
+    def test_totals(self):
+        cp, _ = compile_loop()
+        res = cp.schedules
+        assert res.total_slots() == cp.program.main.instruction_count()
+        assert res.total_cycles_static() == sum(
+            b.length for b in res.blocks.values()
+        )

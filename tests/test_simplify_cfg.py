@@ -1,0 +1,138 @@
+"""CFG simplification (block merging + jump threading)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import Interpreter
+from repro.ir.program import Program
+from repro.ir.verifier import verify_program
+from repro.passes.base import PassContext
+from repro.passes.simplify_cfg import SimplifyCFGPass
+from tests.conftest import build_loop_program
+
+
+def simplify(prog):
+    ctx = PassContext()
+    SimplifyCFGPass().run(prog, ctx)
+    verify_program(prog)
+    return ctx.stats.get("simplify-cfg", {})
+
+
+class TestMerging:
+    def test_straightline_chain_merges(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        x = b.movi(1)
+        b.jmp("mid")
+        b.add_and_enter("mid")
+        y = b.add(x, 2)
+        b.jmp("end")
+        b.add_and_enter("end")
+        b.out(y)
+        b.halt(0)
+        prog = Program(b.function)
+        golden = Interpreter(prog).run()
+        stats = simplify(prog)
+        assert len(prog.main) == 1
+        assert stats["merged"] == 2
+        assert Interpreter(prog).run().output == golden.output
+
+    def test_multi_pred_block_not_merged(self):
+        prog = compile_source(
+            """
+            func main() {
+                var x = 1;
+                if (x > 0) { x = 2; } else { x = 3; }
+                out(x);   // join has two predecessors: must survive
+                return 0;
+            }
+            """
+        )
+        golden = Interpreter(prog).run()
+        simplify(prog)
+        assert Interpreter(prog).run().output == golden.output
+        # the diamond structure still needs >= 3 blocks
+        assert len(prog.main) >= 3
+
+    def test_loop_structure_preserved(self, loop_program):
+        golden = Interpreter(loop_program).run()
+        simplify(loop_program)
+        assert Interpreter(loop_program).run().output == golden.output
+        from repro.ir.cfg import CFG
+
+        assert CFG(loop_program.main).back_edges()  # still a loop
+
+    def test_self_loop_not_merged(self):
+        b = IRBuilder("main")
+        f = b.function
+        b.add_and_enter("entry")
+        i = f.new_gp()
+        b.movi_to(i, 0)
+        b.jmp("spin")
+        b.add_and_enter("spin")
+        i2 = b.add(i, 1)
+        b.mov_to(i, i2)
+        p = b.cmplt(i, 5)
+        b.brt(p, "spin", "done")
+        b.add_and_enter("done")
+        b.out(i)
+        b.halt(0)
+        prog = Program(f)
+        golden = Interpreter(prog).run()
+        simplify(prog)
+        assert Interpreter(prog).run().output == golden.output
+
+
+class TestThreading:
+    def test_trivial_jump_block_threaded(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        x = b.movi(5)
+        p = b.cmpgt(x, 0)
+        b.brt(p, "hop", "other")
+        b.add_and_enter("hop")
+        b.jmp("target")        # trivial: just a jump
+        b.add_and_enter("other")
+        b.jmp("target")
+        b.add_and_enter("target")
+        b.out(x)
+        b.halt(0)
+        prog = Program(b.function)
+        golden = Interpreter(prog).run()
+        stats = simplify(prog)
+        assert stats["threaded"] >= 1
+        assert Interpreter(prog).run().output == golden.output
+        assert not any(
+            len(blk.instructions) == 1
+            and blk.instructions[0].info.mnemonic == "jmp"
+            for blk in prog.main.blocks()
+            if blk.label != "entry"
+        )
+
+    def test_block_count_shrinks_on_real_code(self):
+        from repro.workloads import get_workload
+
+        prog = get_workload("parser").program.clone()
+        golden = Interpreter(get_workload("parser").program).run()
+        before = len(prog.main)
+        simplify(prog)
+        assert len(prog.main) < before
+        assert Interpreter(prog).run().output == golden.output
+
+
+class TestPipelineEffect:
+    def test_bigger_blocks_do_not_hurt_cycles(self):
+        """Merged regions give the scheduler more room on every workload."""
+        from repro.machine.config import MachineConfig
+        from repro.pipeline import Scheme, compile_program
+        from repro.sim.executor import VLIWExecutor
+        from repro.workloads import get_workload
+
+        machine = MachineConfig(issue_width=4, inter_cluster_delay=1)
+        for name in ("mcf", "cjpeg"):
+            prog = get_workload(name).program
+            golden = Interpreter(prog).run()
+            cp = compile_program(prog, Scheme.NOED, machine)
+            r = VLIWExecutor(cp).run()
+            assert r.output == golden.output

@@ -1,0 +1,44 @@
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_labels_matter(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_parent_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_label_collision_with_concatenation(self):
+        # ("ab",) must differ from ("a", "b")
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    @given(st.integers(0, 2**63), st.text(max_size=20))
+    def test_in_range(self, parent, label):
+        s = derive_seed(parent, label)
+        assert 0 <= s < 2**64
+
+
+class TestMakeRng:
+    def test_same_stream(self):
+        a = make_rng(5, "x").integers(0, 1000, size=10)
+        b = make_rng(5, "x").integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_different_streams(self):
+        a = make_rng(5, "x").integers(0, 10**9)
+        b = make_rng(5, "y").integers(0, 10**9)
+        assert a != b
+
+    def test_plain_seed(self):
+        a = make_rng(42).integers(0, 10**9)
+        b = make_rng(42).integers(0, 10**9)
+        assert a == b

@@ -1,0 +1,125 @@
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import confidence_interval_95, geomean, mean, summarize
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_single(self):
+        assert mean([7.5]) == 7.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geomean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=10))
+    def test_at_most_arithmetic_mean(self, values):
+        assert geomean(values) <= mean(values) + 1e-9
+
+
+class TestConfidenceInterval:
+    def test_half_split(self):
+        lo, hi = confidence_interval_95(50, 100)
+        assert lo < 0.5 < hi
+        assert hi - lo < 0.25
+
+    def test_bounds_clamped(self):
+        lo, hi = confidence_interval_95(0, 10)
+        assert lo == pytest.approx(0.0, abs=1e-12)
+        lo, hi = confidence_interval_95(10, 10)
+        assert hi == pytest.approx(1.0, abs=1e-12)
+
+    def test_narrower_with_more_trials(self):
+        lo1, hi1 = confidence_interval_95(10, 20)
+        lo2, hi2 = confidence_interval_95(100, 200)
+        assert hi2 - lo2 < hi1 - lo1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            confidence_interval_95(1, 0)
+        with pytest.raises(ValueError):
+            confidence_interval_95(5, 3)
+
+    @given(st.integers(0, 100), st.integers(1, 100))
+    def test_interval_contains_point_estimate(self, successes, trials):
+        successes = min(successes, trials)
+        lo, hi = confidence_interval_95(successes, trials)
+        assert lo - 1e-9 <= successes / trials <= hi + 1e-9
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 4.0])
+        assert s.n == 3
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.mean == pytest.approx(7.0 / 3)
+        assert s.geomean == pytest.approx(2.0)
+
+    def test_geomean_none_when_nonpositive(self):
+        assert summarize([-1.0, 1.0]).geomean is None
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestTwoProportionZ:
+    def test_identical_proportions_not_significant(self):
+        from repro.utils.stats import two_proportion_z
+
+        z, sig = two_proportion_z(50, 100, 50, 100)
+        assert z == 0.0 and not sig
+
+    def test_large_difference_significant(self):
+        from repro.utils.stats import two_proportion_z
+
+        z, sig = two_proportion_z(90, 100, 50, 100)
+        assert sig and abs(z) > 2
+
+    def test_small_noise_not_significant(self):
+        from repro.utils.stats import two_proportion_z
+
+        _, sig = two_proportion_z(93, 120, 95, 120)
+        assert not sig
+
+    def test_degenerate_pooled(self):
+        from repro.utils.stats import two_proportion_z
+
+        z, sig = two_proportion_z(0, 10, 0, 10)
+        assert z == 0.0 and not sig
+
+    def test_validation(self):
+        from repro.utils.stats import two_proportion_z
+
+        with pytest.raises(ValueError):
+            two_proportion_z(1, 0, 1, 2)
+        with pytest.raises(ValueError):
+            two_proportion_z(5, 3, 1, 2)

@@ -1,0 +1,33 @@
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "value" in lines[0]
+        assert "-" in lines[1]
+        assert lines[2].startswith("a")
+        # numeric column right-aligned: widths equal
+        assert len(lines[2]) <= len(lines[0]) + 2
+
+    def test_title(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_left_align_option(self):
+        text = format_table(["a", "b"], [["x", "y"]], align_right=False)
+        assert "x" in text and "y" in text
+
+    def test_wide_cells_extend_columns(self):
+        text = format_table(["h"], [["a-very-long-cell"]])
+        header, sep, row = text.splitlines()
+        assert len(sep) >= len("a-very-long-cell")

@@ -1,0 +1,118 @@
+"""Text visualization helpers."""
+
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.pipeline import Scheme, compile_program
+from repro.viz import render_block_schedule, render_coverage_bars, render_occupancy
+from tests.conftest import build_loop_program
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+    return compile_program(build_loop_program(), Scheme.DCED, machine)
+
+
+class TestScheduleGrid:
+    def test_contains_all_instructions(self, compiled):
+        block = compiled.program.main.block("loop")
+        text = render_block_schedule(
+            block, compiled.schedules.blocks["loop"], compiled.machine
+        )
+        # every mnemonic that occurs in the block appears in the grid
+        for insn in block.instructions:
+            assert insn.info.mnemonic in text
+
+    def test_has_both_clusters(self, compiled):
+        text = render_block_schedule(
+            compiled.program.main.block("loop"),
+            compiled.schedules.blocks["loop"],
+            compiled.machine,
+        )
+        assert "cluster 0" in text and "cluster 1" in text
+
+    def test_cycle_count_in_header(self, compiled):
+        sched = compiled.schedules.blocks["loop"]
+        text = render_block_schedule(
+            compiled.program.main.block("loop"), sched, compiled.machine
+        )
+        assert f"({sched.length} cycles)" in text
+
+    def test_roles_annotated(self, compiled):
+        text = render_block_schedule(
+            compiled.program.main.block("loop"),
+            compiled.schedules.blocks["loop"],
+            compiled.machine,
+        )
+        assert "[dup]" in text and "[check]" in text
+
+
+class TestOccupancy:
+    def test_totals_line(self, compiled):
+        text = render_occupancy(compiled)
+        assert "TOTAL" in text
+        for block in compiled.program.main.blocks():
+            assert block.label in text
+
+    def test_percentages_bounded(self, compiled):
+        for line in render_occupancy(compiled).splitlines()[1:]:
+            pct = int(line.rstrip("%").rsplit(" ", 1)[-1])
+            assert 0 <= pct <= 100
+
+
+class TestCoverageBars:
+    DATA = {
+        "noed": {"benign": 0.2, "exception": 0.3, "data-corrupt": 0.5},
+        "casted": {"benign": 0.1, "detected": 0.7, "exception": 0.15,
+                   "data-corrupt": 0.05},
+    }
+
+    def test_bars_render(self):
+        text = render_coverage_bars(self.DATA, width=40)
+        assert "legend" in text
+        assert "noed" in text and "casted" in text
+        assert "D" * 20 in text  # 70% of 40 chars of detection
+
+    def test_bar_width_fixed(self):
+        for line in render_coverage_bars(self.DATA, width=30).splitlines()[1:]:
+            inner = line.split("|")[1]
+            assert len(inner) == 30
+
+    def test_sdc_summary(self):
+        text = render_coverage_bars(self.DATA)
+        assert "SDC+TO 50.0%" in text
+        assert "SDC+TO  5.0%" in text
+
+
+class TestCliIntegration:
+    def test_show_schedule(self, capsys, tmp_path):
+        from repro.cli import main
+
+        f = tmp_path / "p.mc"
+        f.write_text("func main() { out(1 + 2); return 0; }")
+        assert main(["compile", str(f), "--show-schedule", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster 0" in out
+        assert "TOTAL" in out
+
+
+class TestDfgDot:
+    def test_dot_structure(self, compiled):
+        from repro.viz import dfg_to_dot
+
+        block = compiled.program.main.block("loop")
+        dot = dfg_to_dot(block)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+        # every instruction is a node
+        for i in range(len(block.instructions)):
+            assert f"n{i} [" in dot
+
+    def test_roles_styled(self, compiled):
+        from repro.viz import dfg_to_dot
+
+        dot = dfg_to_dot(compiled.program.main.block("loop"))
+        assert "lightblue" in dot  # replicas
+        assert "diamond" in dot  # checks
