@@ -2,7 +2,7 @@
 reliability must be architecture-independent."""
 
 from benchmarks.conftest import TRIALS
-from repro.eval.figures import fig10_data, render_fig10
+from repro.eval.figures import render_fig10
 from repro.utils.stats import confidence_interval_95  # noqa: F401 (kept for interactive use)
 
 #: Fig. 10 sweeps 16 configurations x 4 schemes; to keep the default run

@@ -15,9 +15,14 @@ Commands
     Slowdown table over the (issue width x delay) grid, all schemes.
 ``report {table1,table2,table3,fig6,fig8,fig9,fig10}``
     Regenerate a paper table/figure (uses the result cache).
+``report trace --file FILE``
+    Summarize a captured telemetry trace (``--chrome OUT.json`` exports it
+    for chrome://tracing / Perfetto).
 
-Every command accepts ``--scheme/--issue/--delay`` where meaningful; see
-``python -m repro <command> --help``.
+Every command accepts ``--scheme/--issue/--delay`` where meaningful, plus
+the telemetry flags ``--trace FILE`` (JSON-lines span trace) and
+``--metrics`` (print a metrics summary on exit); see
+``python -m repro <command> --help`` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -64,6 +69,21 @@ def _add_common(p: argparse.ArgumentParser, scheme: bool = True) -> None:
         )
     p.add_argument("--issue", type=int, default=2, help="issue width per cluster")
     p.add_argument("--delay", type=int, default=1, help="inter-cluster delay")
+
+
+def _add_obs(p: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by every pipeline-running subcommand."""
+    p.add_argument(
+        "--trace",
+        metavar="FILE",
+        dest="trace_out",
+        help="write a JSON-lines span trace (convert with: report trace --chrome)",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect telemetry metrics and print a summary on exit",
+    )
 
 
 def cmd_workloads(_args) -> int:
@@ -147,7 +167,17 @@ def cmd_inject(args) -> int:
         mem_words=compiled.mem_words,
         frame_words=compiled.frame_words,
     )
-    res = injector.run_campaign(args.trials, args.seed, reference_dyn=reference)
+    progress = None
+    if args.progress:
+        if args.heartbeat < 1:
+            raise ReproError(f"--heartbeat must be >= 1, got {args.heartbeat}")
+        from repro.obs.progress import print_progress
+
+        progress = print_progress
+    res = injector.run_campaign(
+        args.trials, args.seed, reference_dyn=reference,
+        progress=progress, heartbeat=args.heartbeat,
+    )
     rows = [
         [o.value, res.counts.get(o, 0), f"{res.fraction(o) * 100:.1f}%"]
         for o in OUTCOME_ORDER
@@ -270,6 +300,8 @@ def cmd_report(args) -> int:
     kind = args.what
     if kind == "all":
         return _collate_report()
+    if kind == "trace":
+        return _trace_report(args)
     if kind == "table1":
         print(tables.render_table1())
     elif kind == "table2":
@@ -286,6 +318,26 @@ def cmd_report(args) -> int:
         print(figures.render_fig10(figures.fig10_data(ev, trials=args.trials)))
     else:  # pragma: no cover - argparse restricts choices
         raise ReproError(f"unknown report {kind}")
+    return 0
+
+
+def _trace_report(args) -> int:
+    """Summarize (and optionally chrome-export) a captured trace file."""
+    from repro.obs import convert_trace_file, summarize_trace_file
+
+    if not args.file:
+        print("error: report trace needs --file TRACE.jsonl", file=sys.stderr)
+        return 2
+    if not Path(args.file).exists():
+        raise ReproError(f"no such trace file: {args.file}")
+    try:
+        print(summarize_trace_file(args.file))
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    if args.chrome:
+        out = convert_trace_file(args.file, args.chrome)
+        print(f"\nwrote Chrome trace-event file: {out} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -338,6 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compile", help="compile and show statistics")
     _add_common(p)
+    _add_obs(p)
     p.add_argument("--print-ir", action="store_true", help="dump the final IR")
     p.add_argument(
         "--show-schedule",
@@ -348,19 +401,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="compile and execute on the simulator")
     _add_common(p)
+    _add_obs(p)
     p.add_argument("--show-output", action="store_true")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("inject", help="fault-injection campaign")
     _add_common(p)
+    _add_obs(p)
     p.add_argument("--trials", type=int, default=200)
     p.add_argument("--seed", type=int, default=2013)
+    p.add_argument(
+        "--progress", action="store_true",
+        help="print heartbeat lines with throughput and ETA during the campaign",
+    )
+    p.add_argument(
+        "--heartbeat", type=int, default=25,
+        help="trials between progress heartbeats (default: 25)",
+    )
     p.set_defaults(fn=cmd_inject)
 
     p = sub.add_parser("sweep", help="slowdown grid over issue widths and delays")
     p.add_argument("program", help="minic source file or workload:NAME")
     p.add_argument("--issues", type=int, nargs="+", default=[1, 2, 4])
     p.add_argument("--delays", type=int, nargs="+", default=[1, 2, 4])
+    _add_obs(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("trace", help="issue trace of the first N instructions")
@@ -380,19 +444,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("recover", help="fault campaign with restart-on-detection")
     _add_common(p)
+    _add_obs(p)
     p.add_argument("--trials", type=int, default=200)
     p.add_argument("--seed", type=int, default=2013)
     p.set_defaults(fn=cmd_recover)
 
-    p = sub.add_parser("report", help="regenerate a paper table/figure")
+    p = sub.add_parser(
+        "report", help="regenerate a paper table/figure, or summarize a trace"
+    )
     p.add_argument(
         "what",
         choices=[
             "table1", "table2", "table3", "fig6", "fig8", "fig9", "fig10",
-            "all",
+            "all", "trace",
         ],
     )
     p.add_argument("--trials", type=int, default=120)
+    p.add_argument("--file", help="trace file to summarize (report trace)")
+    p.add_argument(
+        "--chrome", metavar="OUT",
+        help="also export the trace as a Chrome trace-event JSON file",
+    )
     p.set_defaults(fn=cmd_report)
     return parser
 
@@ -400,12 +472,33 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    want_metrics = getattr(args, "metrics", False)
+    telemetry = None
+    if trace_out or want_metrics:
+        from repro import obs
+
+        try:
+            telemetry = obs.configure(trace_path=trace_out)
+        except OSError as exc:
+            print(f"error: cannot open trace file {trace_out}: {exc}", file=sys.stderr)
+            return 2
     try:
         return args.fn(args)
     except (ReproError, KeyError) as exc:
         message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
+    finally:
+        if telemetry is not None:
+            from repro import obs
+
+            if want_metrics and telemetry.metrics is not None:
+                print()
+                print(telemetry.metrics.render())
+            obs.reset()
+            if trace_out:
+                print(f"[telemetry] wrote trace to {trace_out}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ it.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -25,6 +26,7 @@ from pathlib import Path
 from repro.faults.classify import Outcome
 from repro.faults.injector import CampaignResult, FaultInjector
 from repro.machine.config import MachineConfig
+from repro.obs import get_telemetry
 from repro.pipeline import CompiledProgram, Scheme, compile_program
 from repro.sim.executor import VLIWExecutor
 from repro.utils.rng import derive_seed
@@ -32,6 +34,8 @@ from repro.workloads import get_workload
 
 #: Bump when a change invalidates previously cached results.
 CACHE_VERSION = 5
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -95,14 +99,40 @@ class Evaluator:
 
     # -- caching ---------------------------------------------------------------
     def _load(self, key: str) -> dict | None:
+        tel = get_telemetry()
         if key in self._mem:
+            tel.count("eval.cache.mem_hits")
             return self._mem[key]
         if self._disk:
             path = self._cache_dir / f"{key}.json"
             if path.exists():
-                data = json.loads(path.read_text())
+                # A corrupt or unreadable cache entry is never fatal: warn,
+                # count it, and fall through to recompute (the caller will
+                # overwrite the bad file via _store).
+                try:
+                    data = json.loads(path.read_text())
+                except (OSError, ValueError) as exc:
+                    logger.warning("corrupt result cache %s: %s — recomputing", path, exc)
+                    tel.count("eval.cache.corrupt")
+                    tel.instant(
+                        "cache-corrupt", cat="eval", key=key, error=str(exc)
+                    )
+                    return None
+                if not isinstance(data, dict):
+                    logger.warning(
+                        "corrupt result cache %s: expected object, got %s — recomputing",
+                        path, type(data).__name__,
+                    )
+                    tel.count("eval.cache.corrupt")
+                    tel.instant(
+                        "cache-corrupt", cat="eval", key=key,
+                        error=f"expected object, got {type(data).__name__}",
+                    )
+                    return None
                 self._mem[key] = data
+                tel.count("eval.cache.disk_hits")
                 return data
+        tel.count("eval.cache.misses")
         return None
 
     def _store(self, key: str, data: dict) -> None:

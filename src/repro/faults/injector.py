@@ -31,6 +31,8 @@ from repro.faults.classify import OUTCOME_ORDER, Outcome, classify
 from repro.ir.interp import FaultSpec, Interpreter, RunResult
 from repro.ir.program import Program
 from repro.isa.registers import RegClass
+from repro.obs import get_telemetry
+from repro.obs.progress import ProgressCallback, ProgressTracker
 from repro.utils.rng import make_rng
 
 #: Watchdog budget = factor x golden dynamic instruction count.
@@ -164,15 +166,49 @@ class FaultInjector:
         trials: int,
         seed: int,
         reference_dyn: int | None = None,
+        progress: ProgressCallback | None = None,
+        heartbeat: int = 25,
     ) -> CampaignResult:
+        """Run ``trials`` Monte-Carlo trials and aggregate the outcomes.
+
+        ``progress`` (if given) receives a
+        :class:`~repro.obs.progress.ProgressEvent` — completed trials,
+        throughput, ETA, outcome counts so far — every ``heartbeat`` trials
+        and once at the end.  With telemetry enabled the whole campaign is a
+        ``campaign`` span and every trial emits one instant event carrying
+        its outcome and fault count.
+        """
+        tel = get_telemetry()
         rng = make_rng(seed, "fault-campaign")
         counts: dict[Outcome, int] = {}
         total_faults = 0
-        for _ in range(trials):
-            faults = self.faults_for_trial(rng, reference_dyn)
-            total_faults += len(faults)
-            outcome = self.run_trial(faults)
-            counts[outcome] = counts.get(outcome, 0) + 1
+        tracker = ProgressTracker(trials, progress, every=heartbeat)
+        emit_trials = tel.enabled and tel.tracer is not None
+        with tel.span(
+            "campaign", cat="campaign", timer="campaign.seconds",
+            trials=trials, seed=seed,
+            golden_dyn=self.golden.dyn_instructions,
+        ) as sp:
+            for trial in range(trials):
+                faults = self.faults_for_trial(rng, reference_dyn)
+                total_faults += len(faults)
+                outcome = self.run_trial(faults)
+                counts[outcome] = counts.get(outcome, 0) + 1
+                if emit_trials:
+                    tel.instant(
+                        "trial", cat="campaign", index=trial,
+                        outcome=outcome.value, faults=len(faults),
+                    )
+                if progress is not None:
+                    tracker.step({o.value: n for o, n in counts.items()})
+            tel.count("campaign.trials", trials)
+            tel.count("campaign.faults_injected", total_faults)
+            for o, n in counts.items():
+                tel.count(f"campaign.outcome.{o.value}", n)
+            sp.set(
+                faults=total_faults,
+                **{f"outcome_{o.value}": n for o, n in counts.items()},
+            )
         return CampaignResult(
             trials=trials,
             counts=counts,
@@ -188,7 +224,12 @@ def run_campaign(
     mem_words: int | None = None,
     frame_words: int = 0,
     reference_dyn: int | None = None,
+    progress: ProgressCallback | None = None,
+    heartbeat: int = 25,
 ) -> CampaignResult:
     """Convenience wrapper: profile + campaign in one call."""
     injector = FaultInjector(program, mem_words=mem_words, frame_words=frame_words)
-    return injector.run_campaign(trials, seed, reference_dyn=reference_dyn)
+    return injector.run_campaign(
+        trials, seed, reference_dyn=reference_dyn,
+        progress=progress, heartbeat=heartbeat,
+    )

@@ -94,7 +94,6 @@ class CodeGenerator:
     def _prune_unreachable(self, program: Program) -> None:
         func = program.main
         # Remove empty unterminated leftovers and anything unreachable.
-        reachable = None
         # Empty blocks cannot be in a CFG; temporarily drop them.
         empty = [bl.label for bl in func.blocks() if not bl.instructions]
         for label in empty:

@@ -1,0 +1,60 @@
+"""Unified telemetry: metrics, execution traces, and campaign progress.
+
+The package has three moving parts:
+
+* :mod:`repro.obs.metrics` — counters / gauges / histograms / timers in a
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+* :mod:`repro.obs.trace` — a span :class:`~repro.obs.trace.Tracer` writing
+  JSON lines, convertible to Chrome trace-event files
+  (:mod:`repro.obs.chrome`) and summarizable back into text tables
+  (:mod:`repro.obs.report`);
+* :mod:`repro.obs.telemetry` — the process-global
+  :class:`~repro.obs.telemetry.Telemetry` facade every instrumented call
+  site uses.  Disabled by default: instrumentation is a no-op until
+  :func:`~repro.obs.telemetry.configure` runs (the CLI's ``--trace`` /
+  ``--metrics`` flags do exactly that).
+
+See ``docs/observability.md`` for usage, the metric naming scheme, and the
+zero-overhead ground rules.
+"""
+
+from repro.obs.chrome import convert_trace_file, export_chrome_trace
+from repro.obs.metrics import HistogramSummary, MetricsRegistry
+from repro.obs.progress import (
+    ProgressCallback,
+    ProgressEvent,
+    ProgressTracker,
+    print_progress,
+)
+from repro.obs.report import summarize_trace, summarize_trace_file
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    configure,
+    get_telemetry,
+    reset,
+    set_telemetry,
+)
+from repro.obs.trace import Span, Tracer, read_trace
+
+__all__ = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "ProgressCallback",
+    "ProgressEvent",
+    "ProgressTracker",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "configure",
+    "convert_trace_file",
+    "export_chrome_trace",
+    "get_telemetry",
+    "print_progress",
+    "read_trace",
+    "reset",
+    "set_telemetry",
+    "summarize_trace",
+    "summarize_trace_file",
+]

@@ -1,0 +1,100 @@
+"""Export JSON-lines traces to the Chrome trace-event format.
+
+The output loads directly in ``chrome://tracing`` or https://ui.perfetto.dev
+and renders the compile pipeline, simulator runs, and fault campaigns as a
+nested timeline.  We emit the JSON *object* flavour
+(``{"traceEvents": [...]}``) with complete (``"ph": "X"``) events for spans
+and instant (``"ph": "i"``) events, timestamps in microseconds as the format
+requires.
+
+Events are grouped into one synthetic process; the trace category becomes
+the thread so each subsystem (``compile``, ``sim``, ``campaign``) gets its
+own swim lane.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.trace import read_trace
+
+_PID = 1
+
+#: Stable lane order for known categories; unknown categories append after.
+_LANE_ORDER = ("compile", "sim", "campaign", "eval")
+
+
+def _lane_ids(events: Iterable[dict]) -> dict[str, int]:
+    cats: list[str] = [c for c in _LANE_ORDER]
+    for ev in events:
+        cat = ev.get("cat") or "misc"
+        if cat not in cats:
+            cats.append(cat)
+    return {cat: i + 1 for i, cat in enumerate(cats)}
+
+
+def to_chrome_events(events: Iterable[dict]) -> list[dict]:
+    """Convert repro trace events to a Chrome ``traceEvents`` list."""
+    events = list(events)
+    lanes = _lane_ids(events)
+    out: list[dict] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro"},
+        }
+    ]
+    used: set[str] = set()
+    for ev in events:
+        cat = ev.get("cat") or "misc"
+        used.add(cat)
+        tid = lanes[cat]
+        base = {
+            "name": ev.get("name", "?"),
+            "cat": cat,
+            "pid": _PID,
+            "tid": tid,
+            "ts": float(ev.get("ts", 0.0)) * 1e6,
+            "args": ev.get("args", {}),
+        }
+        if ev.get("ev") == "X":
+            base["ph"] = "X"
+            base["dur"] = float(ev.get("dur", 0.0)) * 1e6
+        else:
+            base["ph"] = "i"
+            base["s"] = "t"  # thread-scoped instant
+        out.append(base)
+    for cat in sorted(used, key=lambda c: lanes[c]):
+        out.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": lanes[cat],
+                "name": "thread_name",
+                "args": {"name": cat},
+            }
+        )
+    return out
+
+
+def export_chrome_trace(
+    events: Iterable[dict], out_path: str | Path
+) -> Path:
+    """Write ``events`` (repro schema) as a Chrome trace-event JSON file."""
+    out_path = Path(out_path)
+    payload = {
+        "traceEvents": to_chrome_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs"},
+    }
+    out_path.write_text(json.dumps(payload))
+    return out_path
+
+
+def convert_trace_file(trace_path: str | Path, out_path: str | Path) -> Path:
+    """Read a JSON-lines trace and write its Chrome trace-event twin."""
+    return export_chrome_trace(read_trace(trace_path), out_path)

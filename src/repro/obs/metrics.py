@@ -1,0 +1,140 @@
+"""Metric primitives: counters, gauges, histograms, timers.
+
+A :class:`MetricsRegistry` is a flat namespace of metrics keyed by
+dot-separated names (``sim.issue.c0.orig``, ``compile.pass.schedule.seconds``).
+Conventions:
+
+* **counters** — monotonically increasing integers/floats (events, cycles);
+* **gauges** — last-write-wins values (pressure ratios, sizes);
+* **histograms** — running ``count/sum/min/max`` summaries of observations
+  (per-block schedule lengths, per-pass seconds).  Timers are histograms of
+  seconds, fed by :meth:`MetricsRegistry.timer`.
+
+Everything is in-process and synchronous; the registry is cheap enough to
+update from compile-time code but is never touched from the simulator's
+per-instruction inner loop (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class HistogramSummary:
+    """Running summary of a stream of observations."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class _Timer:
+    """Context manager feeding one histogram with elapsed seconds.
+
+    Also honours the span protocol (``set`` is accepted and ignored) so the
+    telemetry facade can hand one out when metrics are on but tracing is off.
+    """
+
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._registry.observe(self._name, time.perf_counter() - self._t0)
+
+    def set(self, **args) -> "_Timer":
+        return self
+
+
+@dataclass
+class MetricsRegistry:
+    """Flat, process-local store of counters, gauges, and histograms."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramSummary] = field(default_factory=dict)
+
+    # -- updates ---------------------------------------------------------------
+    def count(self, name: str, n: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistogramSummary()
+        hist.observe(value)
+
+    def timer(self, name: str) -> _Timer:
+        """Time a ``with`` block into the histogram ``name`` (seconds)."""
+        return _Timer(self, name)
+
+    # -- export ----------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every metric."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.as_dict() for k, h in self.histograms.items()},
+        }
+
+    def render(self, title: str = "telemetry metrics") -> str:
+        """All metrics as aligned text tables (the eval-layer house style)."""
+        parts = []
+        if self.counters:
+            rows = [[k, f"{v:g}"] for k, v in sorted(self.counters.items())]
+            parts.append(format_table(["counter", "value"], rows, title=title))
+        if self.gauges:
+            rows = [[k, f"{v:g}"] for k, v in sorted(self.gauges.items())]
+            parts.append(format_table(["gauge", "value"], rows))
+        if self.histograms:
+            rows = [
+                [k, h.count, f"{h.mean:g}", f"{h.min:g}", f"{h.max:g}", f"{h.total:g}"]
+                for k, h in sorted(self.histograms.items())
+            ]
+            parts.append(
+                format_table(["histogram", "count", "mean", "min", "max", "total"], rows)
+            )
+        if not parts:
+            return f"{title}: (no metrics recorded)"
+        return "\n\n".join(parts)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()

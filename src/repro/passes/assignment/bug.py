@@ -23,6 +23,7 @@ from repro.ir.dfg import DFG, DepKind
 from repro.isa.registers import Reg
 from repro.machine.config import MachineConfig
 from repro.machine.reservation import ReservationTable
+from repro.obs import get_telemetry
 from repro.passes.latency import edge_issue_latency, same_cluster_edge_latency
 
 
@@ -148,4 +149,13 @@ def bug_assign_block(
         raise AssertionError("BUG failed to visit every node")
 
     length = max(issue_of) + 1 if issue_of else 0
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.count("assign.bug.blocks")
+        tel.observe("assign.bug.estimated_length", length)
+        if dfg.n:
+            # Completion-cycle spread: how far greedy placement pushed the
+            # last instruction past a perfectly packed lower bound.
+            lower = -(-dfg.n // (machine.issue_width * machine.n_clusters))
+            tel.observe("assign.bug.length_vs_packed", length / max(1, lower))
     return BugBlockResult(issue_estimate=issue_of, estimated_length=length)

@@ -219,4 +219,15 @@ class CastedAssignmentPass(FunctionPass):
             weighted_static=best[0],
             **{f"blocks_{k}": v for k, v in chosen.items()},
         )
+        from repro.obs import get_telemetry
+
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count(f"assign.casted.winner.{winner}")
+            for cand, n_blocks in chosen.items():
+                tel.count(f"assign.casted.blocks.{cand}", n_blocks)
+            tel.instant(
+                "casted-decision", cat="pass", winner=winner,
+                weighted_static=best[0], **{f"blocks_{k}": v for k, v in chosen.items()},
+            )
         return True

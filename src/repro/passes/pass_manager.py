@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.errors import PassError
 from repro.ir.program import Program
 from repro.ir.verifier import verify_program
+from repro.obs import get_telemetry
 from repro.passes.base import FunctionPass, PassContext
 
 
@@ -13,6 +14,12 @@ class PassManager:
 
     Verification after every pass is cheap at our program sizes and catches
     pass bugs at their source, so it defaults to on.
+
+    When telemetry is enabled (see :mod:`repro.obs`), every pass emits a
+    ``pass:<name>`` span carrying its wall time, instruction/block deltas,
+    and changed flag, and verification time is attributed separately under
+    ``verify:<name>`` — the data the trace ``report`` renders as the
+    pipeline table.
     """
 
     def __init__(self, passes: list[FunctionPass], verify: bool = True) -> None:
@@ -21,18 +28,49 @@ class PassManager:
 
     def run(self, program: Program, ctx: PassContext | None = None) -> PassContext:
         ctx = ctx or PassContext()
-        if self.verify:
-            verify_program(program)
-        for p in self.passes:
-            try:
-                p.run(program, ctx)
-            except Exception as exc:
-                raise PassError(f"pass {p.name!r} failed: {exc}") from exc
+        tel = get_telemetry()
+        with tel.span(
+            "pipeline", cat="compile", timer="compile.pipeline.seconds",
+            n_passes=len(self.passes), verify=self.verify,
+        ):
             if self.verify:
-                try:
+                with tel.span("verify:initial", cat="compile",
+                              timer="compile.verify.seconds"):
                     verify_program(program)
-                except Exception as exc:
-                    raise PassError(
-                        f"pass {p.name!r} produced malformed IR: {exc}"
-                    ) from exc
+            for p in self.passes:
+                track = tel.enabled
+                if track:
+                    n_before = program.main.instruction_count()
+                    blocks_before = len(program.main.block_labels())
+                with tel.span(
+                    f"pass:{p.name}", cat="pass",
+                    timer=f"compile.pass.{p.name}.seconds",
+                ) as sp:
+                    try:
+                        changed = p.run(program, ctx)
+                    except Exception as exc:
+                        raise PassError(f"pass {p.name!r} failed: {exc}") from exc
+                    if track:
+                        n_after = program.main.instruction_count()
+                        sp.set(
+                            instructions_before=n_before,
+                            instructions_after=n_after,
+                            blocks_before=blocks_before,
+                            blocks_after=len(program.main.block_labels()),
+                            changed=bool(changed),
+                        )
+                        tel.count(f"compile.pass.{p.name}.runs")
+                        tel.count(
+                            f"compile.pass.{p.name}.instruction_delta",
+                            n_after - n_before,
+                        )
+                if self.verify:
+                    with tel.span(f"verify:{p.name}", cat="compile",
+                                  timer="compile.verify.seconds"):
+                        try:
+                            verify_program(program)
+                        except Exception as exc:
+                            raise PassError(
+                                f"pass {p.name!r} produced malformed IR: {exc}"
+                            ) from exc
         return ctx

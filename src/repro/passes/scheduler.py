@@ -26,6 +26,7 @@ from repro.ir.program import Program
 from repro.isa.registers import Reg
 from repro.machine.config import MachineConfig
 from repro.machine.reservation import ReservationTable
+from repro.obs import get_telemetry
 from repro.passes.assignment.base import validate_assignment
 from repro.passes.base import FunctionPass, PassContext
 from repro.passes.latency import edge_issue_latency, same_cluster_edge_latency
@@ -68,8 +69,20 @@ class ListScheduler(FunctionPass):
         machine = ctx.machine
         homes = validate_assignment(program, machine.n_clusters)
         result = ScheduleResult()
+        tel = get_telemetry()
+        track = tel.enabled
         for block in program.main.blocks():
-            result.blocks[block.label] = schedule_block(block, machine, homes)
+            sched = schedule_block(block, machine, homes)
+            result.blocks[block.label] = sched
+            if track:
+                # Slot-reservation pressure: fraction of the block's issue
+                # slots (length x width x clusters) actually reserved.
+                capacity = sched.length * machine.issue_width * machine.n_clusters
+                tel.observe("sched.block_length", sched.length)
+                if capacity:
+                    tel.observe(
+                        "sched.slot_pressure", len(sched.cycle_of) / capacity
+                    )
         ctx.artifacts["schedule"] = result
         ctx.record(
             self.name,
@@ -132,7 +145,6 @@ def schedule_block(block, machine: MachineConfig, homes: dict[Reg, int]) -> Bloc
         guard += 1
         if guard > 1_000_000:  # pragma: no cover - safety net
             raise ScheduleError(f"scheduler live-locked in block {block.label}")
-        progressed = False
         deferred: list[tuple[int, int]] = []
         while ready:
             prio, i = heapq.heappop(ready)
@@ -147,7 +159,6 @@ def schedule_block(block, machine: MachineConfig, homes: dict[Reg, int]) -> Bloc
             cycle_of[i] = cycle
             slot_of[i] = slot
             n_done += 1
-            progressed = True
             for e in dfg.succs[i]:
                 j = e.dst
                 lat = edge_issue_latency(

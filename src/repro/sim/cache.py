@@ -32,6 +32,16 @@ class CacheStats:
         m = self.misses.get(level, 0)
         return h / (h + m) if h + m else 0.0
 
+    def metric_items(self, prefix: str = "sim.cache") -> list[tuple[str, int]]:
+        """Flatten the counters under telemetry naming (``sim.cache.L1.hits``)."""
+        items: list[tuple[str, int]] = [
+            (f"{prefix}.accesses", self.accesses),
+            (f"{prefix}.writebacks", self.writebacks),
+        ]
+        items += [(f"{prefix}.{lv}.hits", n) for lv, n in self.hits.items()]
+        items += [(f"{prefix}.{lv}.misses", n) for lv, n in self.misses.items()]
+        return items
+
 
 class _Level:
     __slots__ = ("cfg", "sets", "n_sets", "block_bytes")

@@ -24,10 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SimError, SimTrap
-from repro.ir.interp import Interpreter
+from repro.ir.interp import FaultSpec, Interpreter, RunResult
 from repro.ir.program import Program
 from repro.isa.opcodes import LatencyClass, Opcode
 from repro.machine.config import MachineConfig
+from repro.obs import get_telemetry
 from repro.pipeline import CompiledProgram
 from repro.sim.cache import CacheHierarchy, CacheStats
 from repro.ir.interp import ExitKind
@@ -99,6 +100,8 @@ class VLIWExecutor:
         )
         self._entry = compiled.program.main.entry.label
         self._blocks: dict[str, _BlockCode] = {}
+        #: Lazy static (cluster, role) attribution table for telemetry.
+        self._issue_table: dict[str, dict[tuple[int, str], int]] | None = None
         self._build(compiled.program)
 
         lat = self.machine.latencies
@@ -145,8 +148,99 @@ class VLIWExecutor:
             self._blocks[code.label] = code
 
     # -- execution ------------------------------------------------------------
+    def functional_run(
+        self,
+        record_trace: bool = False,
+        faults: tuple[FaultSpec, ...] = (),
+        max_steps: int | None = None,
+    ) -> RunResult:
+        """Functional (untimed) reference run of the compiled program.
+
+        Executes on the embedded reference interpreter — the same closures
+        the cycle-accurate :meth:`run` drives — and returns its
+        :class:`~repro.ir.interp.RunResult`.  This is the supported way to
+        obtain the block-visit trace (``record_trace=True``) that tools like
+        :mod:`repro.sim.tracing` replay against the static schedules.
+        """
+        return self._interp.run(
+            faults=faults, max_steps=max_steps, record_trace=record_trace
+        )
+
     def run(self, max_cycles: int | None = None) -> SimResult:
         """One fault-free cycle-accurate run."""
+        tel = get_telemetry()
+        if not tel.enabled:
+            return self._run(max_cycles, None, None)
+        visit_counts: dict[str, int] = {}
+        block_stalls: dict[str, int] = {}
+        with tel.span(
+            "sim.run", cat="sim", timer="sim.run.seconds",
+            scheme=self.compiled.scheme.value,
+            issue_width=self.machine.issue_width,
+            delay=self.machine.inter_cluster_delay,
+        ) as sp:
+            result = self._run(max_cycles, visit_counts, block_stalls)
+            sp.set(
+                kind=result.kind.value,
+                cycles=result.cycles,
+                stall_cycles=result.stall_cycles,
+                dyn_instructions=result.dyn_instructions,
+                block_visits=result.block_visits,
+            )
+            self._record_run_metrics(tel, result, visit_counts, block_stalls)
+        return result
+
+    def _record_run_metrics(
+        self,
+        tel,
+        result: SimResult,
+        visit_counts: dict[str, int],
+        block_stalls: dict[str, int],
+    ) -> None:
+        """Aggregate counters derived from one finished run.
+
+        Per-cluster/role issue counts come from the static per-block tables
+        times the observed visit counts, so the inner loop never pays for
+        attribution.
+        """
+        tel.count("sim.runs")
+        tel.count("sim.cycles", result.cycles)
+        tel.count("sim.stall_cycles", result.stall_cycles)
+        tel.count("sim.dyn_instructions", result.dyn_instructions)
+        tel.count("sim.block_visits", result.block_visits)
+        issue_table = self._issue_attribution_table()
+        for label, visits in visit_counts.items():
+            for (cluster, role), n in issue_table[label].items():
+                tel.count(f"sim.issue.c{cluster}.{role}", n * visits)
+        for label, stalls in block_stalls.items():
+            if stalls:
+                tel.count(f"sim.stalls.block.{label}", stalls)
+        for name, value in result.cache.metric_items():
+            tel.count(name, value)
+
+    def _issue_attribution_table(self) -> dict[str, dict[tuple[int, str], int]]:
+        """Static per-block (cluster, role) -> instruction count, cached."""
+        table = self._issue_table
+        if table is None:
+            table = {}
+            for block in self.compiled.program.main.blocks():
+                counts: dict[tuple[int, str], int] = {}
+                for insn in block.instructions:
+                    key = (
+                        insn.cluster if insn.cluster is not None else 0,
+                        insn.role.value,
+                    )
+                    counts[key] = counts.get(key, 0) + 1
+                table[block.label] = counts
+            self._issue_table = table
+        return table
+
+    def _run(
+        self,
+        max_cycles: int | None,
+        visit_counts: dict[str, int] | None,
+        block_stalls: dict[str, int] | None,
+    ) -> SimResult:
         interp = self._interp
         interp.reset_state()
         self.cache.reset()
@@ -175,10 +269,14 @@ class VLIWExecutor:
                 cache=self.cache.stats,
             )
 
+        stalls_at_entry = 0
         try:
             while True:
                 code = blocks[label]
                 visits += 1
+                if visit_counts is not None:
+                    visit_counts[label] = visit_counts.get(label, 0) + 1
+                    stalls_at_entry = stalls
                 cycles += code.length
                 if cycles + stalls > budget:
                     return finish(ExitKind.TIMEOUT, None)
@@ -219,6 +317,10 @@ class VLIWExecutor:
                         jump = res
                         break
                 stalls += cur_extra
+                if block_stalls is not None and stalls != stalls_at_entry:
+                    block_stalls[label] = (
+                        block_stalls.get(label, 0) + stalls - stalls_at_entry
+                    )
                 if jump is None:
                     raise SimError(f"block {label} fell through")  # pragma: no cover
                 if jump == "__detect__":

@@ -39,7 +39,7 @@ def issue_trace(
     """
     executor = VLIWExecutor(compiled)
     # Functional pre-run for the visit sequence.
-    result = executor._interp.run(record_trace=True)
+    result = executor.functional_run(record_trace=True)
 
     emitted = 0
     global_cycle = 0

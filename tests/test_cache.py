@@ -1,6 +1,5 @@
 """Set-associative write-back cache hierarchy."""
 
-import pytest
 
 from repro.machine.config import (
     CacheHierarchyConfig,

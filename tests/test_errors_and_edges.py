@@ -92,7 +92,7 @@ class TestPipelineEdges:
 class TestPassManagerEdges:
     def test_pass_failure_wrapped(self):
         from repro.errors import PassError
-        from repro.passes.base import FunctionPass, PassContext
+        from repro.passes.base import FunctionPass
         from repro.passes.pass_manager import PassManager
         from tests.conftest import build_loop_program
 

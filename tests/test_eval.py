@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.eval.experiment import Evaluator, PerfRecord
+from repro.eval.experiment import Evaluator
 from repro.eval.metrics import ilp_scaling, slowdown, summarize_scheme_slowdowns
 from repro.eval.figures import (
     fig6_7_data,
@@ -13,7 +13,6 @@ from repro.eval.figures import (
     render_fig9,
 )
 from repro.eval.tables import render_table1, render_table2, render_table3
-from repro.faults.classify import Outcome
 from repro.pipeline import Scheme
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.faults.classify import Outcome, classify
 from repro.faults.injector import FaultInjector
-from repro.ir.interp import ExitKind, FaultSpec, Interpreter, RunResult
+from repro.ir.interp import ExitKind, FaultSpec, RunResult
 from repro.machine.config import MachineConfig
 from repro.pipeline import Scheme, compile_program
 from repro.utils.rng import make_rng
@@ -59,7 +59,6 @@ class TestSampling:
     def test_sampled_faults_hit_dest_instructions(self, loop_injector):
         rng = make_rng(42)
         prog = build_loop_program()
-        interp = Interpreter(prog)
         # reconstruct the instruction at each sampled dyn index and check it
         # writes a register
         trace = loop_injector.golden.block_trace

@@ -16,7 +16,6 @@ the single highest-leverage test in the suite: it has no opinion about
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -9,7 +9,6 @@ exits — under random machine shapes.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

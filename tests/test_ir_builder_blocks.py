@@ -13,7 +13,7 @@ class TestBasicBlock:
     def test_append_and_terminate(self):
         b = IRBuilder("f")
         blk = b.add_and_enter("entry")
-        r = b.movi(1)
+        b.movi(1)
         b.halt(0)
         assert blk.is_terminated
         assert blk.terminator.opcode is Opcode.HALT
@@ -115,7 +115,7 @@ class TestBuilderHelpers:
         x = b.movi(4)
         y = b.add(x, 3)
         assert b.current.instructions[-1].imm == 3
-        z = b.mul(x, y)
+        b.mul(x, y)
         assert b.current.instructions[-1].imm is None
         b.halt(0)
 
@@ -134,8 +134,8 @@ class TestBuilderHelpers:
         b = IRBuilder("f")
         b.add_and_enter("entry")
         with b.library():
-            r = b.movi(1)
-        s = b.movi(2)
+            b.movi(1)
+        b.movi(2)
         insns = b.current.instructions
         assert insns[0].from_library
         assert not insns[1].from_library

@@ -1,7 +1,6 @@
-from repro.ir.basic_block import DETECT_LABEL
 from repro.ir.builder import IRBuilder
 from repro.ir.dfg import DFG, DepKind
-from repro.isa.instruction import Instruction, Role
+from repro.isa.instruction import Role
 from repro.isa.opcodes import Opcode
 
 

@@ -1,6 +1,4 @@
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.errors import ParseError
 from repro.ir.builder import IRBuilder

@@ -1,13 +1,11 @@
 import pytest
 
 from repro.errors import IRError
-from repro.ir.basic_block import DETECT_LABEL
 from repro.ir.builder import IRBuilder
 from repro.ir.program import GlobalArray, Program
 from repro.ir.verifier import verify_function, verify_program
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
-from repro.isa.registers import GP, PR
 
 
 class TestVerifier:

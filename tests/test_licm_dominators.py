@@ -1,6 +1,5 @@
 """Dominators, natural loops and loop-invariant code motion."""
 
-import pytest
 
 from repro.ir.builder import IRBuilder
 from repro.ir.cfg import CFG
@@ -10,7 +9,6 @@ from repro.ir.verifier import verify_program
 from repro.isa.opcodes import Opcode
 from repro.passes.base import PassContext
 from repro.passes.licm import LoopInvariantCodeMotion
-from tests.conftest import build_loop_program
 
 
 def count_in_block(prog, label, opcode):
@@ -106,8 +104,6 @@ class TestLICM:
 
     def test_does_not_hoist_loop_carried(self, loop_program):
         prog = loop_program
-        golden_len = prog.main.block("loop").instructions
-        n_before = len(golden_len)
         self.run_licm(prog)
         # loop-carried updates (mov i, mov acc) must remain
         movs = count_in_block(prog, "loop", Opcode.MOV)

@@ -1,9 +1,7 @@
 """Dynamic instruction-mix profiling."""
 
-import pytest
 
-from repro.eval.mixstats import MixProfile, dynamic_mix, render_mix_table, render_role_table
-from repro.machine.config import MachineConfig
+from repro.eval.mixstats import dynamic_mix, render_mix_table, render_role_table
 from repro.pipeline import Scheme, compile_program
 from repro.workloads import get_workload
 from tests.conftest import build_loop_program

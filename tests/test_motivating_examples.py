@@ -8,7 +8,6 @@ suffers the inter-core delay on every check, CASTED does at least as well
 as SCED.
 """
 
-import pytest
 
 from repro.ir.builder import IRBuilder
 from repro.ir.program import GlobalArray, Program

@@ -1,6 +1,5 @@
 """Classic optimization passes: constant folding, copy propagation, CSE, DCE."""
 
-import pytest
 
 from repro.ir.builder import IRBuilder
 from repro.ir.interp import Interpreter
@@ -235,7 +234,7 @@ class TestDCE:
         b.add_and_enter("entry")
         live = b.movi(1)
         dead1 = b.movi(2)
-        dead2 = b.add(dead1, 3)
+        b.add(dead1, 3)
         b.out(live)
         b.halt(0)
         prog = Program(b.function)

@@ -103,7 +103,6 @@ class TestUnsafePostEdCse:
             build_loop_program(), Scheme.SCED, machine, unsafe_post_ed_cse=True
         )
         n_dup_safe = safe.stats.n_by_role.get("dup", 0)
-        n_dup_unsafe = unsafe.stats.n_by_role.get("dup", 0)
         # replicas either disappear (DCE'd) or degrade into MOVs
         from repro.isa.opcodes import Opcode
 

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ScheduleError
 from repro.machine.config import MachineConfig
 from repro.passes.schedule_check import validate_block_schedule, validate_compiled
-from repro.passes.scheduler import BlockSchedule, ScheduleResult, schedule_block
+from repro.passes.scheduler import BlockSchedule
 from repro.pipeline import Scheme, compile_program
 from tests.conftest import build_loop_program
 from repro.workloads import get_workload

@@ -1,6 +1,5 @@
 """CFG simplification (block merging + jump threading)."""
 
-import pytest
 
 from repro.frontend import compile_source
 from repro.ir.builder import IRBuilder
@@ -9,7 +8,6 @@ from repro.ir.program import Program
 from repro.ir.verifier import verify_program
 from repro.passes.base import PassContext
 from repro.passes.simplify_cfg import SimplifyCFGPass
-from tests.conftest import build_loop_program
 
 
 def simplify(prog):

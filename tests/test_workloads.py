@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ir.interp import Interpreter
-from repro.isa.opcodes import OP_INFO, Opcode
+from repro.isa.opcodes import Opcode
 from repro.workloads import all_workloads, get_workload, workload_names
 
 EXPECTED = {
