@@ -23,6 +23,13 @@ Every command accepts ``--scheme/--issue/--delay`` where meaningful, plus
 the telemetry flags ``--trace FILE`` (JSON-lines span trace) and
 ``--metrics`` (print a metrics summary on exit); see
 ``python -m repro <command> --help`` and ``docs/observability.md``.
+
+``compile``, ``run``, ``inject`` and ``sweep`` additionally take ``--jobs
+N`` (0 = all cores, default from ``REPRO_JOBS``): ``inject`` shards its
+campaign over a process pool, ``sweep`` evaluates grid points
+concurrently, and ``compile``/``run`` accept several programs and process
+them in parallel.  Campaign results are bit-identical for a given seed
+regardless of ``--jobs`` — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -58,8 +65,17 @@ def _machine(args) -> MachineConfig:
     )
 
 
-def _add_common(p: argparse.ArgumentParser, scheme: bool = True) -> None:
-    p.add_argument("program", help="minic source file or workload:NAME")
+def _add_common(
+    p: argparse.ArgumentParser, scheme: bool = True, multi: bool = False
+) -> None:
+    if multi:
+        p.add_argument(
+            "program",
+            nargs="+",
+            help="minic source file(s) or workload:NAME(s); several run in parallel with --jobs",
+        )
+    else:
+        p.add_argument("program", help="minic source file or workload:NAME")
     if scheme:
         p.add_argument(
             "--scheme",
@@ -69,6 +85,25 @@ def _add_common(p: argparse.ArgumentParser, scheme: bool = True) -> None:
         )
     p.add_argument("--issue", type=int, default=2, help="issue width per cluster")
     p.add_argument("--delay", type=int, default=1, help="inter-cluster delay")
+
+
+def _add_jobs(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: $REPRO_JOBS or 1; 0 = all cores)",
+    )
+
+
+def _jobs(args) -> int:
+    from repro.parallel import resolve_jobs
+
+    try:
+        return resolve_jobs(args.jobs)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
 
 
 def _add_obs(p: argparse.ArgumentParser) -> None:
@@ -95,9 +130,14 @@ def cmd_workloads(_args) -> int:
     return 0
 
 
-def cmd_compile(args) -> int:
-    program = _load_program(args.program)
-    compiled = compile_program(program, Scheme(args.scheme), _machine(args))
+def _compile_worker(task: dict) -> str:
+    """Compile one program spec and render its statistics (picklable)."""
+    spec = task["spec"]
+    program = _load_program(spec)
+    machine = MachineConfig(
+        issue_width=task["issue"], inter_cluster_delay=task["delay"]
+    )
+    compiled = compile_program(program, Scheme(task["scheme"]), machine)
     stats = compiled.stats
     rows = [["instructions", stats.n_instructions]]
     rows += [[f"role: {k}", v] for k, v in sorted(stats.n_by_role.items())]
@@ -110,44 +150,97 @@ def cmd_compile(args) -> int:
         [f"cluster {c} instructions", n]
         for c, n in sorted(stats.per_cluster_instructions.items())
     ]
-    print(format_table(["metric", "value"], rows,
-                       title=f"{args.program} under {args.scheme}"))
-    if args.print_ir:
-        print()
-        print(print_program(compiled.program))
-    if args.show_schedule:
+    parts = [format_table(["metric", "value"], rows,
+                          title=f"{spec} under {task['scheme']}")]
+    if task["print_ir"]:
+        parts += ["", print_program(compiled.program)]
+    if task["show_schedule"]:
         from repro.viz import render_block_schedule, render_occupancy
 
-        print()
-        if args.show_schedule == "all":
+        parts.append("")
+        if task["show_schedule"] == "all":
             for block in compiled.program.main.blocks():
-                print(render_block_schedule(
+                parts.append(render_block_schedule(
                     block, compiled.schedules.blocks[block.label], compiled.machine
                 ))
-                print()
+                parts.append("")
         else:
-            block = compiled.program.main.block(args.show_schedule)
-            print(render_block_schedule(
+            block = compiled.program.main.block(task["show_schedule"])
+            parts.append(render_block_schedule(
                 block, compiled.schedules.blocks[block.label], compiled.machine
             ))
-        print(render_occupancy(compiled))
+        parts.append(render_occupancy(compiled))
+    return "\n".join(parts)
+
+
+def cmd_compile(args) -> int:
+    from repro.parallel import parallel_map
+
+    tasks = [
+        {
+            "spec": spec,
+            "scheme": args.scheme,
+            "issue": args.issue,
+            "delay": args.delay,
+            "print_ir": args.print_ir,
+            "show_schedule": args.show_schedule,
+        }
+        for spec in args.program
+    ]
+    for i, text in enumerate(parallel_map(_compile_worker, tasks, jobs=_jobs(args))):
+        if i:
+            print()
+        print(text)
     return 0
 
 
-def cmd_run(args) -> int:
-    program = _load_program(args.program)
-    compiled = compile_program(program, Scheme(args.scheme), _machine(args))
+def _run_worker(task: dict) -> tuple[str, int]:
+    """Compile + simulate one program spec; returns (report, exit status)."""
+    program = _load_program(task["spec"])
+    machine = MachineConfig(
+        issue_width=task["issue"], inter_cluster_delay=task["delay"]
+    )
+    compiled = compile_program(program, Scheme(task["scheme"]), machine)
     result = VLIWExecutor(compiled).run()
-    print(f"exit: {result.kind.value} (code {result.exit_code})")
-    print(f"cycles: {result.cycles} ({result.stall_cycles} memory stalls)")
-    print(f"dynamic instructions: {result.dyn_instructions}")
+    lines = [
+        f"exit: {result.kind.value} (code {result.exit_code})",
+        f"cycles: {result.cycles} ({result.stall_cycles} memory stalls)",
+        f"dynamic instructions: {result.dyn_instructions}",
+    ]
     ipc = result.dyn_instructions / result.cycles if result.cycles else 0.0
-    print(f"IPC: {ipc:.2f}")
-    if args.show_output:
-        print(f"output ({len(result.output)} values): {list(result.output)}")
+    lines.append(f"IPC: {ipc:.2f}")
+    if task["show_output"]:
+        lines.append(f"output ({len(result.output)} values): {list(result.output)}")
     l1 = result.cache.hit_rate("L1")
-    print(f"L1 hit rate: {l1 * 100:.1f}% over {result.cache.accesses} accesses")
-    return 0 if result.kind.value == "ok" else 1
+    lines.append(
+        f"L1 hit rate: {l1 * 100:.1f}% over {result.cache.accesses} accesses"
+    )
+    return "\n".join(lines), 0 if result.kind.value == "ok" else 1
+
+
+def cmd_run(args) -> int:
+    from repro.parallel import parallel_map
+
+    tasks = [
+        {
+            "spec": spec,
+            "scheme": args.scheme,
+            "issue": args.issue,
+            "delay": args.delay,
+            "show_output": args.show_output,
+        }
+        for spec in args.program
+    ]
+    results = parallel_map(_run_worker, tasks, jobs=_jobs(args))
+    status = 0
+    for i, (text, rc) in enumerate(results):
+        if i:
+            print()
+        if len(args.program) > 1:
+            print(f"== {args.program[i]} ==")
+        print(text)
+        status = status or rc
+    return status
 
 
 def cmd_inject(args) -> int:
@@ -176,7 +269,7 @@ def cmd_inject(args) -> int:
         progress = print_progress
     res = injector.run_campaign(
         args.trials, args.seed, reference_dyn=reference,
-        progress=progress, heartbeat=args.heartbeat,
+        progress=progress, heartbeat=args.heartbeat, jobs=_jobs(args),
     )
     rows = [
         [o.value, res.counts.get(o, 0), f"{res.fraction(o) * 100:.1f}%"]
@@ -194,21 +287,35 @@ def cmd_inject(args) -> int:
     return 0
 
 
+def _sweep_cell_worker(task) -> dict[str, int]:
+    """Cycles of every scheme at one (issue width, delay) grid point."""
+    spec, iw, d = task
+    program = _load_program(spec)
+    machine = MachineConfig(issue_width=iw, inter_cluster_delay=d)
+    cycles = {}
+    for scheme in Scheme:
+        compiled = compile_program(program, scheme, machine)
+        cycles[scheme.value] = VLIWExecutor(compiled).run().cycles
+    return cycles
+
+
 def cmd_sweep(args) -> int:
-    program = _load_program(args.program)
+    from repro.parallel import parallel_map
+
+    tasks = [
+        (args.program, iw, d) for iw in args.issues for d in args.delays
+    ]
+    cells = parallel_map(_sweep_cell_worker, tasks, jobs=_jobs(args))
     rows = []
-    for iw in args.issues:
-        for d in args.delays:
-            machine = MachineConfig(issue_width=iw, inter_cluster_delay=d)
-            cycles = {}
-            for scheme in Scheme:
-                compiled = compile_program(program, scheme, machine)
-                cycles[scheme] = VLIWExecutor(compiled).run().cycles
-            noed = cycles[Scheme.NOED]
-            rows.append(
-                [f"iw{iw} d{d}", noed]
-                + [f"{cycles[s] / noed:.2f}" for s in (Scheme.SCED, Scheme.DCED, Scheme.CASTED)]
-            )
+    for (_, iw, d), cycles in zip(tasks, cells):
+        noed = cycles[Scheme.NOED.value]
+        rows.append(
+            [f"iw{iw} d{d}", noed]
+            + [
+                f"{cycles[s.value] / noed:.2f}"
+                for s in (Scheme.SCED, Scheme.DCED, Scheme.CASTED)
+            ]
+        )
     print(
         format_table(
             ["config", "NOED cycles", "SCED", "DCED", "CASTED"],
@@ -389,8 +496,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("compile", help="compile and show statistics")
-    _add_common(p)
+    _add_common(p, multi=True)
     _add_obs(p)
+    _add_jobs(p)
     p.add_argument("--print-ir", action="store_true", help="dump the final IR")
     p.add_argument(
         "--show-schedule",
@@ -400,14 +508,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("run", help="compile and execute on the simulator")
-    _add_common(p)
+    _add_common(p, multi=True)
     _add_obs(p)
+    _add_jobs(p)
     p.add_argument("--show-output", action="store_true")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("inject", help="fault-injection campaign")
     _add_common(p)
     _add_obs(p)
+    _add_jobs(p)
     p.add_argument("--trials", type=int, default=200)
     p.add_argument("--seed", type=int, default=2013)
     p.add_argument(
@@ -425,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--issues", type=int, nargs="+", default=[1, 2, 4])
     p.add_argument("--delays", type=int, nargs="+", default=[1, 2, 4])
     _add_obs(p)
+    _add_jobs(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("trace", help="issue trace of the first N instructions")

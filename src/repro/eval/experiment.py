@@ -11,6 +11,15 @@ results are memoized in memory and, unless disabled, persisted as JSON under
 ``.repro_cache/`` so re-running a different benchmark that shares points is
 cheap.  Everything is deterministic given the seed.
 
+Grids of points can be evaluated concurrently with :meth:`Evaluator.sweep`:
+workers compute records in their own processes (memoizing in memory only)
+and ship them back to the parent, which is the **only** writer of the disk
+cache — every file lands via an atomic temp-file + ``os.replace`` so
+concurrent sweeps and interrupted runs can never leave a truncated entry.
+Sweep results (and the cache files they produce) are identical to a serial
+run: per-point campaign seeds derive from the point's coordinates, never
+from execution order.  See ``docs/performance.md``.
+
 Set ``REPRO_CACHE=0`` to disable the disk cache, ``REPRO_CACHE_DIR`` to move
 it.
 """
@@ -27,13 +36,17 @@ from repro.faults.classify import Outcome
 from repro.faults.injector import CampaignResult, FaultInjector
 from repro.machine.config import MachineConfig
 from repro.obs import get_telemetry
+from repro.obs.progress import ProgressCallback, ProgressTracker
+from repro.parallel import parallel_map, resolve_jobs
 from repro.pipeline import CompiledProgram, Scheme, compile_program
 from repro.sim.executor import VLIWExecutor
 from repro.utils.rng import derive_seed
 from repro.workloads import get_workload
 
-#: Bump when a change invalidates previously cached results.
-CACHE_VERSION = 5
+#: Bump when a change invalidates previously cached results.  v6: campaigns
+#: draw from per-shard RNG streams (repro.parallel.SHARD_TRIALS), which
+#: changes coverage numbers relative to the old single-stream campaigns.
+CACHE_VERSION = 6
 
 logger = logging.getLogger(__name__)
 
@@ -139,7 +152,18 @@ class Evaluator:
         self._mem[key] = data
         if self._disk:
             self._cache_dir.mkdir(parents=True, exist_ok=True)
-            (self._cache_dir / f"{key}.json").write_text(json.dumps(data))
+            path = self._cache_dir / f"{key}.json"
+            # Atomic publish: write the whole entry to a per-process temp
+            # file, then os.replace it into place.  An interrupted writer
+            # leaves at worst a stale .tmp (never a truncated .json), and
+            # concurrent writers of the same deterministic key are benign —
+            # last replace wins with identical content.
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            try:
+                tmp.write_text(json.dumps(data))
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
 
     # -- compilation --------------------------------------------------------------
     def compiled(
@@ -154,12 +178,26 @@ class Evaluator:
             )
         return self._compiled[key]
 
+    # -- cache keys ---------------------------------------------------------------
+    def _perf_key(
+        self, workload: str, scheme: Scheme, issue_width: int, delay: int
+    ) -> str:
+        return f"v{CACHE_VERSION}_perf_{workload}_{scheme.value}_iw{issue_width}_d{delay}"
+
+    def _cov_key(
+        self, workload: str, scheme: Scheme, issue_width: int, delay: int, trials: int
+    ) -> str:
+        return (
+            f"v{CACHE_VERSION}_cov_{workload}_{scheme.value}_iw{issue_width}_d{delay}"
+            f"_t{trials}_s{self.seed}"
+        )
+
     # -- performance ---------------------------------------------------------------
     def perf(
         self, workload: str, scheme: Scheme, issue_width: int, delay: int
     ) -> PerfRecord:
         delay = _scheme_delay(scheme, delay)
-        key = f"v{CACHE_VERSION}_perf_{workload}_{scheme.value}_iw{issue_width}_d{delay}"
+        key = self._perf_key(workload, scheme, issue_width, delay)
         data = self._load(key)
         if data is None:
             cp = self.compiled(workload, scheme, issue_width, delay)
@@ -197,10 +235,7 @@ class Evaluator:
         trials: int,
     ) -> CoverageRecord:
         delay = _scheme_delay(scheme, delay)
-        key = (
-            f"v{CACHE_VERSION}_cov_{workload}_{scheme.value}_iw{issue_width}_d{delay}"
-            f"_t{trials}_s{self.seed}"
-        )
+        key = self._cov_key(workload, scheme, issue_width, delay, trials)
         data = self._load(key)
         if data is None:
             reference_dyn = None
@@ -229,3 +264,113 @@ class Evaluator:
             }
             self._store(key, data)
         return CoverageRecord(**data)
+
+    # -- parallel grids ---------------------------------------------------------------
+    def sweep(
+        self,
+        points: list[tuple],
+        trials: int | None = None,
+        jobs: int | None = 1,
+        progress: ProgressCallback | None = None,
+    ) -> list[dict]:
+        """Evaluate ``(workload, scheme, issue_width, delay)`` grid points.
+
+        Returns one ``{"perf": PerfRecord, "coverage": CoverageRecord |
+        None}`` dict per point, in point order; ``coverage`` is computed
+        only when ``trials`` is given.  ``scheme`` may be a
+        :class:`~repro.pipeline.Scheme` or its string value.
+
+        With ``jobs > 1`` the points missing from the cache are computed in
+        worker processes (each worker memoizes in memory only) and every
+        record a worker produced — including the NOED reference points
+        coverage needs for rate matching — is merged back here, the sole
+        cache writer.  Point seeds derive from the point's coordinates, so
+        records and cache files are identical to a serial run.
+
+        ``progress`` receives one heartbeat per computed point.
+        """
+        norm: list[tuple[str, Scheme, int, int]] = []
+        for workload, scheme, issue_width, delay in points:
+            scheme = Scheme(scheme)
+            norm.append(
+                (workload, scheme, issue_width, _scheme_delay(scheme, delay))
+            )
+
+        def is_cached(point: tuple[str, Scheme, int, int]) -> bool:
+            workload, scheme, issue_width, delay = point
+            if self._load(self._perf_key(workload, scheme, issue_width, delay)) is None:
+                return False
+            if trials is None:
+                return True
+            return (
+                self._load(
+                    self._cov_key(workload, scheme, issue_width, delay, trials)
+                )
+                is not None
+            )
+
+        missing = [p for p in dict.fromkeys(norm) if not is_cached(p)]
+        tracker = ProgressTracker(len(missing), progress, every=1)
+        jobs = resolve_jobs(jobs)
+        if missing and (jobs <= 1 or len(missing) <= 1):
+            for workload, scheme, issue_width, delay in missing:
+                self.perf(workload, scheme, issue_width, delay)
+                if trials is not None:
+                    self.coverage(workload, scheme, issue_width, delay, trials)
+                tracker.advance(1, {})
+        elif missing:
+            if trials is not None:
+                # Rate-matched campaigns need the NOED reference perf of
+                # every protected point.  Compute those here (cheap: one
+                # compile + timed run, no campaign) so workers don't each
+                # redo them, then ship all known perf records along.
+                for workload, scheme, issue_width, delay in missing:
+                    if scheme is not Scheme.NOED:
+                        self.perf(workload, Scheme.NOED, issue_width, delay)
+            known = {
+                key: data
+                for key, data in self._mem.items()
+                if key.startswith(f"v{CACHE_VERSION}_perf_")
+            }
+            tasks = [
+                (self.seed, workload, scheme.value, issue_width, delay, trials, known)
+                for workload, scheme, issue_width, delay in missing
+            ]
+
+            def on_result(index: int, records: dict[str, dict]) -> None:
+                for key, data in records.items():
+                    self._store(key, data)
+                tracker.advance(1, {})
+
+            parallel_map(
+                _sweep_point_worker, tasks, jobs=jobs, on_result=on_result
+            )
+        return [
+            {
+                "perf": self.perf(workload, scheme, issue_width, delay),
+                "coverage": (
+                    self.coverage(workload, scheme, issue_width, delay, trials)
+                    if trials is not None
+                    else None
+                ),
+            }
+            for workload, scheme, issue_width, delay in norm
+        ]
+
+
+def _sweep_point_worker(task) -> dict[str, dict]:
+    """Compute one grid point in a worker process.
+
+    The worker evaluator never touches the disk cache — it preloads the
+    records the parent already has (``known``) and returns only the *new*
+    in-memory records (cache key -> JSON-ready dict) for the parent to
+    persist, which keeps a single writer per cache directory.
+    """
+    seed, workload, scheme_value, issue_width, delay, trials, known = task
+    ev = Evaluator(seed=seed, cache=False)
+    ev._mem.update(known)
+    scheme = Scheme(scheme_value)
+    ev.perf(workload, scheme, issue_width, delay)
+    if trials is not None:
+        ev.coverage(workload, scheme, issue_width, delay, trials)
+    return {key: data for key, data in ev._mem.items() if key not in known}

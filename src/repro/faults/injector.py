@@ -18,6 +18,14 @@ Trials execute on the sequential reference interpreter: outcome
 classification depends only on architectural state, and the interpreter
 sustains millions of instructions per second, which makes 300-trial
 campaigns cheap.
+
+Campaigns are *sharded*: the trial budget is split into fixed
+:data:`~repro.parallel.SHARD_TRIALS`-sized shards and every shard draws
+from its own RNG stream, seeded by ``(seed, shard_index)``.  The shard
+plan depends only on the trial count — never on the worker count — so a
+campaign's outcome counts are bit-identical for a given seed whether it
+runs serially (``jobs=1``) or fanned out over a process pool
+(``jobs=N``).  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from repro.ir.program import Program
 from repro.isa.registers import RegClass
 from repro.obs import get_telemetry
 from repro.obs.progress import ProgressCallback, ProgressTracker
+from repro.parallel import SHARD_TRIALS, parallel_map, plan_shards, resolve_jobs
 from repro.utils.rng import make_rng
 
 #: Watchdog budget = factor x golden dynamic instruction count.
@@ -72,6 +81,18 @@ class CampaignResult:
         return row
 
     def merged(self, other: "CampaignResult") -> "CampaignResult":
+        """Combine outcome counts of two campaigns over the *same* binary.
+
+        Merging is only well-defined for shards of one campaign (or repeat
+        campaigns) against the same golden run: a ``golden_dyn`` mismatch
+        means the results came from different binaries, whose fractions are
+        not comparable, so that is an error rather than a silent keep-mine.
+        """
+        if self.golden_dyn != other.golden_dyn:
+            raise ValueError(
+                "cannot merge campaigns over different binaries: "
+                f"golden_dyn {self.golden_dyn} != {other.golden_dyn}"
+            )
         counts = dict(self.counts)
         for k, v in other.counts.items():
             counts[k] = counts.get(k, 0) + v
@@ -93,6 +114,9 @@ class FaultInjector:
         mem_words: int | None = None,
         frame_words: int = 0,
     ) -> None:
+        # Kept so campaign shards can rebuild an identical injector inside
+        # pool workers (the interpreter's compiled closures don't pickle).
+        self._ctor_args = (program, mem_words, frame_words)
         self.interp = Interpreter(program, mem_words=mem_words, frame_words=frame_words)
         self.golden: RunResult = self.interp.run(record_trace=True)
         if not self.golden.block_trace:
@@ -161,6 +185,34 @@ class FaultInjector:
         result = self.interp.run(faults=faults, max_steps=self.max_steps)
         return classify(self.golden, result)
 
+    def run_shard(
+        self,
+        shard_index: int,
+        shard_trials: int,
+        seed: int,
+        reference_dyn: int | None = None,
+        on_trial=None,
+    ) -> tuple[dict[Outcome, int], int]:
+        """Run one campaign shard; returns ``(outcome counts, faults injected)``.
+
+        The shard's RNG stream is fully determined by ``(seed,
+        shard_index)``, so shards can execute in any order, in any process,
+        and still reproduce the same outcomes.  ``on_trial(outcome,
+        n_faults)`` fires after every trial (serial mode uses it for
+        per-trial telemetry and progress heartbeats).
+        """
+        rng = make_rng(seed, "fault-campaign", shard_index)
+        counts: dict[Outcome, int] = {}
+        total_faults = 0
+        for _ in range(shard_trials):
+            faults = self.faults_for_trial(rng, reference_dyn)
+            total_faults += len(faults)
+            outcome = self.run_trial(faults)
+            counts[outcome] = counts.get(outcome, 0) + 1
+            if on_trial is not None:
+                on_trial(outcome, len(faults))
+        return counts, total_faults
+
     def run_campaign(
         self,
         trials: int,
@@ -168,39 +220,45 @@ class FaultInjector:
         reference_dyn: int | None = None,
         progress: ProgressCallback | None = None,
         heartbeat: int = 25,
+        jobs: int | None = 1,
     ) -> CampaignResult:
         """Run ``trials`` Monte-Carlo trials and aggregate the outcomes.
+
+        The campaign is split into fixed-size shards (see
+        :data:`repro.parallel.SHARD_TRIALS`); ``jobs`` controls how many
+        run concurrently (1 = in-process serial, 0 = all cores).  Outcome
+        counts are identical for a given seed regardless of ``jobs``.
 
         ``progress`` (if given) receives a
         :class:`~repro.obs.progress.ProgressEvent` — completed trials,
         throughput, ETA, outcome counts so far — every ``heartbeat`` trials
-        and once at the end.  With telemetry enabled the whole campaign is a
-        ``campaign`` span and every trial emits one instant event carrying
-        its outcome and fault count.
+        and once at the end; with ``jobs > 1`` heartbeats aggregate across
+        workers at shard granularity.  With telemetry enabled the whole
+        campaign is a ``campaign`` span, and in serial mode every trial
+        additionally emits one instant event carrying its outcome and
+        fault count.
         """
         tel = get_telemetry()
-        rng = make_rng(seed, "fault-campaign")
+        jobs = resolve_jobs(jobs)
+        shard_plan = plan_shards(trials, SHARD_TRIALS)
         counts: dict[Outcome, int] = {}
         total_faults = 0
         tracker = ProgressTracker(trials, progress, every=heartbeat)
-        emit_trials = tel.enabled and tel.tracer is not None
         with tel.span(
             "campaign", cat="campaign", timer="campaign.seconds",
-            trials=trials, seed=seed,
+            trials=trials, seed=seed, jobs=jobs, shards=len(shard_plan),
             golden_dyn=self.golden.dyn_instructions,
         ) as sp:
-            for trial in range(trials):
-                faults = self.faults_for_trial(rng, reference_dyn)
-                total_faults += len(faults)
-                outcome = self.run_trial(faults)
-                counts[outcome] = counts.get(outcome, 0) + 1
-                if emit_trials:
-                    tel.instant(
-                        "trial", cat="campaign", index=trial,
-                        outcome=outcome.value, faults=len(faults),
-                    )
-                if progress is not None:
-                    tracker.step({o.value: n for o, n in counts.items()})
+            if jobs <= 1 or len(shard_plan) <= 1:
+                total_faults = self._run_shards_serial(
+                    shard_plan, seed, reference_dyn, tracker, counts, tel,
+                    progress_on=progress is not None,
+                )
+            else:
+                total_faults = self._run_shards_pool(
+                    shard_plan, seed, reference_dyn, tracker, counts, jobs,
+                    progress_on=progress is not None,
+                )
             tel.count("campaign.trials", trials)
             tel.count("campaign.faults_injected", total_faults)
             for o, n in counts.items():
@@ -216,6 +274,88 @@ class FaultInjector:
             golden_dyn=self.golden.dyn_instructions,
         )
 
+    def _run_shards_serial(
+        self, shard_plan, seed, reference_dyn, tracker, counts, tel,
+        progress_on: bool,
+    ) -> int:
+        """In-process shard loop with per-trial telemetry + heartbeats."""
+        emit_trials = tel.enabled and tel.tracer is not None
+        total_faults = 0
+        trial_index = 0
+
+        for shard_index, shard_trials in enumerate(shard_plan):
+
+            def on_trial(outcome: Outcome, n_faults: int) -> None:
+                nonlocal trial_index
+                counts[outcome] = counts.get(outcome, 0) + 1
+                if emit_trials:
+                    tel.instant(
+                        "trial", cat="campaign", index=trial_index,
+                        outcome=outcome.value, faults=n_faults,
+                    )
+                trial_index += 1
+                if progress_on:
+                    tracker.step({o.value: n for o, n in counts.items()})
+
+            _, faults = self.run_shard(
+                shard_index, shard_trials, seed, reference_dyn, on_trial=on_trial
+            )
+            total_faults += faults
+        return total_faults
+
+    def _run_shards_pool(
+        self, shard_plan, seed, reference_dyn, tracker, counts, jobs,
+        progress_on: bool,
+    ) -> int:
+        """Fan shards out over a process pool; merge as they complete."""
+        program, mem_words, frame_words = self._ctor_args
+        tasks = [
+            (shard_index, shard_trials, seed, reference_dyn)
+            for shard_index, shard_trials in enumerate(shard_plan)
+        ]
+        total_faults = 0
+
+        def on_result(index: int, result: tuple[dict[Outcome, int], int]) -> None:
+            nonlocal total_faults
+            shard_counts, faults = result
+            for o, n in shard_counts.items():
+                counts[o] = counts.get(o, 0) + n
+            total_faults += faults
+            if progress_on:
+                tracker.advance(
+                    shard_plan[index], {o.value: n for o, n in counts.items()}
+                )
+
+        parallel_map(
+            _campaign_shard_worker,
+            tasks,
+            jobs=jobs,
+            initializer=_init_campaign_worker,
+            initargs=(program, mem_words, frame_words),
+            on_result=on_result,
+        )
+        return total_faults
+
+
+#: Per-process injector cache for campaign shard workers: the binary is
+#: profiled once per worker, then reused for every shard that lands there.
+_worker_injector: FaultInjector | None = None
+
+
+def _init_campaign_worker(program, mem_words, frame_words) -> None:
+    global _worker_injector
+    _worker_injector = FaultInjector(
+        program, mem_words=mem_words, frame_words=frame_words
+    )
+
+
+def _campaign_shard_worker(task) -> tuple[dict[Outcome, int], int]:
+    shard_index, shard_trials, seed, reference_dyn = task
+    assert _worker_injector is not None, "worker initializer did not run"
+    return _worker_injector.run_shard(
+        shard_index, shard_trials, seed, reference_dyn
+    )
+
 
 def run_campaign(
     program: Program,
@@ -226,10 +366,11 @@ def run_campaign(
     reference_dyn: int | None = None,
     progress: ProgressCallback | None = None,
     heartbeat: int = 25,
+    jobs: int | None = 1,
 ) -> CampaignResult:
     """Convenience wrapper: profile + campaign in one call."""
     injector = FaultInjector(program, mem_words=mem_words, frame_words=frame_words)
     return injector.run_campaign(
         trials, seed, reference_dyn=reference_dyn,
-        progress=progress, heartbeat=heartbeat,
+        progress=progress, heartbeat=heartbeat, jobs=jobs,
     )

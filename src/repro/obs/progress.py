@@ -78,10 +78,24 @@ class ProgressTracker:
 
     def step(self, counts: dict) -> None:
         """Record one finished trial; fire the callback on heartbeat trials."""
-        self.done += 1
-        if self.callback is None:
+        self.advance(1, counts)
+
+    def advance(self, n: int, counts: dict) -> None:
+        """Record ``n`` finished trials at once.
+
+        This is the cross-worker aggregation path: when a campaign or sweep
+        fans out over a process pool, the parent advances one shared
+        tracker by a whole shard (or grid point) as each worker result
+        lands.  The callback fires whenever the batch crosses a heartbeat
+        boundary, and once at the end.
+        """
+        if n < 0:
+            raise ValueError(f"cannot advance by {n}")
+        before = self.done
+        self.done += n
+        if self.callback is None or n == 0:
             return
-        if self.done % self.every == 0 or self.done == self.total:
+        if self.done // self.every > before // self.every or self.done >= self.total:
             self.n_events += 1
             self.callback(self._event(counts))
 

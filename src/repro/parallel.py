@@ -1,0 +1,135 @@
+"""Process-pool plumbing for the parallel evaluation engine.
+
+The evaluation workloads — Monte-Carlo fault campaigns and (workload,
+scheme, issue-width, delay) sweep grids — are embarrassingly parallel, so
+this module provides the three small pieces everything else builds on:
+
+* :func:`resolve_jobs` — turn a user-facing ``--jobs`` value (``None``,
+  ``0`` = all cores, ``N``) into a concrete worker count, honouring the
+  ``REPRO_JOBS`` environment variable as the default;
+* :func:`plan_shards` — split a trial budget into fixed-size shards.  The
+  decomposition depends only on the trial count, **never** on the worker
+  count, which is what makes campaign results bit-identical for a given
+  seed regardless of ``--jobs`` (each shard owns an RNG stream derived
+  from ``(seed, shard_index)``);
+* :func:`parallel_map` — an order-preserving ``map`` over a
+  ``ProcessPoolExecutor`` with an inline fast path, per-result completion
+  callbacks (for cross-worker progress aggregation), and worker
+  bootstrapping that disables the parent's telemetry sinks (a forked
+  trace-file handle would interleave writes from every process).
+
+Workers are separate processes: the mapped function and its tasks must be
+module-level / picklable, and results travel back by value.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Sequence
+
+#: Fixed trials-per-shard for fault campaigns.  Part of the determinism
+#: contract: changing it changes which RNG stream each trial draws from,
+#: so treat it like a cache-version bump.
+SHARD_TRIALS = 25
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a ``--jobs`` value into a concrete worker count (>= 1).
+
+    ``None`` falls back to the ``REPRO_JOBS`` environment variable (itself
+    defaulting to 1 — parallelism is always opt-in); ``0`` means "all
+    cores"; negative values are rejected.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def plan_shards(total: int, shard_size: int = SHARD_TRIALS) -> list[int]:
+    """Split ``total`` trials into shard sizes: ``[shard_size, ..., rest]``.
+
+    The plan is a pure function of ``total`` (and the fixed shard size) so
+    that serial and parallel executions decompose identically.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    full, rest = divmod(total, shard_size)
+    plan = [shard_size] * full
+    if rest:
+        plan.append(rest)
+    return plan
+
+
+def _pool_bootstrap(initializer: Callable[..., None] | None, initargs: tuple) -> None:
+    """Run in every worker before its first task.
+
+    Telemetry objects forked from the parent share its trace-file handle;
+    writing to it from several processes would interleave JSON lines, so
+    workers always start with telemetry disabled.
+    """
+    from repro import obs
+
+    obs.reset()
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    jobs: int | None = 1,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+    on_result: Callable[[int, Any], None] | None = None,
+) -> list[Any]:
+    """Map ``fn`` over ``tasks``, preserving task order in the result list.
+
+    With ``jobs <= 1`` (or fewer than two tasks) everything runs inline in
+    the calling process and ``initializer`` is **not** invoked — inline
+    callers must not rely on worker-only globals.  Otherwise tasks are
+    distributed over a :class:`ProcessPoolExecutor` of
+    ``min(jobs, len(tasks))`` workers.
+
+    ``on_result(index, result)`` fires as each task finishes (completion
+    order, not task order) — the hook the campaign and sweep drivers use to
+    aggregate cross-worker progress into one
+    :class:`~repro.obs.progress.ProgressTracker`.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        results = []
+        for i, task in enumerate(tasks):
+            result = fn(task)
+            if on_result is not None:
+                on_result(i, result)
+            results.append(result)
+        return results
+
+    results: list[Any] = [None] * len(tasks)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(tasks)),
+        initializer=_pool_bootstrap,
+        initargs=(initializer, initargs),
+    ) as pool:
+        pending = {pool.submit(fn, task): i for i, task in enumerate(tasks)}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                i = pending.pop(future)
+                result = future.result()  # propagate worker exceptions
+                results[i] = result
+                if on_result is not None:
+                    on_result(i, result)
+    return results

@@ -286,14 +286,16 @@ class VLIWExecutor:
                 fns = code.fns
                 mem_kind = code.mem_kind
                 cyc = code.cycles
+                addr_slot = code.addr_slot
+                addr_off = code.addr_off
                 for i in range(code.n):
                     mk = mem_kind[i]
                     if mk:
-                        slot = code.addr_slot[i]
+                        slot = addr_slot[i]
                         if slot >= 0:
-                            addr = (R[slot] + code.addr_off[i]) & _MASK
+                            addr = (R[slot] + addr_off[i]) & _MASK
                         else:
-                            addr = code.addr_off[i]
+                            addr = addr_off[i]
                         # The closure re-validates the address and traps; we
                         # only charge the cache when the access is legal.
                         if 1 <= addr < interp.mem_words:
