@@ -247,6 +247,8 @@ def cmd_inject(args) -> int:
     from repro.faults.classify import OUTCOME_ORDER
     from repro.faults.injector import FaultInjector
 
+    if args.resume and not args.checkpoint:
+        raise ReproError("--resume requires --checkpoint FILE")
     program = _load_program(args.program)
     machine = _machine(args)
     scheme = Scheme(args.scheme)
@@ -259,6 +261,7 @@ def cmd_inject(args) -> int:
         compiled.program,
         mem_words=compiled.mem_words,
         frame_words=compiled.frame_words,
+        fault_model=args.fault_model,
     )
     progress = None
     if args.progress:
@@ -270,6 +273,7 @@ def cmd_inject(args) -> int:
     res = injector.run_campaign(
         args.trials, args.seed, reference_dyn=reference,
         progress=progress, heartbeat=args.heartbeat, jobs=_jobs(args),
+        checkpoint=args.checkpoint, resume=args.resume,
     )
     rows = [
         [o.value, res.counts.get(o, 0), f"{res.fraction(o) * 100:.1f}%"]
@@ -279,11 +283,23 @@ def cmd_inject(args) -> int:
         format_table(
             ["outcome", "trials", "fraction"],
             rows,
-            title=f"{args.program} / {args.scheme}: {args.trials} trials, "
-            f"{res.total_faults_injected} bit flips",
+            title=f"{args.program} / {args.scheme}: {res.trials} trials, "
+            f"{res.total_faults_injected} faults ({args.fault_model})",
         )
     )
     print(f"coverage (1 - SDC - timeout): {res.coverage * 100:.1f}%")
+    if res.detections_timed:
+        print(
+            "mean detection latency: "
+            f"{res.mean_detection_latency:.0f} dyn instructions "
+            f"({res.detections_timed} timed detections)"
+        )
+    if res.partial:
+        print(
+            f"WARNING: partial result — {res.lost_trials} trial(s) lost to "
+            "unrecoverable worker crashes",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -368,6 +384,13 @@ def cmd_recover(args) -> int:
     if scheme is not Scheme.NOED:
         noed = compile_program(program, Scheme.NOED, machine)
         reference = VLIWExecutor(noed).run().dyn_instructions
+    progress = None
+    if args.progress:
+        if args.heartbeat < 1:
+            raise ReproError(f"--heartbeat must be >= 1, got {args.heartbeat}")
+        from repro.obs.progress import print_progress
+
+        progress = print_progress
     res = run_recovery_campaign(
         compiled.program,
         trials=args.trials,
@@ -375,6 +398,9 @@ def cmd_recover(args) -> int:
         mem_words=compiled.mem_words,
         frame_words=compiled.frame_words,
         reference_dyn=reference,
+        fault_model=args.fault_model,
+        progress=progress,
+        heartbeat=args.heartbeat,
     )
     rows = [
         [key, res.counts.get(key, 0), f"{res.fraction(key) * 100:.1f}%"]
@@ -458,7 +484,7 @@ _REPORT_ORDER = [
     "ablation_register_reuse", "ablation_mlp", "ablation_if_conversion",
     "extension_cluster_scaling", "extension_profile_guided",
     "extension_partial_redundancy", "extension_memory_latency",
-    "extension_recovery",
+    "extension_recovery", "fault_model_coverage",
 ]
 
 
@@ -528,6 +554,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--heartbeat", type=int, default=25,
         help="trials between progress heartbeats (default: 25)",
     )
+    from repro.faults.models import DEFAULT_FAULT_MODEL, fault_model_names
+
+    p.add_argument(
+        "--fault-model", choices=fault_model_names(),
+        default=DEFAULT_FAULT_MODEL,
+        help=f"fault model to sample from (default: {DEFAULT_FAULT_MODEL})",
+    )
+    p.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="JSONL file recording completed shards as the campaign runs",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="skip shards already recorded in --checkpoint FILE",
+    )
     p.set_defaults(fn=cmd_inject)
 
     p = sub.add_parser("sweep", help="slowdown grid over issue widths and delays")
@@ -558,6 +599,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs(p)
     p.add_argument("--trials", type=int, default=200)
     p.add_argument("--seed", type=int, default=2013)
+    p.add_argument(
+        "--progress", action="store_true",
+        help="print heartbeat lines with throughput and ETA during the campaign",
+    )
+    p.add_argument(
+        "--heartbeat", type=int, default=25,
+        help="trials between progress heartbeats (default: 25)",
+    )
+    p.add_argument(
+        "--fault-model", choices=fault_model_names(),
+        default=DEFAULT_FAULT_MODEL,
+        help=f"fault model to sample from (default: {DEFAULT_FAULT_MODEL})",
+    )
     p.set_defaults(fn=cmd_recover)
 
     p = sub.add_parser(

@@ -84,6 +84,10 @@ class CoverageRecord:
     trials: int
     fractions: dict  # outcome value -> fraction
     total_faults: int
+    # Defaults keep records loadable from cache entries written before the
+    # fault-model / detection-latency fields existed.
+    fault_model: str = "reg-bit"
+    mean_detection_latency: float = 0.0
 
     def fraction(self, outcome: Outcome) -> float:
         return self.fractions.get(outcome.value, 0.0)
@@ -185,11 +189,20 @@ class Evaluator:
         return f"v{CACHE_VERSION}_perf_{workload}_{scheme.value}_iw{issue_width}_d{delay}"
 
     def _cov_key(
-        self, workload: str, scheme: Scheme, issue_width: int, delay: int, trials: int
+        self,
+        workload: str,
+        scheme: Scheme,
+        issue_width: int,
+        delay: int,
+        trials: int,
+        fault_model: str = "reg-bit",
     ) -> str:
+        # The default model keeps the historical key shape so existing cache
+        # entries (and their recorded figures) stay valid.
+        suffix = "" if fault_model == "reg-bit" else f"_fm-{fault_model}"
         return (
             f"v{CACHE_VERSION}_cov_{workload}_{scheme.value}_iw{issue_width}_d{delay}"
-            f"_t{trials}_s{self.seed}"
+            f"_t{trials}_s{self.seed}{suffix}"
         )
 
     # -- performance ---------------------------------------------------------------
@@ -233,9 +246,10 @@ class Evaluator:
         issue_width: int,
         delay: int,
         trials: int,
+        fault_model: str = "reg-bit",
     ) -> CoverageRecord:
         delay = _scheme_delay(scheme, delay)
-        key = self._cov_key(workload, scheme, issue_width, delay, trials)
+        key = self._cov_key(workload, scheme, issue_width, delay, trials, fault_model)
         data = self._load(key)
         if data is None:
             reference_dyn = None
@@ -244,7 +258,8 @@ class Evaluator:
                 reference_dyn = noed.dyn_instructions
             cp = self.compiled(workload, scheme, issue_width, delay)
             injector = FaultInjector(
-                cp.program, mem_words=cp.mem_words, frame_words=cp.frame_words
+                cp.program, mem_words=cp.mem_words, frame_words=cp.frame_words,
+                fault_model=fault_model,
             )
             campaign: CampaignResult = injector.run_campaign(
                 trials=trials,
@@ -261,6 +276,8 @@ class Evaluator:
                     (o, campaign.fraction(o)) for o in Outcome
                 )},
                 "total_faults": campaign.total_faults_injected,
+                "fault_model": fault_model,
+                "mean_detection_latency": campaign.mean_detection_latency,
             }
             self._store(key, data)
         return CoverageRecord(**data)

@@ -1,10 +1,34 @@
 """Monte-Carlo transient-fault injection (paper §IV-C)."""
 
-from repro.faults.classify import Outcome, classify
+from repro.faults.checkpoint import CampaignCheckpoint, CheckpointError
+from repro.faults.classify import Outcome, classify, detection_latency
 from repro.faults.injector import (
     CampaignResult,
     FaultInjector,
+    ShardResult,
     run_campaign,
 )
+from repro.faults.models import (
+    DEFAULT_FAULT_MODEL,
+    FAULT_MODELS,
+    FaultModel,
+    fault_model_names,
+    get_fault_model,
+)
 
-__all__ = ["Outcome", "classify", "FaultInjector", "CampaignResult", "run_campaign"]
+__all__ = [
+    "Outcome",
+    "classify",
+    "detection_latency",
+    "FaultInjector",
+    "CampaignResult",
+    "ShardResult",
+    "run_campaign",
+    "CampaignCheckpoint",
+    "CheckpointError",
+    "FaultModel",
+    "FAULT_MODELS",
+    "DEFAULT_FAULT_MODEL",
+    "fault_model_names",
+    "get_fault_model",
+]

@@ -48,3 +48,22 @@ def classify(golden: RunResult, trial: RunResult) -> Outcome:
     if trial.output == golden.output and trial.exit_code == golden.exit_code:
         return Outcome.BENIGN
     return Outcome.SDC
+
+
+def detection_latency(trial: RunResult, faults) -> int | None:
+    """Dynamic instructions from the first *applied* fault to detection.
+
+    RepTFD argues detection *latency* matters as much as detection rate: a
+    check that fires a million instructions late protects nothing the fault
+    already leaked.  Latency is measured from the commit point of the
+    earliest fault that actually landed inside the run (a rate-matched trial
+    can carry faults past the detection point — those never fired) to the
+    ``CHKBR`` that ended it.  ``None`` for non-detected runs or when no
+    fault had been applied yet (a spurious check firing).
+    """
+    if trial.kind is not ExitKind.DETECTED:
+        return None
+    applied = [f.dyn_index + 1 for f in faults if f.dyn_index < trial.dyn_instructions]
+    if not applied:
+        return None
+    return trial.dyn_instructions - min(applied)

@@ -4,15 +4,20 @@ Methodology (paper §IV-C):
 
 * the binary is profiled once to count dynamic instructions and find which
   of them produce a register output;
-* each trial picks a random output-producing dynamic instruction, a random
-  output register (ours have at most one), and a random bit to flip;
-* plain binaries (NOED) receive exactly one flip per trial.  Protected
+* each trial draws faults from a pluggable **fault model** (see
+  :mod:`repro.faults.models`): the default ``reg-bit`` model picks a random
+  output-producing dynamic instruction, a random output register (ours have
+  at most one), and a random bit to flip — the paper's model, with its RNG
+  stream frozen so historical results reproduce;
+* plain binaries (NOED) receive exactly one fault per trial.  Protected
   binaries are larger, so — to keep the *error rate* fixed — each of their
-  trials receives ``Binomial(dyn_protected, 1 / dyn_reference)`` flips
+  trials receives ``Binomial(dyn_protected, 1 / dyn_reference)`` faults
   (resampled to be at least one), where ``dyn_reference`` is the original
   binary's dynamic instruction count;
 * the run is classified against the golden run (see
-  :mod:`repro.faults.classify`); a watchdog bounds runaway executions.
+  :mod:`repro.faults.classify`), each detected trial additionally records
+  its **detection latency** (dynamic instructions from injection to the
+  ``CHKBR`` firing), and a watchdog bounds runaway executions.
 
 Trials execute on the sequential reference interpreter: outcome
 classification depends only on architectural state, and the interpreter
@@ -26,16 +31,36 @@ plan depends only on the trial count — never on the worker count — so a
 campaign's outcome counts are bit-identical for a given seed whether it
 runs serially (``jobs=1``) or fanned out over a process pool
 (``jobs=N``).  See ``docs/performance.md``.
+
+Sharding also buys **resilience** (``docs/fault_injection.md``):
+
+* a ``checkpoint`` file records every completed shard as an appended JSONL
+  line; ``resume=True`` skips the recorded shards, and because each shard's
+  RNG stream is self-contained the merged result is bit-identical to an
+  uninterrupted run;
+* a shard whose pool worker dies is retried with backoff on a fresh
+  worker; when a shard exhausts its retries the campaign degrades
+  gracefully — surviving shards are merged, the lost trial count is
+  logged, and the result is marked ``partial`` instead of raising.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.errors import SimError
-from repro.faults.classify import OUTCOME_ORDER, Outcome, classify
+from repro.faults.checkpoint import CampaignCheckpoint
+from repro.faults.classify import (
+    OUTCOME_ORDER,
+    Outcome,
+    classify,
+    detection_latency,
+)
+from repro.faults.models import DEFAULT_FAULT_MODEL, get_fault_model
 from repro.ir.interp import FaultSpec, Interpreter, RunResult
 from repro.ir.program import Program
 from repro.isa.registers import RegClass
@@ -44,25 +69,82 @@ from repro.obs.progress import ProgressCallback, ProgressTracker
 from repro.parallel import SHARD_TRIALS, parallel_map, plan_shards, resolve_jobs
 from repro.utils.rng import make_rng
 
+logger = logging.getLogger(__name__)
+
 #: Watchdog budget = factor x golden dynamic instruction count.
 WATCHDOG_FACTOR = 25
+
+#: Default extra attempts for a shard whose pool worker died.
+SHARD_RETRIES = 2
+
+#: Default seconds of backoff between shard retry rounds (scaled by round).
+SHARD_RETRY_BACKOFF = 0.5
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Outcome of one campaign shard (the unit of checkpointing/retry)."""
+
+    index: int
+    trials: int
+    counts: dict[Outcome, int]
+    faults: int
+    #: Detection latency (dyn instructions, injection -> CHKBR) of every
+    #: detected trial in the shard, in trial order.
+    latencies: tuple[int, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "shard": self.index,
+            "trials": self.trials,
+            "counts": {o.value: n for o, n in self.counts.items()},
+            "faults": self.faults,
+            "latencies": list(self.latencies),
+        }
+
+    @classmethod
+    def from_json(cls, rec: dict) -> "ShardResult":
+        return cls(
+            index=int(rec["shard"]),
+            trials=int(rec["trials"]),
+            counts={Outcome(k): int(v) for k, v in rec["counts"].items()},
+            faults=int(rec["faults"]),
+            latencies=tuple(int(v) for v in rec.get("latencies", ())),
+        )
 
 
 @dataclass
 class CampaignResult:
-    """Aggregated outcome counts of one campaign."""
+    """Aggregated outcome counts of one campaign.
+
+    ``trials`` counts the trials that actually completed.  A campaign that
+    lost shards to unrecoverable worker crashes is ``partial``: its
+    fractions are still well-defined (they divide by the completed count)
+    but cover ``lost_trials`` fewer trials than requested.
+    """
 
     trials: int
     counts: dict[Outcome, int] = field(default_factory=dict)
     total_faults_injected: int = 0
     golden_dyn: int = 0
+    fault_model: str = DEFAULT_FAULT_MODEL
+    detection_latency_sum: int = 0
+    detections_timed: int = 0
+    lost_trials: int = 0
+    partial: bool = False
 
     def fraction(self, outcome: Outcome) -> float:
         return self.counts.get(outcome, 0) / self.trials if self.trials else 0.0
 
     @property
     def coverage(self) -> float:
-        """Everything that is not silent corruption or a hang."""
+        """Everything that is not silent corruption or a hang.
+
+        An empty campaign (``trials == 0``) covers nothing — 0.0, not the
+        1.0 that "no observed SDC" would naively suggest.
+        """
+        if not self.trials:
+            return 0.0
         return 1.0 - self.fraction(Outcome.SDC) - self.fraction(Outcome.TIMEOUT)
 
     @property
@@ -75,6 +157,13 @@ class CampaignResult:
         """
         return self.fraction(Outcome.DETECTED) + self.fraction(Outcome.EXCEPTION)
 
+    @property
+    def mean_detection_latency(self) -> float:
+        """Mean dynamic instructions from injection to the check firing."""
+        if not self.detections_timed:
+            return 0.0
+        return self.detection_latency_sum / self.detections_timed
+
     def as_row(self) -> dict[str, float]:
         row = {o.value: self.fraction(o) for o in OUTCOME_ORDER}
         row["coverage"] = self.coverage
@@ -84,14 +173,20 @@ class CampaignResult:
         """Combine outcome counts of two campaigns over the *same* binary.
 
         Merging is only well-defined for shards of one campaign (or repeat
-        campaigns) against the same golden run: a ``golden_dyn`` mismatch
-        means the results came from different binaries, whose fractions are
-        not comparable, so that is an error rather than a silent keep-mine.
+        campaigns) against the same golden run and fault model: a mismatch
+        means the results came from different experiments, whose fractions
+        are not comparable, so that is an error rather than a silent
+        keep-mine.
         """
         if self.golden_dyn != other.golden_dyn:
             raise ValueError(
                 "cannot merge campaigns over different binaries: "
                 f"golden_dyn {self.golden_dyn} != {other.golden_dyn}"
+            )
+        if self.fault_model != other.fault_model:
+            raise ValueError(
+                "cannot merge campaigns under different fault models: "
+                f"{self.fault_model} != {other.fault_model}"
             )
         counts = dict(self.counts)
         for k, v in other.counts.items():
@@ -102,6 +197,12 @@ class CampaignResult:
             total_faults_injected=self.total_faults_injected
             + other.total_faults_injected,
             golden_dyn=self.golden_dyn,
+            fault_model=self.fault_model,
+            detection_latency_sum=self.detection_latency_sum
+            + other.detection_latency_sum,
+            detections_timed=self.detections_timed + other.detections_timed,
+            lost_trials=self.lost_trials + other.lost_trials,
+            partial=self.partial or other.partial,
         )
 
 
@@ -113,10 +214,12 @@ class FaultInjector:
         program: Program,
         mem_words: int | None = None,
         frame_words: int = 0,
+        fault_model: str = DEFAULT_FAULT_MODEL,
     ) -> None:
         # Kept so campaign shards can rebuild an identical injector inside
         # pool workers (the interpreter's compiled closures don't pickle).
-        self._ctor_args = (program, mem_words, frame_words)
+        self._ctor_args = (program, mem_words, frame_words, fault_model)
+        self.program = program
         self.interp = Interpreter(program, mem_words=mem_words, frame_words=frame_words)
         self.golden: RunResult = self.interp.run(record_trace=True)
         if not self.golden.block_trace:
@@ -150,9 +253,18 @@ class FaultInjector:
         self._trace = trace
         self.max_steps = self.golden.dyn_instructions * WATCHDOG_FACTOR + 10_000
 
+        self.fault_model = fault_model
+        self.model = get_fault_model(fault_model)
+        self.model.prepare(self)
+
     # -- sampling ------------------------------------------------------------
     def sample_fault(self, rng: np.random.Generator) -> FaultSpec:
-        """Uniformly pick an output-producing dynamic instruction + bit."""
+        """Uniformly pick an output-producing dynamic instruction + bit.
+
+        This is the frozen ``reg-bit`` sampling path: its RNG draw sequence
+        must never change, or default campaigns stop reproducing historical
+        results (treat any change like a cache-version bump).
+        """
         if self.n_dest_sites == 0:
             raise SimError("program has no output-producing instructions")
         site = int(rng.integers(self.n_dest_sites))
@@ -171,14 +283,15 @@ class FaultInjector:
     def faults_for_trial(
         self, rng: np.random.Generator, reference_dyn: int | None
     ) -> tuple[FaultSpec, ...]:
-        """One flip, or rate-matched flips when ``reference_dyn`` is given."""
+        """One fault, or rate-matched faults when ``reference_dyn`` is given."""
+        sample = self.model.sample
         if reference_dyn is None or reference_dyn >= self.golden.dyn_instructions:
-            return (self.sample_fault(rng),)
+            return (sample(self, rng),)
         p = 1.0 / reference_dyn
         n = 0
         while n == 0:
             n = int(rng.binomial(self.golden.dyn_instructions, p))
-        return tuple(self.sample_fault(rng) for _ in range(n))
+        return tuple(sample(self, rng) for _ in range(n))
 
     # -- the campaign -----------------------------------------------------------
     def run_trial(self, faults: tuple[FaultSpec, ...]) -> Outcome:
@@ -192,26 +305,39 @@ class FaultInjector:
         seed: int,
         reference_dyn: int | None = None,
         on_trial=None,
-    ) -> tuple[dict[Outcome, int], int]:
-        """Run one campaign shard; returns ``(outcome counts, faults injected)``.
+    ) -> ShardResult:
+        """Run one campaign shard.
 
         The shard's RNG stream is fully determined by ``(seed,
         shard_index)``, so shards can execute in any order, in any process,
-        and still reproduce the same outcomes.  ``on_trial(outcome,
-        n_faults)`` fires after every trial (serial mode uses it for
-        per-trial telemetry and progress heartbeats).
+        and still reproduce the same outcomes — the property checkpoint
+        resume and crash retry both lean on.  ``on_trial(outcome, n_faults,
+        latency)`` fires after every trial (serial mode uses it for
+        per-trial telemetry and progress heartbeats; ``latency`` is ``None``
+        for non-detected trials).
         """
         rng = make_rng(seed, "fault-campaign", shard_index)
         counts: dict[Outcome, int] = {}
         total_faults = 0
+        latencies: list[int] = []
         for _ in range(shard_trials):
             faults = self.faults_for_trial(rng, reference_dyn)
             total_faults += len(faults)
-            outcome = self.run_trial(faults)
+            result = self.interp.run(faults=faults, max_steps=self.max_steps)
+            outcome = classify(self.golden, result)
             counts[outcome] = counts.get(outcome, 0) + 1
+            latency = detection_latency(result, faults)
+            if latency is not None:
+                latencies.append(latency)
             if on_trial is not None:
-                on_trial(outcome, len(faults))
-        return counts, total_faults
+                on_trial(outcome, len(faults), latency)
+        return ShardResult(
+            index=shard_index,
+            trials=shard_trials,
+            counts=counts,
+            faults=total_faults,
+            latencies=tuple(latencies),
+        )
 
     def run_campaign(
         self,
@@ -221,6 +347,10 @@ class FaultInjector:
         progress: ProgressCallback | None = None,
         heartbeat: int = 25,
         jobs: int | None = 1,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
+        retries: int = SHARD_RETRIES,
+        retry_backoff: float = SHARD_RETRY_BACKOFF,
     ) -> CampaignResult:
         """Run ``trials`` Monte-Carlo trials and aggregate the outcomes.
 
@@ -229,63 +359,137 @@ class FaultInjector:
         run concurrently (1 = in-process serial, 0 = all cores).  Outcome
         counts are identical for a given seed regardless of ``jobs``.
 
+        ``checkpoint`` names a JSONL file that records every completed
+        shard as it lands; ``resume=True`` loads it first and skips the
+        recorded shards, yielding counts bit-identical to an uninterrupted
+        run (``docs/fault_injection.md`` documents the format).  With
+        ``jobs > 1``, a shard whose worker dies is retried up to
+        ``retries`` times with backoff on a fresh worker; a shard that
+        exhausts its retries is *dropped* — the campaign merges the
+        surviving shards, logs the loss, and returns a ``partial`` result
+        (the lost shards stay absent from the checkpoint, so a later
+        ``resume`` retries exactly those).
+
         ``progress`` (if given) receives a
         :class:`~repro.obs.progress.ProgressEvent` — completed trials,
         throughput, ETA, outcome counts so far — every ``heartbeat`` trials
         and once at the end; with ``jobs > 1`` heartbeats aggregate across
         workers at shard granularity.  With telemetry enabled the whole
-        campaign is a ``campaign`` span, and in serial mode every trial
-        additionally emits one instant event carrying its outcome and
-        fault count.
+        campaign is a ``campaign`` span, detection latencies feed the
+        ``campaign.detection_latency`` histogram, and in serial mode every
+        trial additionally emits one instant event carrying its outcome
+        and fault count.
         """
         tel = get_telemetry()
         jobs = resolve_jobs(jobs)
         shard_plan = plan_shards(trials, SHARD_TRIALS)
         counts: dict[Outcome, int] = {}
-        total_faults = 0
+        state = {"faults": 0, "latency_sum": 0, "latency_n": 0}
         tracker = ProgressTracker(trials, progress, every=heartbeat)
+
+        ckpt: CampaignCheckpoint | None = None
+        done: dict[int, ShardResult] = {}
+        if checkpoint is not None:
+            ckpt = CampaignCheckpoint(
+                checkpoint,
+                header={
+                    "seed": seed,
+                    "trials": trials,
+                    "fault_model": self.fault_model,
+                    "golden_dyn": self.golden.dyn_instructions,
+                    "shard_trials": SHARD_TRIALS,
+                    "reference_dyn": reference_dyn,
+                },
+            )
+            done = {
+                index: ShardResult.from_json(rec)
+                for index, rec in ckpt.load(resume).items()
+                if index < len(shard_plan)
+            }
+
+        def absorb(sr: ShardResult, fresh: bool) -> None:
+            """Merge one shard; persist it when freshly computed."""
+            for o, n in sr.counts.items():
+                counts[o] = counts.get(o, 0) + n
+            state["faults"] += sr.faults
+            state["latency_sum"] += sum(sr.latencies)
+            state["latency_n"] += len(sr.latencies)
+            for v in sr.latencies:
+                tel.observe("campaign.detection_latency", v)
+            if fresh and ckpt is not None:
+                ckpt.append(sr.to_json())
+            if progress is not None:
+                tracker.advance(sr.trials, {o.value: n for o, n in counts.items()})
+
+        lost_shards: list[int] = []
         with tel.span(
             "campaign", cat="campaign", timer="campaign.seconds",
             trials=trials, seed=seed, jobs=jobs, shards=len(shard_plan),
+            fault_model=self.fault_model, resumed_shards=len(done),
             golden_dyn=self.golden.dyn_instructions,
         ) as sp:
-            if jobs <= 1 or len(shard_plan) <= 1:
-                total_faults = self._run_shards_serial(
-                    shard_plan, seed, reference_dyn, tracker, counts, tel,
-                    progress_on=progress is not None,
+            for index in sorted(done):
+                absorb(done[index], fresh=False)
+            remaining = [
+                (index, n) for index, n in enumerate(shard_plan) if index not in done
+            ]
+            if jobs <= 1 or len(remaining) <= 1:
+                self._run_shards_serial(
+                    remaining, seed, reference_dyn, tracker, counts, tel,
+                    state, ckpt, progress_on=progress is not None,
                 )
             else:
-                total_faults = self._run_shards_pool(
-                    shard_plan, seed, reference_dyn, tracker, counts, jobs,
-                    progress_on=progress is not None,
+                self._run_shards_pool(
+                    remaining, seed, reference_dyn, jobs, absorb, lost_shards,
+                    retries=retries, retry_backoff=retry_backoff,
                 )
-            tel.count("campaign.trials", trials)
-            tel.count("campaign.faults_injected", total_faults)
+            lost_trials = sum(shard_plan[index] for index in lost_shards)
+            completed = sum(counts.values())
+            if lost_trials:
+                logger.warning(
+                    "campaign lost %d trial(s) across %d shard(s) to "
+                    "unrecoverable worker crashes; returning partial result "
+                    "(%d/%d trials)",
+                    lost_trials, len(lost_shards), completed, trials,
+                )
+                tel.count("campaign.lost_trials", lost_trials)
+            tel.count("campaign.trials", completed)
+            tel.count("campaign.faults_injected", state["faults"])
             for o, n in counts.items():
                 tel.count(f"campaign.outcome.{o.value}", n)
             sp.set(
-                faults=total_faults,
+                faults=state["faults"], lost_trials=lost_trials,
                 **{f"outcome_{o.value}": n for o, n in counts.items()},
             )
         return CampaignResult(
-            trials=trials,
+            trials=completed,
             counts=counts,
-            total_faults_injected=total_faults,
+            total_faults_injected=state["faults"],
             golden_dyn=self.golden.dyn_instructions,
+            fault_model=self.fault_model,
+            detection_latency_sum=state["latency_sum"],
+            detections_timed=state["latency_n"],
+            lost_trials=lost_trials,
+            partial=lost_trials > 0,
         )
 
     def _run_shards_serial(
-        self, shard_plan, seed, reference_dyn, tracker, counts, tel,
-        progress_on: bool,
-    ) -> int:
-        """In-process shard loop with per-trial telemetry + heartbeats."""
+        self, remaining, seed, reference_dyn, tracker, counts, tel,
+        state, ckpt, progress_on: bool,
+    ) -> None:
+        """In-process shard loop with per-trial telemetry + heartbeats.
+
+        Outcome counts and progress heartbeats are applied trial by trial
+        (so heartbeats land mid-shard); the shard's fault total, latency
+        histogram entries, and checkpoint record land once the shard
+        completes.
+        """
         emit_trials = tel.enabled and tel.tracer is not None
-        total_faults = 0
         trial_index = 0
 
-        for shard_index, shard_trials in enumerate(shard_plan):
+        for shard_index, shard_trials in remaining:
 
-            def on_trial(outcome: Outcome, n_faults: int) -> None:
+            def on_trial(outcome: Outcome, n_faults: int, latency) -> None:
                 nonlocal trial_index
                 counts[outcome] = counts.get(outcome, 0) + 1
                 if emit_trials:
@@ -297,44 +501,47 @@ class FaultInjector:
                 if progress_on:
                     tracker.step({o.value: n for o, n in counts.items()})
 
-            _, faults = self.run_shard(
+            sr = self.run_shard(
                 shard_index, shard_trials, seed, reference_dyn, on_trial=on_trial
             )
-            total_faults += faults
-        return total_faults
+            state["faults"] += sr.faults
+            state["latency_sum"] += sum(sr.latencies)
+            state["latency_n"] += len(sr.latencies)
+            for v in sr.latencies:
+                tel.observe("campaign.detection_latency", v)
+            if ckpt is not None:
+                ckpt.append(sr.to_json())
 
     def _run_shards_pool(
-        self, shard_plan, seed, reference_dyn, tracker, counts, jobs,
-        progress_on: bool,
-    ) -> int:
+        self, remaining, seed, reference_dyn, jobs, absorb, lost_shards,
+        retries: int, retry_backoff: float,
+    ) -> None:
         """Fan shards out over a process pool; merge as they complete."""
-        program, mem_words, frame_words = self._ctor_args
+        program, mem_words, frame_words, fault_model = self._ctor_args
         tasks = [
             (shard_index, shard_trials, seed, reference_dyn)
-            for shard_index, shard_trials in enumerate(shard_plan)
+            for shard_index, shard_trials in remaining
         ]
-        total_faults = 0
 
-        def on_result(index: int, result: tuple[dict[Outcome, int], int]) -> None:
-            nonlocal total_faults
-            shard_counts, faults = result
-            for o, n in shard_counts.items():
-                counts[o] = counts.get(o, 0) + n
-            total_faults += faults
-            if progress_on:
-                tracker.advance(
-                    shard_plan[index], {o.value: n for o, n in counts.items()}
-                )
+        def on_result(index: int, sr: ShardResult) -> None:
+            absorb(sr, fresh=True)
+
+        def on_failure(index: int, exc: BaseException) -> None:
+            shard_index = remaining[index][0]
+            logger.warning("shard %d lost: %s", shard_index, exc)
+            lost_shards.append(shard_index)
 
         parallel_map(
             _campaign_shard_worker,
             tasks,
             jobs=jobs,
             initializer=_init_campaign_worker,
-            initargs=(program, mem_words, frame_words),
+            initargs=(program, mem_words, frame_words, fault_model),
             on_result=on_result,
+            retries=retries,
+            retry_backoff=retry_backoff,
+            on_failure=on_failure,
         )
-        return total_faults
 
 
 #: Per-process injector cache for campaign shard workers: the binary is
@@ -342,14 +549,15 @@ class FaultInjector:
 _worker_injector: FaultInjector | None = None
 
 
-def _init_campaign_worker(program, mem_words, frame_words) -> None:
+def _init_campaign_worker(program, mem_words, frame_words, fault_model) -> None:
     global _worker_injector
     _worker_injector = FaultInjector(
-        program, mem_words=mem_words, frame_words=frame_words
+        program, mem_words=mem_words, frame_words=frame_words,
+        fault_model=fault_model,
     )
 
 
-def _campaign_shard_worker(task) -> tuple[dict[Outcome, int], int]:
+def _campaign_shard_worker(task) -> ShardResult:
     shard_index, shard_trials, seed, reference_dyn = task
     assert _worker_injector is not None, "worker initializer did not run"
     return _worker_injector.run_shard(
@@ -367,10 +575,17 @@ def run_campaign(
     progress: ProgressCallback | None = None,
     heartbeat: int = 25,
     jobs: int | None = 1,
+    fault_model: str = DEFAULT_FAULT_MODEL,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Convenience wrapper: profile + campaign in one call."""
-    injector = FaultInjector(program, mem_words=mem_words, frame_words=frame_words)
+    injector = FaultInjector(
+        program, mem_words=mem_words, frame_words=frame_words,
+        fault_model=fault_model,
+    )
     return injector.run_campaign(
         trials, seed, reference_dyn=reference_dyn,
         progress=progress, heartbeat=heartbeat, jobs=jobs,
+        checkpoint=checkpoint, resume=resume,
     )

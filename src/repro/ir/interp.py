@@ -12,9 +12,15 @@ For speed each instruction is pre-compiled into a closure over a flat
 register list and a flat memory list; the interpreter sustains millions of
 instructions per second, which makes 300-trial campaigns practical.
 
-Fault model: after the ``dyn_index``-th committed instruction, flip one bit
-of its output register (paper §IV-C).  Multiple faults per run are supported
-(the paper injects protected binaries at the original binary's fault *rate*).
+Fault models: the classic model (paper §IV-C) flips one bit of the output
+register of the ``dyn_index``-th committed instruction.  :class:`FaultSpec`
+generalizes this to a small taxonomy (see :mod:`repro.faults.models`):
+adjacent-bit bursts (``width > 1``), control-flow corruption (``kind="cf"``:
+invert a branch decision or redirect a jump), data-memory flips
+(``kind="mem"``) and opcode substitution (``kind="opcode"``: the result is
+recomputed with a different legal operation).  Multiple faults per run are
+supported (the paper injects protected binaries at the original binary's
+fault *rate*).
 """
 
 from __future__ import annotations
@@ -69,37 +75,90 @@ class RunResult:
         return (self.kind, self.exit_code, self.output)
 
 
+#: Recognized :attr:`FaultSpec.kind` values.
+FAULT_KINDS = ("reg", "cf", "mem", "opcode")
+
+#: Alternate operations an ``opcode`` fault may substitute for the original
+#: one (applied to the raw source values; the result is masked to 64 bits).
+#: The table is part of the fault model's determinism contract — append only.
+ALT_OPS: tuple = (
+    lambda a, b: a + b,
+    lambda a, b: a - b,
+    lambda a, b: a & b,
+    lambda a, b: a | b,
+    lambda a, b: a ^ b,
+    lambda a, b: a * b,
+)
+
+
 @dataclass(frozen=True)
 class FaultSpec:
-    """Flip ``bit`` of the output register of dynamic instruction ``dyn_index``.
+    """One transient fault, applied after dynamic instruction ``dyn_index``.
 
-    ``dyn_index`` counts committed instructions from 0.  If that instruction
-    writes no register, the flip lands in a latch the program never reads and
-    is dropped (the campaign samples only output-producing instructions).
-    Predicate outputs invert regardless of ``bit`` (they hold a single bit).
+    ``dyn_index`` counts committed instructions from 0.  ``kind`` selects the
+    corruption applied at that point:
+
+    ``"reg"`` (default)
+        Flip ``width`` adjacent bits of the instruction's output register
+        starting at ``bit`` (``width=1`` is the paper's §IV-C model;
+        ``width`` 2–4 models a multi-bit burst).  If the instruction writes
+        no register the flip lands in a latch the program never reads and is
+        dropped (the campaigns sample only output-producing instructions).
+        Predicate outputs invert regardless of ``bit``/``width`` (they hold
+        a single bit).
+    ``"cf"``
+        Corrupt the control transfer the instruction performed: a
+        conditional branch takes the *other* target (``arg is None``) and a
+        jump is redirected to the block label ``arg``.  Dropped if the
+        instruction was not a branch/jump or ``arg`` names no block.
+    ``"mem"``
+        Flip ``bit`` of the data-memory word at address ``arg`` (dropped if
+        the address is outside the valid space — ECC on the periphery).
+    ``"opcode"``
+        Replace the instruction's result with the one another legal
+        operation (``ALT_OPS[arg % len(ALT_OPS)]``) produces from its source
+        values; source-less instructions degrade to a ``bit`` flip.
     """
 
     dyn_index: int
-    bit: int
+    bit: int = 0
+    kind: str = "reg"
+    width: int = 1
+    arg: int | str | None = None
 
     def __post_init__(self) -> None:
         if self.dyn_index < 0:
             raise ValueError("dyn_index must be >= 0")
         if not 0 <= self.bit < 64:
             raise ValueError("bit must be in [0, 64)")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if not 1 <= self.width <= 4:
+            raise ValueError("width must be in [1, 4]")
+        if self.bit + self.width > 64:
+            raise ValueError("bit + width must be <= 64")
+
+    @property
+    def mask(self) -> int:
+        """The XOR mask a ``reg`` fault applies to the output register."""
+        return ((1 << self.width) - 1) << self.bit
 
 
 _DETECT = "__detect__"
 
 
 class _CompiledBlock:
-    __slots__ = ("label", "fns", "dest_slots", "dest_is_pr", "n")
+    __slots__ = (
+        "label", "fns", "dest_slots", "dest_is_pr", "src_slots", "targets", "n"
+    )
 
     def __init__(self, label: str) -> None:
         self.label = label
         self.fns: list[Callable[[], object]] = []
         self.dest_slots: list[int] = []
         self.dest_is_pr: list[bool] = []
+        self.src_slots: list[tuple[int, ...]] = []  # for opcode faults
+        self.targets: list[tuple[str, ...]] = []  # for cf faults
         self.n = 0
 
 
@@ -251,6 +310,12 @@ class Interpreter:
                 else:
                     cb.dest_slots.append(-1)
                     cb.dest_is_pr.append(False)
+                cb.src_slots.append(tuple(self._slot_of[r] for r in insn.srcs))
+                cb.targets.append(
+                    tuple(insn.targets)
+                    if insn.opcode in (Opcode.JMP, Opcode.BRT, Opcode.BRF)
+                    else ()
+                )
             cb.n = len(cb.fns)
             self._blocks[block.label] = cb
 
@@ -472,12 +537,52 @@ class Interpreter:
                         res = fn()
                         dyn += 1
                         if dyn == nf:
-                            ds = dest_slots[i]
-                            if ds >= 0:
-                                if dest_is_pr[i]:
-                                    R[ds] ^= 1
-                                else:
-                                    R[ds] ^= 1 << fault_list[fi].bit
+                            spec = fault_list[fi]
+                            kind = spec.kind
+                            if kind == "reg":
+                                ds = dest_slots[i]
+                                if ds >= 0:
+                                    if dest_is_pr[i]:
+                                        R[ds] ^= 1
+                                    else:
+                                        R[ds] ^= spec.mask
+                            elif kind == "mem":
+                                addr = spec.arg
+                                if type(addr) is int and 1 <= addr < len(M):
+                                    M[addr] ^= 1 << spec.bit
+                            elif kind == "cf":
+                                if (
+                                    type(res) is str
+                                    and res is not _DETECT
+                                    and res in blocks
+                                ):
+                                    if spec.arg is None:
+                                        tgts = cb.targets[i]
+                                        if len(tgts) == 2:
+                                            # invert the branch decision
+                                            res = (
+                                                tgts[0]
+                                                if res == tgts[1]
+                                                else tgts[1]
+                                            )
+                                    elif spec.arg in blocks:
+                                        res = spec.arg
+                            else:  # opcode substitution
+                                ds = dest_slots[i]
+                                if ds >= 0:
+                                    slots = cb.src_slots[i]
+                                    if slots:
+                                        a = R[slots[0]]
+                                        b = R[slots[1]] if len(slots) > 1 else a
+                                        alt = ALT_OPS[
+                                            (spec.arg or 0) % len(ALT_OPS)
+                                        ]
+                                        v = alt(a, b) & _MASK
+                                        R[ds] = v & 1 if dest_is_pr[i] else v
+                                    elif dest_is_pr[i]:
+                                        R[ds] ^= 1
+                                    else:
+                                        R[ds] ^= 1 << spec.bit
                             fi += 1
                             nf = (
                                 fault_list[fi].dyn_index + 1

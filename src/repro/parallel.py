@@ -14,9 +14,12 @@ this module provides the three small pieces everything else builds on:
   from ``(seed, shard_index)``);
 * :func:`parallel_map` — an order-preserving ``map`` over a
   ``ProcessPoolExecutor`` with an inline fast path, per-result completion
-  callbacks (for cross-worker progress aggregation), and worker
-  bootstrapping that disables the parent's telemetry sinks (a forked
-  trace-file handle would interleave writes from every process).
+  callbacks (for cross-worker progress aggregation), worker bootstrapping
+  that disables the parent's telemetry sinks (a forked trace-file handle
+  would interleave writes from every process), and optional crash
+  resilience: a task whose worker dies is retried with backoff on a fresh
+  pool, and after exhausting its retry budget the failure is reported to
+  ``on_failure`` instead of aborting the whole map.
 
 Workers are separate processes: the mapped function and its tasks must be
 module-level / picklable, and results travel back by value.
@@ -24,9 +27,14 @@ module-level / picklable, and results travel back by value.
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
+
+logger = logging.getLogger(__name__)
 
 #: Fixed trials-per-shard for fault campaigns.  Part of the determinism
 #: contract: changing it changes which RNG stream each trial draws from,
@@ -92,6 +100,9 @@ def parallel_map(
     initializer: Callable[..., None] | None = None,
     initargs: tuple = (),
     on_result: Callable[[int, Any], None] | None = None,
+    retries: int = 0,
+    retry_backoff: float = 0.0,
+    on_failure: Callable[[int, BaseException], None] | None = None,
 ) -> list[Any]:
     """Map ``fn`` over ``tasks``, preserving task order in the result list.
 
@@ -105,31 +116,105 @@ def parallel_map(
     order, not task order) — the hook the campaign and sweep drivers use to
     aggregate cross-worker progress into one
     :class:`~repro.obs.progress.ProgressTracker`.
+
+    **Failure handling.**  A task attempt fails when ``fn`` raises or when
+    its worker process dies (``BrokenProcessPool`` — an OOM kill, a signal,
+    a segfaulting extension).  Each task is retried up to ``retries`` extra
+    times, waiting ``retry_backoff * round`` seconds between rounds; a dead
+    pool is rebuilt and the unfinished tasks resubmitted to fresh workers.
+    A worker death cannot be attributed to one task exactly, so a pool
+    crash charges an attempt to *every* task that was in flight: transient
+    crashes retry everything cleanly, while a deterministically crashing
+    task exhausts its budget after at most ``retries + 1`` pool rebuilds.
+    After exhaustion the task's slot stays ``None`` and ``on_failure(index,
+    exc)`` is invoked; with no ``on_failure`` the exception propagates
+    (the pre-existing fail-fast contract, the default).
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(tasks) <= 1:
         results = []
         for i, task in enumerate(tasks):
-            result = fn(task)
+            try:
+                result = fn(task)
+            except Exception as exc:
+                # Inline attempts are deterministic: retrying in-process
+                # would fail identically, so exhaust the budget directly.
+                if on_failure is None:
+                    raise
+                logger.warning("task %d failed inline: %s", i, exc)
+                on_failure(i, exc)
+                results.append(None)
+                continue
             if on_result is not None:
                 on_result(i, result)
             results.append(result)
         return results
 
     results: list[Any] = [None] * len(tasks)
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(tasks)),
-        initializer=_pool_bootstrap,
-        initargs=(initializer, initargs),
-    ) as pool:
-        pending = {pool.submit(fn, task): i for i, task in enumerate(tasks)}
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                i = pending.pop(future)
-                result = future.result()  # propagate worker exceptions
-                results[i] = result
-                if on_result is not None:
-                    on_result(i, result)
+
+    def exhaust(i: int, attempt: int, exc: BaseException) -> bool:
+        """Requeue (False) or finalize the failure (True)."""
+        if attempt < retries:
+            return False
+        if on_failure is None:
+            raise exc
+        logger.warning(
+            "task %d failed after %d attempt(s): %s", i, attempt + 1, exc
+        )
+        on_failure(i, exc)
+        return True
+
+    pending: list[tuple[int, int]] = [(i, 0) for i in range(len(tasks))]
+    round_no = 0
+    while pending:
+        if round_no and retry_backoff > 0:
+            time.sleep(retry_backoff * round_no)
+        round_no += 1
+        this_round, pending = pending, []
+        broken = False
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(this_round)),
+            initializer=_pool_bootstrap,
+            initargs=(initializer, initargs),
+        ) as pool:
+            future_of = {
+                pool.submit(fn, tasks[i]): (i, attempt)
+                for i, attempt in this_round
+            }
+            not_done = set(future_of)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i, attempt = future_of[future]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        if not exhaust(i, attempt, exc):
+                            pending.append((i, attempt + 1))
+                    except Exception as exc:
+                        if not exhaust(i, attempt, exc):
+                            pending.append((i, attempt + 1))
+                    else:
+                        results[i] = result
+                        if on_result is not None:
+                            on_result(i, result)
+                if broken:
+                    # The executor is unusable; every unfinished future has
+                    # (or will get) BrokenProcessPool.  Drain them all and
+                    # fall through to a fresh pool for the requeued tasks.
+                    wait(not_done)
+                    for future in not_done:
+                        i, attempt = future_of[future]
+                        try:
+                            result = future.result()
+                        except BaseException as exc:  # noqa: BLE001
+                            if not exhaust(i, attempt, exc):
+                                pending.append((i, attempt + 1))
+                        else:
+                            results[i] = result
+                            if on_result is not None:
+                                on_result(i, result)
+                    not_done = set()
     return results

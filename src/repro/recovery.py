@@ -22,8 +22,11 @@ from dataclasses import dataclass, field
 from repro.errors import SimError
 from repro.faults.classify import Outcome, classify
 from repro.faults.injector import FaultInjector
+from repro.faults.models import DEFAULT_FAULT_MODEL
 from repro.ir.interp import ExitKind, FaultSpec, Interpreter, RunResult
 from repro.ir.program import Program
+from repro.obs.progress import ProgressCallback, ProgressTracker
+from repro.parallel import SHARD_TRIALS, plan_shards
 from repro.utils.rng import make_rng
 
 
@@ -115,14 +118,26 @@ def run_recovery_campaign(
     frame_words: int = 0,
     reference_dyn: int | None = None,
     max_attempts: int = 3,
+    fault_model: str = DEFAULT_FAULT_MODEL,
+    progress: ProgressCallback | None = None,
+    heartbeat: int = 25,
 ) -> RecoveryCampaignResult:
     """The §IV-C methodology with restart-on-detection added.
 
     Outcomes: ``benign`` / ``recovered`` / ``exception`` / ``data-corrupt``
     / ``timeout`` / ``unrecovered`` (detection fired on every attempt —
     impossible for genuinely transient faults, present for completeness).
+
+    Trials are sharded exactly like :meth:`FaultInjector.run_campaign`:
+    the budget is split by :func:`repro.parallel.plan_shards` and every
+    shard draws from its own ``(seed, shard_index)`` RNG stream, so results
+    are reproducible shard by shard and independent of any future executor
+    layout.  ``progress`` receives a heartbeat every ``heartbeat`` trials.
     """
-    injector = FaultInjector(program, mem_words=mem_words, frame_words=frame_words)
+    injector = FaultInjector(
+        program, mem_words=mem_words, frame_words=frame_words,
+        fault_model=fault_model,
+    )
     recoverer = RecoveringExecutor(
         program,
         mem_words=mem_words,
@@ -130,26 +145,29 @@ def run_recovery_campaign(
         max_attempts=max_attempts,
     )
     golden = injector.golden
-    rng = make_rng(seed, "recovery-campaign")
+    tracker = ProgressTracker(trials, progress, every=heartbeat)
     counts: dict[str, int] = {}
     extra_dyn = 0
 
-    for _ in range(trials):
-        faults = injector.faults_for_trial(rng, reference_dyn)
-        rec = recoverer.run(faults=faults, max_steps=injector.max_steps)
-        if rec.attempts > 1:
-            extra_dyn += rec.total_dyn_instructions - rec.final.dyn_instructions
-        if rec.final.kind is ExitKind.DETECTED:
-            key = "unrecovered"
-        elif rec.recovered:
-            key = (
-                "recovered"
-                if classify(golden, rec.final) is Outcome.BENIGN
-                else "data-corrupt"
-            )
-        else:
-            key = classify(golden, rec.final).value
-        counts[key] = counts.get(key, 0) + 1
+    for shard_index, shard_trials in enumerate(plan_shards(trials, SHARD_TRIALS)):
+        rng = make_rng(seed, "recovery-campaign", shard_index)
+        for _ in range(shard_trials):
+            faults = injector.faults_for_trial(rng, reference_dyn)
+            rec = recoverer.run(faults=faults, max_steps=injector.max_steps)
+            if rec.attempts > 1:
+                extra_dyn += rec.total_dyn_instructions - rec.final.dyn_instructions
+            if rec.final.kind is ExitKind.DETECTED:
+                key = "unrecovered"
+            elif rec.recovered:
+                key = (
+                    "recovered"
+                    if classify(golden, rec.final) is Outcome.BENIGN
+                    else "data-corrupt"
+                )
+            else:
+                key = classify(golden, rec.final).value
+            counts[key] = counts.get(key, 0) + 1
+            tracker.step(dict(counts))
 
     return RecoveryCampaignResult(
         trials=trials,

@@ -83,8 +83,8 @@ class TestInjectCommand:
             ["inject", minic_file, "--scheme", "noed", "--trials", "20"]
         ) == 0
         out = capsys.readouterr().out
-        assert "30 bit flips" not in out  # exactly 1 flip per trial
-        assert "20 bit flips" in out
+        assert "30 faults" not in out  # exactly 1 flip per trial
+        assert "20 faults (reg-bit)" in out
 
 
 class TestSweepCommand:

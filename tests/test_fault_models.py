@@ -1,0 +1,204 @@
+"""Fault-model registry, per-model sampling contracts, detection latency."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.faults.classify import Outcome, detection_latency
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    DEFAULT_FAULT_MODEL,
+    FAULT_MODELS,
+    fault_model_names,
+    get_fault_model,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import ALT_OPS, ExitKind, FaultSpec, RunResult
+from repro.ir.program import Program
+from repro.machine.config import MachineConfig
+from repro.pipeline import Scheme, compile_program
+from repro.utils.rng import make_rng
+from repro.workloads import get_workload
+from tests.conftest import build_loop_program
+
+ALL_MODELS = ("reg-bit", "burst", "cf", "mem", "opcode")
+
+
+def build_straightline_program() -> Program:
+    """No branches, no memory: only reg faults are meaningful here."""
+    b = IRBuilder("main")
+    b.add_and_enter("entry")
+    x = b.movi(3)
+    y = b.movi(4)
+    z = b.add(x, y)
+    b.out(z)
+    b.halt(0)
+    return Program(b.function, [])
+
+
+@pytest.fixture(scope="module")
+def protected_injector():
+    machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+    cp = compile_program(get_workload("parser").program, Scheme.SCED, machine)
+
+    def make(model):
+        return FaultInjector(
+            cp.program,
+            mem_words=cp.mem_words,
+            frame_words=cp.frame_words,
+            fault_model=model,
+        )
+
+    return make
+
+
+class TestRegistry:
+    def test_all_models_registered(self):
+        assert set(FAULT_MODELS) == set(ALL_MODELS)
+
+    def test_names_default_first(self):
+        names = fault_model_names()
+        assert names[0] == DEFAULT_FAULT_MODEL
+        assert names[1:] == sorted(names[1:])
+
+    def test_unknown_model_raises_listing_available(self):
+        with pytest.raises(SimError, match="reg-bit"):
+            get_fault_model("cosmic-ray")
+
+    def test_descriptions_present(self):
+        for name in ALL_MODELS:
+            assert get_fault_model(name).description
+
+
+class TestFaultSpecValidation:
+    def test_kind_checked(self):
+        with pytest.raises(ValueError):
+            FaultSpec(0, 0, kind="nope")
+
+    def test_width_checked(self):
+        with pytest.raises(ValueError):
+            FaultSpec(0, 0, width=5)
+        with pytest.raises(ValueError):
+            FaultSpec(0, 63, width=2)  # bit + width past the top
+
+    def test_mask_covers_width(self):
+        assert FaultSpec(0, 4, width=3).mask == 0b111 << 4
+        assert FaultSpec(0, 40).mask == 1 << 40
+
+
+class TestRegBitFrozen:
+    def test_model_stream_matches_legacy_sampler(self):
+        """reg-bit must draw exactly like the pre-registry sampler."""
+        inj = FaultInjector(build_loop_program())
+        legacy = [inj.sample_fault(make_rng(13)) for _ in range(1)]
+        via_model = [inj.model.sample(inj, make_rng(13)) for _ in range(1)]
+        assert legacy == via_model
+        # multi-draw streams interleave identically too
+        r1, r2 = make_rng(29), make_rng(29)
+        assert [inj.sample_fault(r1) for _ in range(20)] == [
+            inj.model.sample(inj, r2) for _ in range(20)
+        ]
+
+
+class TestModelSampling:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_specs_well_formed(self, protected_injector, model):
+        inj = protected_injector(model)
+        rng = make_rng(5)
+        dyn = inj.golden.dyn_instructions
+        for _ in range(50):
+            spec = inj.model.sample(inj, rng)
+            assert 0 <= spec.dyn_index < dyn
+            assert 0 <= spec.bit < 64
+            assert spec.bit + spec.width <= 64
+
+    def test_burst_widths(self, protected_injector):
+        inj = protected_injector("burst")
+        rng = make_rng(6)
+        widths = {inj.model.sample(inj, rng).width for _ in range(100)}
+        assert widths == {2, 3, 4}
+
+    def test_cf_hits_control_transfers(self, protected_injector):
+        inj = protected_injector("cf")
+        rng = make_rng(7)
+        for _ in range(20):
+            spec = inj.model.sample(inj, rng)
+            assert spec.kind == "cf"
+
+    def test_mem_addresses_in_range(self, protected_injector):
+        inj = protected_injector("mem")
+        rng = make_rng(8)
+        for _ in range(50):
+            spec = inj.model.sample(inj, rng)
+            assert spec.kind == "mem"
+            assert 1 <= spec.arg < inj.interp.mem_words
+
+    def test_opcode_alt_in_range(self, protected_injector):
+        inj = protected_injector("opcode")
+        rng = make_rng(9)
+        for _ in range(50):
+            spec = inj.model.sample(inj, rng)
+            assert spec.kind == "opcode"
+            assert 0 <= spec.arg < len(ALT_OPS)
+
+    def test_cf_unusable_without_branches(self):
+        with pytest.raises(SimError, match="branch"):
+            FaultInjector(build_straightline_program(), fault_model="cf")
+
+    def test_mem_unusable_without_memory(self):
+        with pytest.raises(SimError, match="memory"):
+            FaultInjector(
+                build_loop_program(with_memory=False), mem_words=1,
+                fault_model="mem",
+            )
+
+
+class TestModelCampaigns:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_campaign_runs_and_is_deterministic(self, protected_injector, model):
+        inj = protected_injector(model)
+        a = inj.run_campaign(trials=30, seed=11)
+        b = inj.run_campaign(trials=30, seed=11)
+        assert a.counts == b.counts
+        assert a.fault_model == model
+        assert sum(a.counts.values()) == 30
+        assert a.detection_latency_sum == b.detection_latency_sum
+
+    def test_models_disagree_on_coverage(self, protected_injector):
+        """The point of the taxonomy: cf faults evade replica comparison."""
+        reg = protected_injector("reg-bit").run_campaign(trials=60, seed=3)
+        cf = protected_injector("cf").run_campaign(trials=60, seed=3)
+        assert cf.fraction(Outcome.DETECTED) < reg.fraction(Outcome.DETECTED)
+
+    def test_merged_rejects_model_mismatch(self, protected_injector):
+        a = protected_injector("reg-bit").run_campaign(trials=10, seed=1)
+        b = protected_injector("burst").run_campaign(trials=10, seed=1)
+        with pytest.raises(ValueError, match="fault model"):
+            a.merged(b)
+
+
+class TestDetectionLatency:
+    def test_non_detected_has_no_latency(self):
+        ok = RunResult(ExitKind.OK, 0, (1,), 100)
+        assert detection_latency(ok, (FaultSpec(5, 0),)) is None
+
+    def test_latency_from_first_applied_fault(self):
+        det = RunResult(ExitKind.DETECTED, None, (), 100)
+        faults = (FaultSpec(80, 0), FaultSpec(9, 0), FaultSpec(400, 0))
+        # fault at dyn_index 9 commits as instruction 10; 100 - 10 = 90
+        assert detection_latency(det, faults) == 90
+
+    def test_no_applied_fault_means_none(self):
+        det = RunResult(ExitKind.DETECTED, None, (), 100)
+        assert detection_latency(det, (FaultSpec(400, 0),)) is None
+
+    def test_campaign_records_latency(self, protected_injector):
+        res = protected_injector("reg-bit").run_campaign(trials=60, seed=3)
+        assert res.counts.get(Outcome.DETECTED, 0) > 0
+        assert res.detections_timed > 0
+        assert res.mean_detection_latency > 0.0
+        assert res.detections_timed <= res.counts[Outcome.DETECTED]
+
+    def test_empty_result_latency_zero(self):
+        from repro.faults.injector import CampaignResult
+
+        assert CampaignResult(trials=0).mean_detection_latency == 0.0

@@ -290,7 +290,7 @@ class TestCliJobs:
         assert main(
             ["inject", str(f), "--scheme", "noed", "--trials", "30", "--jobs", "2"]
         ) == 0
-        assert "30 bit flips" in capsys.readouterr().out
+        assert "30 faults" in capsys.readouterr().out
 
     def test_sweep_jobs(self, capsys):
         from repro.cli import main
