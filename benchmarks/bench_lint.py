@@ -1,0 +1,117 @@
+"""Protection-lint report — static vulnerability windows vs measured coverage.
+
+Runs the protection linter over every workload x scheme (the same
+issue 2 / delay 2 operating point as Fig. 9), verifies the whole matrix is
+ERROR-free, and writes ``results/lint_report.md`` correlating the static
+windows (profile-weighted, in executed instructions) with the measured
+fault-injection coverage and detection latency (same units) from the
+Monte-Carlo campaigns.
+"""
+
+from benchmarks.conftest import JOBS, RESULTS_DIR, TRIALS
+from repro.analysis.lint import lint_program
+from repro.machine.config import MachineConfig
+from repro.pipeline import Scheme, collect_block_profile
+from repro.utils.stats import mean
+from repro.workloads import get_workload
+
+
+def _pearson(xs: list[float], ys: list[float]) -> float:
+    mx, my = mean(xs), mean(ys)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs) ** 0.5
+    vy = sum((y - my) ** 2 for y in ys) ** 0.5
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / (vx * vy)
+
+
+def test_lint_report(benchmark, ev, workloads):
+    machine = MachineConfig(issue_width=2, inter_cluster_delay=2)
+    points = [(w, s, 2, 2) for w in workloads for s in Scheme]
+    ev.sweep(points, trials=TRIALS, jobs=JOBS)
+
+    profiles = {w: collect_block_profile(get_workload(w).program) for w in workloads}
+
+    def run_lints():
+        out = {}
+        for w in workloads:
+            for scheme in Scheme:
+                out[(w, scheme)] = lint_program(
+                    get_workload(w).program,
+                    scheme,
+                    machine,
+                    block_profile=profiles[w],
+                )
+        return out
+
+    reports = benchmark.pedantic(run_lints, rounds=1, iterations=1)
+
+    rows = []
+    win_points: list[tuple[float, float]] = []
+    for w in workloads:
+        for scheme in Scheme:
+            rep = reports[(w, scheme)]
+            counts = rep.counts()
+            assert counts["error"] == 0, (w, scheme, rep.findings)
+            cov = ev.coverage(w, scheme, 2, 2, TRIALS)
+            if scheme is not Scheme.NOED:
+                assert rep.windows.n_defs > 0, (w, scheme)
+                win_points.append(
+                    (rep.windows.weighted_mean_window, cov.mean_detection_latency)
+                )
+            rows.append(
+                (
+                    w,
+                    scheme.value,
+                    counts["warning"],
+                    counts["info"],
+                    rep.windows.n_defs,
+                    rep.windows.n_unchecked,
+                    rep.windows.weighted_mean_window,
+                    rep.windows.max_window,
+                    cov.coverage,
+                    cov.fractions.get("data-corrupt", 0.0),
+                    cov.mean_detection_latency,
+                )
+            )
+
+    r = _pearson([p[0] for p in win_points], [p[1] for p in win_points])
+
+    lines = [
+        "# Protection-lint report",
+        "",
+        "Static sphere-of-replication audit vs measured fault injection,",
+        f"issue 2 / delay 2, {TRIALS} Monte-Carlo trials per campaign.",
+        "Every cell of the matrix linted with **zero ERROR findings**.",
+        "",
+        "`w-window` is the profile-weighted mean vulnerability window",
+        "(executed instructions between a protected definition and its",
+        "earliest shadow check); `det-lat` is the campaigns' measured mean",
+        "detection latency in the same units. `unchecked` defs have no",
+        "direct check and are covered transitively at downstream consumers.",
+        "",
+        "| workload | scheme | warn | info | defs | unchecked | w-window | max | coverage | SDC | det-lat |",
+        "|---|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for (w, s, warn, info, defs, unch, wwin, wmax, cvg, sdc, lat) in rows:
+        lines.append(
+            f"| {w} | {s} | {warn} | {info} | {defs} | {unch} "
+            f"| {wwin:.2f} | {wmax} | {cvg:.3f} | {sdc:.3f} | {lat:.1f} |"
+        )
+    lines += [
+        "",
+        f"Across the {len(win_points)} protected configurations, the static",
+        "weighted-mean window and the measured detection latency correlate",
+        f"with Pearson r = {r:.3f}. The static window is a lower bound on",
+        "the dynamic distance a fault travels before a check can catch it:",
+        "campaign latencies also include faults first observed at a distant",
+        "transitive consumer, which the `unchecked` column counts.",
+        "",
+    ]
+    out = RESULTS_DIR / "lint_report.md"
+    out.write_text("\n".join(lines))
+    print(f"\n[saved to results/lint_report.md] window/latency r={r:.3f}")
+
+    # The report must cover the full matrix.
+    assert len(rows) == len(workloads) * len(list(Scheme))

@@ -1,0 +1,36 @@
+"""Static analysis: the dataflow framework and the protection linter.
+
+Import structure matters here: the IR layer (verifier, liveness) depends on
+:mod:`repro.analysis.dataflow`, while the linter modules
+(:mod:`repro.analysis.protection`, :mod:`repro.analysis.lint`) depend on the
+pass/pipeline layer, which itself imports the verifier.  This ``__init__``
+therefore re-exports only the dataflow layer; import the linter explicitly::
+
+    from repro.analysis.lint import lint_program
+"""
+
+from repro.analysis.dataflow import (
+    BlockFacts,
+    DataflowAnalysis,
+    DefSite,
+    Direction,
+    LiveVars,
+    MustDefined,
+    ReachingDefs,
+    def_use_chains,
+    solve,
+    undefined_uses,
+)
+
+__all__ = [
+    "BlockFacts",
+    "DataflowAnalysis",
+    "DefSite",
+    "Direction",
+    "LiveVars",
+    "MustDefined",
+    "ReachingDefs",
+    "def_use_chains",
+    "solve",
+    "undefined_uses",
+]

@@ -1,0 +1,120 @@
+"""Render a :class:`~repro.analysis.lint.LintReport` as text, JSON or SARIF.
+
+The SARIF output follows the 2.1.0 schema closely enough for standard
+viewers (GitHub code scanning, VS Code SARIF viewer): one run, one driver
+(``repro-lint``), rule metadata from
+:data:`repro.analysis.protection.RULE_DESCRIPTIONS`, and findings anchored
+to logical locations (``function.block[index]``) because the IR has no
+source files to point at.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint import LintReport
+from repro.analysis.protection import RULE_DESCRIPTIONS, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def format_text(report: LintReport) -> str:
+    """Human-readable summary, one finding per line, windows at the end."""
+    lines = [
+        f"lint {report.program} scheme={report.scheme} "
+        f"machine={report.machine}"
+    ]
+    for f in sorted(
+        report.findings, key=lambda f: (-f.severity.rank, f.rule, f.location)
+    ):
+        lines.append(
+            f"  {f.severity.value.upper():7s} {f.rule}: {f.message} "
+            f"[{f.location}]"
+        )
+    counts = report.counts()
+    lines.append(
+        "  findings: "
+        + ", ".join(f"{n} {sev}" for sev, n in counts.items())
+    )
+    w = report.windows
+    lines.append(
+        f"  vulnerability windows: {w.n_defs} protected defs, "
+        f"{w.n_unchecked} unchecked, mean {w.mean_window:.2f}, "
+        f"weighted mean {w.weighted_mean_window:.2f}, max {w.max_window} "
+        f"insns"
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)
+
+
+def format_sarif(report: LintReport) -> str:
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {"text": desc},
+        }
+        for rule, desc in sorted(RULE_DESCRIPTIONS.items())
+    ]
+    results = []
+    for f in report.findings:
+        result: dict[str, object] = {
+            "ruleId": f.rule,
+            "level": _SARIF_LEVEL[f.severity],
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {
+                            "fullyQualifiedName": f.location,
+                            "kind": "function",
+                        }
+                    ]
+                }
+            ],
+        }
+        if f.uid is not None:
+            result["partialFingerprints"] = {"insnUid": str(f.uid)}
+        results.append(result)
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "properties": {
+                    "program": report.program,
+                    "scheme": report.scheme,
+                    "machine": report.machine,
+                    "windows": report.windows.to_json(),
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "sarif": format_sarif,
+}

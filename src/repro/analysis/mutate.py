@@ -1,0 +1,67 @@
+"""Test-only protection mutations: break the sphere, prove the linter sees it.
+
+Each knob removes exactly one piece of the protection machinery from a
+pre-regalloc IR snapshot — one replica, or one compare+branch check pair —
+mutating the program **in place**.  The linter's acceptance test compiles a
+workload, applies a mutation, and asserts the corresponding rule fires:
+dropping a replica must trip ``replication-coverage`` (and usually
+``check-coverage``, since the shadow goes stale), dropping a check pair
+must trip ``check-coverage`` or ``check-wiring``.
+
+These helpers are deliberately *not* used by the pipeline; they live in the
+analysis package so the tests and docs can share them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.protection import CHECK_CMP_OPCODES
+from repro.ir.program import Program
+from repro.isa.instruction import Role
+from repro.isa.opcodes import Opcode
+
+
+def drop_nth_replica(program: Program, n: int = 0) -> bool:
+    """Delete the ``n``-th replica instruction; True if one was removed."""
+    seen = 0
+    for function in program.functions():
+        for block in function.blocks():
+            for idx, insn in enumerate(block.instructions):
+                if insn.role is Role.DUP:
+                    if seen == n:
+                        del block.instructions[idx]
+                        return True
+                    seen += 1
+    return False
+
+
+def drop_nth_check(program: Program, n: int = 0) -> bool:
+    """Delete the ``n``-th compare+CHKBR check pair; True if removed.
+
+    The pair is identified structurally: a check-role compare followed by
+    the CHKBR consuming its predicate.
+    """
+    seen = 0
+    for function in program.functions():
+        for block in function.blocks():
+            insns = block.instructions
+            for idx, insn in enumerate(insns):
+                if not (
+                    insn.role is Role.CHECK
+                    and insn.opcode in CHECK_CMP_OPCODES
+                ):
+                    continue
+                if seen != n:
+                    seen += 1
+                    continue
+                pred = insn.dests[0] if insn.dests else None
+                del insns[idx]
+                for j in range(idx, len(insns)):
+                    branch = insns[j]
+                    if (
+                        branch.opcode is Opcode.CHKBR
+                        and pred in branch.reads()
+                    ):
+                        del insns[j]
+                        break
+                return True
+    return False

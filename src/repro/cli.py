@@ -7,6 +7,10 @@ Commands
     List the built-in benchmark programs.
 ``compile FILE|workload:NAME``
     Run the full pipeline and print statistics (optionally the final IR).
+``lint FILE|workload:NAME``
+    Static protection audit: sphere-of-replication invariants, check
+    coverage, cluster placement, vulnerability windows
+    (``--format text|json|sarif``, severity-gated exit code).
 ``run FILE|workload:NAME``
     Compile and execute on the cycle-level simulator.
 ``inject FILE|workload:NAME``
@@ -241,6 +245,30 @@ def cmd_run(args) -> int:
         print(text)
         status = status or rc
     return status
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis.formats import FORMATTERS
+    from repro.analysis.lint import lint_program
+    from repro.analysis.protection import Severity
+
+    program = _load_program(args.program)
+    machine = _machine(args)
+    block_profile = None
+    if args.profile:
+        from repro.pipeline import collect_block_profile
+
+        block_profile = collect_block_profile(program)
+    report = lint_program(
+        program, Scheme(args.scheme), machine, block_profile=block_profile
+    )
+    rendered = FORMATTERS[args.format](report)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    return report.exit_code(fail_on=Severity(args.fail_on))
 
 
 def cmd_inject(args) -> int:
@@ -539,6 +567,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs(p)
     p.add_argument("--show-output", action="store_true")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "lint",
+        help="static protection audit (sphere of replication, checks, placement)",
+    )
+    _add_common(p)
+    _add_obs(p)
+    p.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info"],
+        default="error",
+        help="lowest severity that makes the exit status non-zero (default: error)",
+    )
+    p.add_argument(
+        "--output", metavar="FILE", help="write the report to FILE instead of stdout"
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="weight vulnerability windows by measured block execution counts",
+    )
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("inject", help="fault-injection campaign")
     _add_common(p)

@@ -2,6 +2,10 @@
 
 Produces per-block ``live_in``/``live_out`` register sets; the register
 allocator and the dead-code-elimination pass both consume this.
+
+The fixed-point iteration itself lives in the shared dataflow framework
+(:mod:`repro.analysis.dataflow`); this module keeps the historical API and
+the per-block use/def summaries its consumers expect.
 """
 
 from __future__ import annotations
@@ -42,30 +46,14 @@ def block_use_def(function: Function) -> tuple[dict[str, set[Reg]], dict[str, se
 
 
 def compute_liveness(function: Function, cfg: CFG | None = None) -> LivenessInfo:
-    """Iterate the backward dataflow equations to a fixed point."""
-    cfg = cfg or CFG(function)
+    """Solve the backward liveness equations via the dataflow framework."""
+    from repro.analysis.dataflow import LiveVars, solve
+
+    facts = solve(function, LiveVars(), cfg)
     use, defs = block_use_def(function)
-    labels = cfg.reverse_postorder()
-    live_in: dict[str, set[Reg]] = {lb: set() for lb in use}
-    live_out: dict[str, set[Reg]] = {lb: set() for lb in use}
-
-    changed = True
-    while changed:
-        changed = False
-        # Postorder converges fastest for backward problems.
-        for label in reversed(labels):
-            out: set[Reg] = set()
-            for succ in cfg.succs[label]:
-                out |= live_in[succ]
-            inn = use[label] | (out - defs[label])
-            if out != live_out[label] or inn != live_in[label]:
-                live_out[label] = out
-                live_in[label] = inn
-                changed = True
-
     return LivenessInfo(
-        live_in={lb: frozenset(s) for lb, s in live_in.items()},
-        live_out={lb: frozenset(s) for lb, s in live_out.items()},
+        live_in={lb: facts.entry[lb] for lb in use},
+        live_out={lb: facts.exit[lb] for lb in use},
         use={lb: frozenset(s) for lb, s in use.items()},
         defs={lb: frozenset(s) for lb, s in defs.items()},
     )

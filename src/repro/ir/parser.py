@@ -140,39 +140,45 @@ def parse_program(text: str) -> Program:
         globals_.append(GlobalArray(name, size, init))
         pos += 1
 
-    if pos >= len(lines):
-        raise ParseError("missing func", 0)
-    line_no, line = lines[pos]
-    m = _FUNC_RE.match(line)
-    if not m:
-        raise ParseError(f"expected func, got {line!r}", line_no)
-    function = Function(m.group(1))
-    pos += 1
-
-    current = None
-    max_vreg = {RegClass.GP: 0, RegClass.PR: 0}
+    functions: list[Function] = []
     while pos < len(lines) and lines[pos][1] != "}":
         line_no, line = lines[pos]
-        lm = _LABEL_RE.match(line)
-        if lm:
-            label = lm.group(1)
-            if label == DETECT_LABEL:
-                raise ParseError(f"{DETECT_LABEL} is reserved", line_no)
-            current = function.add_block(label)
-        else:
-            if current is None:
-                raise ParseError("instruction before first label", line_no)
-            insn = parse_instruction(line, line_no)
-            for r in (*insn.dests, *insn.srcs):
-                if r.virtual:
-                    max_vreg[r.rclass] = max(max_vreg[r.rclass], r.index + 1)
-            current.instructions.append(insn)
+        m = _FUNC_RE.match(line)
+        if not m:
+            raise ParseError(f"expected func, got {line!r}", line_no)
+        function = Function(m.group(1))
         pos += 1
-    expect("}")
-    expect("}")
-    if len(function) == 0:
-        raise ParseError(f"function {function.name!r} has no blocks", line_no)
 
-    for rclass, count in max_vreg.items():
-        function.reserve_vregs(rclass, count)
-    return Program(function, globals_)
+        current = None
+        max_vreg = {RegClass.GP: 0, RegClass.PR: 0}
+        while pos < len(lines) and lines[pos][1] != "}":
+            line_no, line = lines[pos]
+            lm = _LABEL_RE.match(line)
+            if lm:
+                label = lm.group(1)
+                if label == DETECT_LABEL:
+                    raise ParseError(f"{DETECT_LABEL} is reserved", line_no)
+                current = function.add_block(label)
+            else:
+                if current is None:
+                    raise ParseError("instruction before first label", line_no)
+                insn = parse_instruction(line, line_no)
+                for r in (*insn.dests, *insn.srcs):
+                    if r.virtual:
+                        max_vreg[r.rclass] = max(max_vreg[r.rclass], r.index + 1)
+                current.instructions.append(insn)
+            pos += 1
+        expect("}")
+        if len(function) == 0:
+            raise ParseError(f"function {function.name!r} has no blocks", line_no)
+        for rclass, count in max_vreg.items():
+            function.reserve_vregs(rclass, count)
+        functions.append(function)
+    expect("}")
+    if not functions:
+        raise ParseError("missing func", 0)
+
+    program = Program(functions[0], globals_)
+    for fn in functions[1:]:
+        program.add_function(fn)
+    return program

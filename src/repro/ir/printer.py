@@ -65,7 +65,8 @@ def print_program(program: Program) -> str:
             lines.append(f"  global {g.name}[{g.n_words}] = {{ {init} }}")
         else:
             lines.append(f"  global {g.name}[{g.n_words}]")
-    body = print_function(program.main)
-    lines += ["  " + line for line in body.splitlines()]
+    for fn in program.functions():
+        body = print_function(fn)
+        lines += ["  " + line for line in body.splitlines()]
     lines.append("}")
     return "\n".join(lines)

@@ -52,11 +52,20 @@ class MemoryLayout:
 
 
 class Program:
-    """A linked program: entry function + data segment."""
+    """A linked program: entry function + data segment.
+
+    The front end inlines every call, so compiled workloads carry exactly one
+    function (``main``).  Hand-built or parsed programs may register extra
+    functions via :meth:`add_function`; the verifier, the schedule validator
+    and the protection linter iterate :meth:`functions` so no function
+    bypasses them.  The transformation passes themselves remain
+    single-function (they operate on ``main`` only).
+    """
 
     def __init__(self, main: Function, globals_: list[GlobalArray] | None = None) -> None:
         self.main = main
         self.globals: dict[str, GlobalArray] = {}
+        self._extra_functions: dict[str, Function] = {}
         for g in globals_ or []:
             self.add_global(g)
 
@@ -65,9 +74,32 @@ class Program:
             raise IRError(f"duplicate global {g.name!r}")
         self.globals[g.name] = g
 
+    # -- functions ---------------------------------------------------------
+    def add_function(self, function: Function) -> Function:
+        """Register a non-entry function (its name must be unique)."""
+        if function.name == self.main.name or function.name in self._extra_functions:
+            raise IRError(f"duplicate function {function.name!r}")
+        self._extra_functions[function.name] = function
+        return function
+
+    def functions(self) -> list[Function]:
+        """Every function in layout order, the entry function first."""
+        return [self.main, *self._extra_functions.values()]
+
+    def function(self, name: str) -> Function:
+        if name == self.main.name:
+            return self.main
+        try:
+            return self._extra_functions[name]
+        except KeyError:
+            raise IRError(f"no function {name!r}") from None
+
     def clone(self) -> "Program":
         """Deep copy (globals are immutable and shared)."""
-        return Program(self.main.clone(), list(self.globals.values()))
+        other = Program(self.main.clone(), list(self.globals.values()))
+        for fn in self._extra_functions.values():
+            other.add_function(fn.clone())
+        return other
 
     def layout(self) -> MemoryLayout:
         """Assign word addresses to globals (word 0 reserved as null)."""
@@ -97,7 +129,8 @@ class Program:
                 parts.append(f"  global {g.name}[{g.n_words}] = {{{init}}}")
             else:
                 parts.append(f"  global {g.name}[{g.n_words}]")
-        parts.append(str(self.main))
+        for fn in self.functions():
+            parts.append(str(fn))
         parts.append("}")
         return "\n".join(parts)
 

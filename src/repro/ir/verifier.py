@@ -3,6 +3,14 @@
 Run after the front end and after every transforming pass (cheap insurance:
 all pass bugs in this project manifest as malformed IR long before they
 manifest as wrong benchmark numbers).
+
+Structural shape (non-empty terminated blocks, operand classes, branch
+targets) is always enforced.  The use-before-def check rides on the shared
+dataflow framework's :class:`~repro.analysis.dataflow.MustDefined` analysis:
+a register read that is not definitely defined on *every* path from the
+entry is rejected.  Pass ``check_defs=False`` for IR from stages that are
+legitimately not yet def-clean (e.g. hand-built fragments before the
+renaming/shadow-copy step has materialized every producer).
 """
 
 from __future__ import annotations
@@ -13,10 +21,13 @@ from repro.ir.cfg import CFG
 from repro.ir.function import Function
 from repro.ir.program import Program
 from repro.isa.opcodes import Opcode
-from repro.isa.registers import Reg
 
 
-def verify_function(function: Function, allow_unreachable: bool = False) -> None:
+def verify_function(
+    function: Function,
+    allow_unreachable: bool = False,
+    check_defs: bool = True,
+) -> None:
     """Raise :class:`IRError` on any structural violation."""
     if len(function) == 0:
         raise IRError(f"function {function.name} has no blocks")
@@ -41,61 +52,39 @@ def verify_function(function: Function, allow_unreachable: bool = False) -> None
             f"unreachable blocks in {function.name}: {sorted(cfg.unreachable())}"
         )
 
-    _check_defined_before_use(function, cfg)
+    if check_defs:
+        _check_defined_before_use(function, cfg)
 
 
 def _check_defined_before_use(function: Function, cfg: CFG) -> None:
-    """Forward may-be-undefined analysis; any possibly-undefined use is an error."""
-    all_regs: set[Reg] = set()
-    for _, _, insn in function.all_instructions():
-        all_regs.update(insn.reads())
-        all_regs.update(insn.writes())
+    """Reject any use that may execute before a definition of its register."""
+    from repro.analysis.dataflow import undefined_uses
 
-    # defined_in[label]: registers definitely defined at block entry.
-    defined_in: dict[str, set[Reg]] = {
-        b.label: set(all_regs) for b in function.blocks()
-    }
-    defined_in[cfg.entry_label] = set()
-    order = cfg.reverse_postorder()
-
-    def block_defs_out(label: str, at_entry: set[Reg]) -> set[Reg]:
-        defined = set(at_entry)
-        for insn in function.block(label):
-            defined.update(insn.writes())
-        return defined
-
-    changed = True
-    while changed:
-        changed = False
-        for label in order:
-            preds = cfg.preds[label]
-            if label == cfg.entry_label:
-                entry: set[Reg] = set()
-            elif preds:
-                entry = set(all_regs)
-                for p in preds:
-                    entry &= block_defs_out(p, defined_in[p])
-            else:
-                entry = set(all_regs)
-            if entry != defined_in[label]:
-                defined_in[label] = entry
-                changed = True
-
-    for label in order:
-        defined = set(defined_in[label])
-        for insn in function.block(label):
-            for r in insn.reads():
-                if r not in defined:
-                    raise IRError(
-                        f"register {r} may be used before definition in "
-                        f"{label}: {insn}"
-                    )
-            defined.update(insn.writes())
+    bad = undefined_uses(function, cfg)
+    if bad:
+        label, _, insn, reg = bad[0]
+        raise IRError(
+            f"register {reg} may be used before definition in {label}: {insn}"
+        )
 
 
-def verify_program(program: Program, allow_unreachable: bool = False) -> None:
-    """Verify the entry function and the data segment."""
-    verify_function(program.main, allow_unreachable=allow_unreachable)
+def verify_program(
+    program: Program,
+    allow_unreachable: bool = False,
+    check_defs: bool = True,
+) -> None:
+    """Verify every function of the program and the data segment."""
+    seen_labels: set[str] = set()
+    for function in program.functions():
+        verify_function(
+            function, allow_unreachable=allow_unreachable, check_defs=check_defs
+        )
+        # Block labels must be unique program-wide: schedules, profiles and
+        # lint findings key on the bare label.
+        for label in function.block_labels():
+            if label in seen_labels:
+                raise IRError(f"block label {label!r} appears in two functions")
+            seen_labels.add(label)
     layout = program.layout()
     for g in program.globals.values():
         if layout.base_of[g.name] <= 0:

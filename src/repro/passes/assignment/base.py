@@ -6,11 +6,16 @@ then has a well-defined home register file, remote readers pay the
 inter-cluster delay, and the register allocator can place the value in its
 home cluster's file.  All three assignment policies maintain the invariant
 by construction; CASTED's BUG enforces it by pinning.
+
+Registers are function-local, so homes are derived per function; the
+program-level helpers validate every function and return the entry
+function's map for the (single-function) register allocator.
 """
 
 from __future__ import annotations
 
 from repro.errors import PassError
+from repro.ir.function import Function
 from repro.ir.program import Program
 from repro.isa.registers import Reg
 
@@ -19,14 +24,14 @@ class AssignmentError(PassError):
     """Cluster assignment violated an invariant."""
 
 
-def collect_def_clusters(program: Program) -> dict[Reg, int]:
-    """Map every register to the cluster of its definitions.
+def collect_function_def_clusters(function: Function) -> dict[Reg, int]:
+    """Map every register of one function to the cluster of its definitions.
 
     Raises :class:`AssignmentError` if any register is defined on more than
     one cluster or any instruction lacks an assignment.
     """
     homes: dict[Reg, int] = {}
-    for block, idx, insn in program.main.all_instructions():
+    for block, idx, insn in function.all_instructions():
         if insn.cluster is None:
             raise AssignmentError(
                 f"unassigned instruction in {block.label}[{idx}]: {insn}"
@@ -42,12 +47,26 @@ def collect_def_clusters(program: Program) -> dict[Reg, int]:
     return homes
 
 
-def validate_assignment(program: Program, n_clusters: int) -> dict[Reg, int]:
-    """Check cluster ranges + the single-home invariant; return home map."""
-    for block, idx, insn in program.main.all_instructions():
+def collect_def_clusters(program: Program) -> dict[Reg, int]:
+    """Entry-function home map (see :func:`collect_function_def_clusters`)."""
+    return collect_function_def_clusters(program.main)
+
+
+def validate_function_assignment(function: Function, n_clusters: int) -> dict[Reg, int]:
+    """Check cluster ranges + the single-home invariant for one function."""
+    for block, idx, insn in function.all_instructions():
         if insn.cluster is None or not 0 <= insn.cluster < n_clusters:
             raise AssignmentError(
                 f"instruction in {block.label}[{idx}] has invalid cluster "
                 f"{insn.cluster}: {insn}"
             )
-    return collect_def_clusters(program)
+    return collect_function_def_clusters(function)
+
+
+def validate_assignment(program: Program, n_clusters: int) -> dict[Reg, int]:
+    """Validate every function; return the entry function's home map."""
+    homes = {
+        fn.name: validate_function_assignment(fn, n_clusters)
+        for fn in program.functions()
+    }
+    return homes[program.main.name]

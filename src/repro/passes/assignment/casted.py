@@ -213,6 +213,20 @@ class CastedAssignmentPass(FunctionPass):
             for insn, c in zip(block.instructions, cl):
                 insn.cluster = c
 
+        # Non-entry functions (hand-built/parsed programs only — compiled
+        # workloads are fully inlined) get the fixed role split; the adaptive
+        # search stays focused on the code that runs.
+        for extra in program.functions():
+            if extra is function:
+                continue
+            pinned: dict[Reg, int] = {}
+            for label in extra.block_labels():
+                _fixed_assign(
+                    extra.block(label),
+                    pinned,
+                    lambda i: checker if i.is_redundant else 0,
+                )
+
         ctx.record(
             self.name,
             winner=winner,

@@ -27,12 +27,13 @@ class DcedAssignmentPass(FunctionPass):
 
     def run(self, program: Program, ctx: PassContext) -> bool:
         n_main = n_checker = 0
-        for _, _, insn in program.main.all_instructions():
-            if insn.is_redundant:
-                insn.cluster = self.checker_cluster
-                n_checker += 1
-            else:
-                insn.cluster = self.main_cluster
-                n_main += 1
+        for function in program.functions():
+            for _, _, insn in function.all_instructions():
+                if insn.is_redundant:
+                    insn.cluster = self.checker_cluster
+                    n_checker += 1
+                else:
+                    insn.cluster = self.main_cluster
+                    n_main += 1
         ctx.record(self.name, main=n_main, checker=n_checker)
         return True

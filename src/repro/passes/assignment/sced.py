@@ -20,7 +20,8 @@ class ScedAssignmentPass(FunctionPass):
         self.cluster = cluster
 
     def run(self, program: Program, ctx: PassContext) -> bool:
-        for _, _, insn in program.main.all_instructions():
-            insn.cluster = self.cluster
+        for function in program.functions():
+            for _, _, insn in function.all_instructions():
+                insn.cluster = self.cluster
         ctx.record(self.name, cluster=self.cluster)
         return True

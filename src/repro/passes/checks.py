@@ -67,7 +67,10 @@ def emit_checks(
                 and not insn.from_library
                 and insn.opcode in checked_opcodes
             ):
-                for reg in insn.reads():
+                # Dedupe the read set (order-preserving): an instruction that
+                # reads the same register twice (e.g. ``STORE r1, r1``) needs
+                # one check for that register, not two identical pairs.
+                for reg in dict.fromkeys(insn.reads()):
                     shadow = shadows.get(reg)
                     if shadow is None:
                         continue

@@ -92,15 +92,28 @@ def validate_block_schedule(
 def validate_compiled(
     program: Program, schedules: ScheduleResult, machine: MachineConfig
 ) -> None:
-    """Validate every block of a compiled program."""
-    homes: dict[Reg, int] = {}
-    for _, _, insn in program.main.all_instructions():
-        for d in insn.writes():
-            prev = homes.get(d)
-            if prev is not None and prev != insn.cluster:
-                raise ScheduleError(f"register {d} defined on two clusters")
-            homes[d] = insn.cluster
-    for block in program.main.blocks():
-        validate_block_schedule(
-            block, schedules.blocks[block.label], machine, homes
-        )
+    """Validate every block of every function of a compiled program.
+
+    Registers are function-local, so the single-home constraint is derived
+    per function; a block without a schedule entry is itself a violation
+    (historically only ``program.main`` was checked, which let multi-function
+    programs bypass schedule legality entirely).
+    """
+    for function in program.functions():
+        homes: dict[Reg, int] = {}
+        for _, _, insn in function.all_instructions():
+            for d in insn.writes():
+                prev = homes.get(d)
+                if prev is not None and prev != insn.cluster:
+                    raise ScheduleError(
+                        f"{function.name}: register {d} defined on two clusters"
+                    )
+                homes[d] = insn.cluster
+        for block in function.blocks():
+            if block.label not in schedules.blocks:
+                raise ScheduleError(
+                    f"{function.name}: block {block.label} has no schedule"
+                )
+            validate_block_schedule(
+                block, schedules.blocks[block.label], machine, homes
+            )

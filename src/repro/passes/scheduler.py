@@ -27,7 +27,10 @@ from repro.isa.registers import Reg
 from repro.machine.config import MachineConfig
 from repro.machine.reservation import ReservationTable
 from repro.obs import get_telemetry
-from repro.passes.assignment.base import validate_assignment
+from repro.passes.assignment.base import (
+    collect_function_def_clusters,
+    validate_assignment,
+)
 from repro.passes.base import FunctionPass, PassContext
 from repro.passes.latency import edge_issue_latency, same_cluster_edge_latency
 
@@ -67,22 +70,27 @@ class ListScheduler(FunctionPass):
         if ctx.machine is None:
             raise ScheduleError("scheduling needs a machine config")
         machine = ctx.machine
-        homes = validate_assignment(program, machine.n_clusters)
+        validate_assignment(program, machine.n_clusters)
         result = ScheduleResult()
         tel = get_telemetry()
         track = tel.enabled
-        for block in program.main.blocks():
-            sched = schedule_block(block, machine, homes)
-            result.blocks[block.label] = sched
-            if track:
-                # Slot-reservation pressure: fraction of the block's issue
-                # slots (length x width x clusters) actually reserved.
-                capacity = sched.length * machine.issue_width * machine.n_clusters
-                tel.observe("sched.block_length", sched.length)
-                if capacity:
-                    tel.observe(
-                        "sched.slot_pressure", len(sched.cycle_of) / capacity
-                    )
+        # Every function is scheduled (registers are function-local, so each
+        # function uses its own home map); the schedule validator rejects any
+        # block left without a schedule.
+        for function in program.functions():
+            homes = collect_function_def_clusters(function)
+            for block in function.blocks():
+                sched = schedule_block(block, machine, homes)
+                result.blocks[block.label] = sched
+                if track:
+                    # Slot-reservation pressure: fraction of the block's issue
+                    # slots (length x width x clusters) actually reserved.
+                    capacity = sched.length * machine.issue_width * machine.n_clusters
+                    tel.observe("sched.block_length", sched.length)
+                    if capacity:
+                        tel.observe(
+                            "sched.slot_pressure", len(sched.cycle_of) / capacity
+                        )
         ctx.artifacts["schedule"] = result
         ctx.record(
             self.name,

@@ -79,6 +79,12 @@ class CompiledProgram:
     stats: CompileStats
     ed_info: ErrorDetectionInfo | None = None
     pass_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Clone of the IR after cluster assignment but before register
+    #: allocation — the representation the protection linter analyses
+    #: (shadow registers still distinct virtuals, clusters already
+    #: assigned).  Only captured when ``compile_program(...,
+    #: capture_pre_regalloc=True)``; ``None`` otherwise.
+    pre_regalloc: Program | None = None
 
     @property
     def mem_words(self) -> int:
@@ -133,6 +139,7 @@ def compile_program(
     check_policy=None,
     protect_slice_depth: int | None = None,
     if_convert: bool = False,
+    capture_pre_regalloc: bool = False,
 ) -> CompiledProgram:
     """Compile ``source`` under ``scheme`` for ``machine``.
 
@@ -151,7 +158,10 @@ def compile_program(
       narrowing which non-replicated classes get operand checks;
     * ``protect_slice_depth`` — Shoestring-style partial redundancy:
       replicate only the backward slice of checked operands to depth k;
-    * ``if_convert`` — predicate small branch diamonds before protection.
+    * ``if_convert`` — predicate small branch diamonds before protection;
+    * ``capture_pre_regalloc`` — keep a clone of the post-assignment,
+      pre-regalloc IR on the result (``CompiledProgram.pre_regalloc``) for
+      the protection linter (:mod:`repro.analysis.lint`).
     """
     if scheme is not Scheme.NOED and machine.n_clusters < 2 and scheme is not Scheme.SCED:
         raise PassError(f"{scheme} needs at least 2 clusters")
@@ -204,6 +214,8 @@ def compile_program(
     passes.append(
         _assignment_pass(scheme, casted_candidates, casted_safety_net, block_profile)
     )
+    if capture_pre_regalloc:
+        passes.append(_SnapshotPass("pre-regalloc"))
     passes.append(LinearScanAllocator(reuse_policy=regalloc_reuse))
     passes.append(ListScheduler())
 
@@ -241,6 +253,7 @@ def compile_program(
         stats=stats,
         ed_info=ed_info,
         pass_stats=ctx.stats,
+        pre_regalloc=ctx.artifacts.get("snapshot:pre-regalloc"),
     )
 
 
@@ -252,4 +265,21 @@ class _CountMarker(FunctionPass):
 
     def run(self, program: Program, ctx: PassContext) -> bool:
         ctx.record(self.name, instructions=program.main.instruction_count())
+        return False
+
+
+class _SnapshotPass(FunctionPass):
+    """Stores a clone of the IR at its pipeline position in the artifacts.
+
+    Cloning remaps instruction uids, but ``dup_of`` links are remapped with
+    them (:meth:`Function.clone`), so the snapshot is self-consistent for
+    the linter's structural queries.
+    """
+
+    def __init__(self, tag: str) -> None:
+        self.name = f"snapshot-{tag}"
+        self.tag = tag
+
+    def run(self, program: Program, ctx: PassContext) -> bool:
+        ctx.artifacts[f"snapshot:{self.tag}"] = program.clone()
         return False

@@ -1,0 +1,131 @@
+"""The generic dataflow framework: solver, canned analyses, chains."""
+
+from repro.analysis.dataflow import (
+    LiveVars,
+    MustDefined,
+    ReachingDefs,
+    def_use_chains,
+    solve,
+    undefined_uses,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.liveness import compute_liveness
+
+
+def diamond_program():
+    """entry -> (left | right) -> join; left defines x, right does not."""
+    b = IRBuilder("f")
+    f = b.function
+    b.add_and_enter("entry")
+    c = b.movi(1)
+    x = f.new_gp()
+    p = b.cmplt(c, 2)
+    b.brt(p, "left", "right")
+    b.add_and_enter("left")
+    b.movi_to(x, 7)
+    b.jmp("join")
+    b.add_and_enter("right")
+    b.jmp("join")
+    b.add_and_enter("join")
+    b.out(x)
+    b.halt(0)
+    return b.function, x
+
+
+class TestReachingDefs:
+    def test_straight_line(self, loop_program):
+        f = loop_program.main
+        facts = solve(f, ReachingDefs())
+        # Every register used in the loop body has at least one reaching def.
+        for _, _, fact in facts.instruction_facts("loop"):
+            assert isinstance(fact, frozenset)
+        # The loop header joins entry defs with back-edge defs: the induction
+        # register reaches with two distinct definition sites.
+        entry_fact = facts.entry["loop"]
+        regs = {}
+        for reg, uid in entry_fact:
+            regs.setdefault(reg, set()).add(uid)
+        assert any(len(uids) >= 2 for uids in regs.values())
+
+    def test_diamond_merges_defs(self):
+        f, x = diamond_program()
+        facts = solve(f, ReachingDefs())
+        join = facts.entry["join"]
+        assert len([d for d in join if d[0] == x]) == 1  # only left's def
+
+
+class TestMustDefined:
+    def test_diamond_partial_def_not_must(self):
+        f, x = diamond_program()
+        facts = solve(f, MustDefined(f))
+        assert x not in facts.entry["join"]
+
+    def test_loop_defs_must_reach_exit(self, loop_program):
+        f = loop_program.main
+        facts = solve(f, MustDefined(f))
+        # Everything defined in entry is must-defined at exit.
+        entry_defs = set()
+        for insn in f.block("entry").instructions:
+            entry_defs.update(insn.writes())
+        assert entry_defs <= facts.entry["exit"]
+
+
+class TestLiveVars:
+    def test_matches_liveness_wrapper(self, loop_program):
+        f = loop_program.main
+        facts = solve(f, LiveVars())
+        info = compute_liveness(f)
+        for label in f.block_labels():
+            assert facts.entry[label] == frozenset(info.live_in[label])
+            assert facts.exit[label] == frozenset(info.live_out[label])
+
+    def test_dead_after_last_use(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        v = b.movi(3)
+        b.out(v)
+        b.halt(0)
+        facts = solve(b.function, LiveVars())
+        assert v not in facts.exit["entry"]
+
+
+class TestChains:
+    def test_def_use_chain_spans_blocks(self):
+        f, x = diamond_program()
+        chains = def_use_chains(f)
+        uses_of_x = {
+            site: defs for site, defs in chains.items() if site[3] == x
+        }
+        assert uses_of_x
+        for defs in uses_of_x.values():
+            assert len(defs) == 1  # only left's movi defines x
+
+    def test_undefined_uses_found(self):
+        f, x = diamond_program()
+        bad = undefined_uses(f)
+        assert any(reg == x for _, _, _, reg in bad)
+
+    def test_clean_program_has_none(self, loop_program):
+        assert undefined_uses(loop_program.main) == []
+
+
+class TestSolverEdgeCases:
+    def test_unreachable_block_keeps_initial(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        b.halt(0)
+        b.add_and_enter("dead")
+        v = b.movi(1)
+        b.out(v)
+        b.halt(0)
+        facts = solve(b.function, ReachingDefs())
+        assert facts.entry["dead"] == frozenset()
+
+    def test_single_block(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        v = b.movi(1)
+        b.out(v)
+        b.halt(0)
+        facts = solve(b.function, ReachingDefs())
+        assert any(d[0] == v for d in facts.exit["entry"])

@@ -154,6 +154,38 @@ class TestChecks:
         ]
         assert pne, "the loop branch predicate must be checked"
 
+    def test_duplicate_reads_checked_once(self):
+        """``STORE x, x`` reads x twice but needs one compare+branch pair.
+
+        Before the read-set dedupe, each occurrence got its own identical
+        pair: two extra issue slots and a second serializing predicate for
+        zero extra coverage.
+        """
+        from repro.ir.builder import IRBuilder
+
+        def program():
+            b = IRBuilder("main")
+            b.add_and_enter("entry")
+            x = b.movi(3)
+            b.store(x, x)  # address and value are the same register
+            b.halt(0)
+            from repro.ir.program import GlobalArray
+
+            return Program(b.function, [GlobalArray("buf", 8)])
+
+        prog = program()
+        info = apply_ed(prog)
+        store_checks = [
+            i for _, _, i in prog.main.all_instructions()
+            if i.role is Role.CHECK and i.opcode is Opcode.CMPNE
+        ]
+        assert info.n_checks == 1
+        assert len(store_checks) == 1
+        # And the deduped program still detects what the duplicate pair
+        # would have: the one check compares x against its shadow.
+        orig_reg, shadow_reg = store_checks[0].srcs
+        assert info.shadows.get(orig_reg) == shadow_reg
+
     def test_library_code_gets_no_checks(self):
         prog = compile_source(
             """

@@ -118,3 +118,68 @@ class TestProgramRoundTrip:
             parse_program("nonsense")
         with pytest.raises(ParseError):
             parse_program("program {\nfunc main {\n}\n}")  # no blocks
+
+
+def _assert_identical(p1, p2):
+    """Instruction-for-instruction structural identity of two programs."""
+    f1s, f2s = p1.functions(), p2.functions()
+    assert [f.name for f in f1s] == [f.name for f in f2s]
+    for f1, f2 in zip(f1s, f2s):
+        assert f1.block_labels() == f2.block_labels()
+        for label in f1.block_labels():
+            i1s = f1.block(label).instructions
+            i2s = f2.block(label).instructions
+            assert len(i1s) == len(i2s), f"{f1.name}.{label} length differs"
+            for k, (a, b) in enumerate(zip(i1s, i2s)):
+                where = f"{f1.name}.{label}[{k}]"
+                assert a.opcode is b.opcode, where
+                assert a.dests == b.dests, where
+                assert a.srcs == b.srcs, where
+                assert a.imm == b.imm, where
+                assert a.targets == b.targets, where
+                assert a.role is b.role, where
+                assert a.from_library == b.from_library, where
+                assert a.cluster == b.cluster, where
+                assert a.dup_of == b.dup_of, where
+
+
+class TestCompiledRoundTripProperty:
+    """parse(print(p)) is the identity on every fully compiled program.
+
+    The property holds across the whole workload x scheme matrix — i.e. over
+    physical registers, cluster tags, every role, dup_of links and spill
+    code, not just the front-end IR the older round-trip tests cover.
+    """
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "cjpeg", "h263dec", "h263enc", "mcf",
+            "mpeg2dec", "parser", "vpr",
+        ],
+    )
+    def test_workload_scheme_matrix(self, name, scheme, machine):
+        from repro.pipeline import compile_program
+        from repro.workloads import get_workload
+
+        compiled = compile_program(
+            get_workload(name).program, scheme, machine
+        )
+        reparsed = parse_program(print_program(compiled.program))
+        _assert_identical(compiled.program, reparsed)
+
+    def test_multi_function_program_roundtrips(self):
+        from repro.ir.builder import IRBuilder
+
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        b.out(b.movi(1))
+        b.halt(0)
+        prog = Program(b.function)
+        b2 = IRBuilder("helper")
+        b2.add_and_enter("h_entry")
+        b2.out(b2.movi(2))
+        b2.halt(0)
+        prog.add_function(b2.function)
+        reparsed = parse_program(print_program(prog))
+        _assert_identical(prog, reparsed)

@@ -97,6 +97,38 @@ class TestVerifier:
     def test_loop_carried_def_ok(self, loop_program):
         verify_function(loop_program.main)
 
+    def test_hand_built_malformed_block_rejected(self):
+        """Regression: raw-appended instructions get the same reaching-defs
+        scrutiny as builder-produced code."""
+        from repro.ir.function import Function
+        from repro.isa.registers import GP
+
+        f = Function("f")
+        blk = f.add_block("entry")
+        ghost = GP(9)
+        blk.append(Instruction(Opcode.OUT, srcs=(ghost,)))
+        blk.append(Instruction(Opcode.HALT, imm=0))
+        with pytest.raises(IRError, match="before definition"):
+            verify_function(f)
+
+    def test_check_defs_opt_out(self):
+        """Pre-renaming pipeline stages may verify shape without def-checks."""
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        ghost = b.function.new_gp()
+        b.out(ghost)
+        b.halt(0)
+        with pytest.raises(IRError, match="before definition"):
+            verify_function(b.function)
+        verify_function(b.function, check_defs=False)  # shape still checked
+
+    def test_check_defs_opt_out_still_checks_structure(self):
+        b = IRBuilder("f")
+        b.add_and_enter("entry")
+        b.movi(1)
+        with pytest.raises(IRError, match="terminator"):
+            verify_function(b.function, check_defs=False)
+
     def test_chkbr_must_target_detect(self):
         b = IRBuilder("f")
         b.add_and_enter("entry")
@@ -109,6 +141,33 @@ class TestVerifier:
 
 
 class TestProgramLevel:
+    def test_all_functions_verified(self):
+        """verify_program covers non-entry functions, not just main."""
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        b.halt(0)
+        program = Program(b.function)
+        b2 = IRBuilder("helper")
+        b2.add_and_enter("h_entry")
+        ghost = b2.function.new_gp()
+        b2.out(ghost)
+        b2.halt(0)
+        program.add_function(b2.function)
+        with pytest.raises(IRError, match="before definition"):
+            verify_program(program)
+
+    def test_duplicate_labels_across_functions(self):
+        b = IRBuilder("main")
+        b.add_and_enter("entry")
+        b.halt(0)
+        program = Program(b.function)
+        b2 = IRBuilder("helper")
+        b2.add_and_enter("entry")  # clashes with main's label
+        b2.halt(0)
+        program.add_function(b2.function)
+        with pytest.raises(IRError, match="two functions"):
+            verify_program(program)
+
     def test_duplicate_global(self):
         b = IRBuilder("f")
         b.add_and_enter("entry")

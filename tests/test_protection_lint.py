@@ -1,0 +1,299 @@
+"""The protection linter: rules, windows, mutations, formats, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.formats import format_json, format_sarif, format_text
+from repro.analysis.lint import (
+    compute_windows,
+    lint_compiled,
+    lint_program,
+    lint_snapshot,
+)
+from repro.analysis.mutate import drop_nth_check, drop_nth_replica
+from repro.analysis.protection import Severity
+from repro.ir.basic_block import DETECT_LABEL
+from repro.machine.config import MachineConfig
+from repro.pipeline import Scheme, compile_program
+from repro.workloads import get_workload, workload_names
+from tests.conftest import build_loop_program
+
+PROTECTED = [Scheme.CASTED, Scheme.SCED, Scheme.DCED]
+
+
+@pytest.fixture(scope="module")
+def compiled_loop():
+    return compile_program(
+        build_loop_program(),
+        Scheme.CASTED,
+        MachineConfig(issue_width=2, inter_cluster_delay=1),
+        capture_pre_regalloc=True,
+    )
+
+
+class TestWorkloadsClean:
+    """Acceptance: zero ERROR findings on every workload under every
+    protected scheme (and NOED stays pure)."""
+
+    @pytest.mark.parametrize("name", workload_names())
+    @pytest.mark.parametrize("scheme", PROTECTED, ids=lambda s: s.value)
+    def test_no_errors(self, name, scheme, machine):
+        report = lint_program(get_workload(name).program, scheme, machine)
+        errors = [f for f in report.findings if f.severity is Severity.ERROR]
+        assert errors == []
+        assert report.exit_code() == 0
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_noed_pure(self, name, machine):
+        report = lint_program(
+            get_workload(name).program, Scheme.NOED, machine
+        )
+        assert [f for f in report.findings if f.severity is Severity.ERROR] == []
+        assert report.windows.n_defs == 0
+
+
+class TestMutations:
+    """Dropping one protection element trips the corresponding rule."""
+
+    def test_dropped_replica_caught(self, compiled_loop):
+        snap = compiled_loop.pre_regalloc.clone()
+        assert drop_nth_replica(snap, 0)
+        findings = lint_snapshot(snap, "casted", 2)
+        assert any(
+            f.rule == "replication-coverage" and f.severity is Severity.ERROR
+            for f in findings
+        )
+
+    def test_dropped_check_caught(self, compiled_loop):
+        snap = compiled_loop.pre_regalloc.clone()
+        assert drop_nth_check(snap, 0)
+        findings = lint_snapshot(snap, "casted", 2)
+        assert any(
+            f.rule in ("check-coverage", "check-wiring")
+            and f.severity is Severity.ERROR
+            for f in findings
+        )
+
+    def test_every_check_is_load_bearing(self, compiled_loop):
+        """Each individually dropped check pair is caught (no dead checks)."""
+        n = 0
+        while True:
+            snap = compiled_loop.pre_regalloc.clone()
+            if not drop_nth_check(snap, n):
+                break
+            findings = lint_snapshot(snap, "casted", 2)
+            assert any(f.severity is Severity.ERROR for f in findings), (
+                f"dropping check {n} went unnoticed"
+            )
+            n += 1
+        assert n > 0
+
+    def test_misrouted_chkbr_caught(self, compiled_loop):
+        snap = compiled_loop.pre_regalloc.clone()
+        from repro.isa.opcodes import Opcode
+
+        for block in snap.main.blocks():
+            for insn in block.instructions:
+                if insn.opcode is Opcode.CHKBR:
+                    insn.targets = (snap.main.entry.label,)
+                    break
+            else:
+                continue
+            break
+        findings = lint_snapshot(snap, "casted", 2)
+        assert any(
+            f.rule == "check-wiring"
+            and f.severity is Severity.ERROR
+            and DETECT_LABEL in f.message
+            for f in findings
+        )
+
+    def test_cross_stream_write_caught(self, compiled_loop):
+        """A replica redirected onto an architectural register is flagged."""
+        from repro.isa.instruction import Role
+
+        snap = compiled_loop.pre_regalloc.clone()
+        arch = None
+        for _, _, insn in snap.main.all_instructions():
+            if insn.role is Role.ORIG and insn.writes():
+                arch = insn.writes()[0]
+                break
+        for _, _, insn in snap.main.all_instructions():
+            if insn.role is Role.DUP and insn.writes():
+                insn.dests = (arch,) + insn.dests[1:]
+                break
+        findings = lint_snapshot(snap, "casted", 2)
+        assert any(
+            f.rule == "shadow-isolation" and f.severity is Severity.ERROR
+            for f in findings
+        )
+
+    def test_wrong_cluster_caught_under_dced(self, machine):
+        compiled = compile_program(
+            build_loop_program(),
+            Scheme.DCED,
+            machine,
+            capture_pre_regalloc=True,
+        )
+        snap = compiled.pre_regalloc.clone()
+        from repro.isa.instruction import Role
+
+        for _, _, insn in snap.main.all_instructions():
+            if insn.role is Role.DUP:
+                insn.cluster = 0  # redundant code on the main cluster
+                break
+        findings = lint_snapshot(snap, "dced", 2)
+        assert any(
+            f.rule == "cluster-placement" and f.severity is Severity.ERROR
+            for f in findings
+        )
+
+
+class TestWindows:
+    def test_windows_positive_and_bounded(self, compiled_loop):
+        summary = compute_windows(compiled_loop.pre_regalloc)
+        assert summary.n_defs > 0
+        for w in summary.checked:
+            assert w.distance >= 1
+        assert summary.mean_window <= summary.max_window
+
+    def test_profile_weighting_shifts_mean(self, machine):
+        program = build_loop_program(n=10)
+        compiled = compile_program(
+            program, Scheme.CASTED, machine, capture_pre_regalloc=True
+        )
+        flat = compute_windows(compiled.pre_regalloc)
+        hot = compute_windows(
+            compiled.pre_regalloc, block_profile={"loop": 1000, "entry": 1}
+        )
+        assert flat.n_defs == hot.n_defs
+        # Profile counts land on the defining blocks' windows verbatim...
+        for w in hot.windows:
+            assert w.weight == {"loop": 1000, "entry": 1}.get(w.block, 1)
+        # ...and the weighted mean recomputes from them exactly.
+        checked = hot.checked
+        expected = sum(w.distance * w.weight for w in checked) / sum(
+            w.weight for w in checked
+        )
+        assert hot.weighted_mean_window == pytest.approx(expected)
+
+    def test_noed_has_no_windows(self, machine):
+        compiled = compile_program(
+            build_loop_program(),
+            Scheme.NOED,
+            machine,
+            capture_pre_regalloc=True,
+        )
+        assert compute_windows(compiled.pre_regalloc).n_defs == 0
+
+
+class TestFormats:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return lint_program(
+            build_loop_program(),
+            Scheme.CASTED,
+            MachineConfig(issue_width=2, inter_cluster_delay=1),
+        )
+
+    def test_text(self, report):
+        text = format_text(report)
+        assert "vulnerability windows" in text
+        assert report.program in text
+
+    def test_json_round_trips(self, report):
+        data = json.loads(format_json(report))
+        assert data["scheme"] == "casted"
+        assert set(data["counts"]) == {"error", "warning", "info"}
+        assert data["windows"]["n_defs"] == report.windows.n_defs
+
+    def test_sarif_structure(self, report):
+        doc = json.loads(format_sarif(report))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "check-coverage" in rule_ids
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in ("error", "warning", "note")
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+
+class TestOrchestration:
+    def test_lint_compiled_needs_snapshot(self, machine):
+        compiled = compile_program(
+            build_loop_program(), Scheme.CASTED, machine
+        )
+        with pytest.raises(ValueError, match="capture_pre_regalloc"):
+            lint_compiled(compiled)
+
+    def test_unknown_scheme_rejected(self, compiled_loop):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            lint_snapshot(compiled_loop.pre_regalloc, "swift", 2)
+
+    def test_exit_code_gating(self, compiled_loop):
+        snap = compiled_loop.pre_regalloc.clone()
+        drop_nth_replica(snap, 0)
+        findings = lint_snapshot(snap, "casted", 2)
+        report_like_counts = [f for f in findings if f.severity is Severity.ERROR]
+        assert report_like_counts  # gate would fire
+
+
+class TestCli:
+    def test_lint_clean_workload(self, capsys):
+        from repro.cli import main
+
+        rc = main(["lint", "workload:cjpeg", "--scheme", "casted"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "vulnerability windows" in out
+
+    def test_lint_json_format(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["lint", "workload:mcf", "--scheme", "sced", "--format", "json"]
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert data["program"] == "mcf"
+
+    def test_lint_output_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "lint.sarif"
+        rc = main(
+            [
+                "lint",
+                "workload:cjpeg",
+                "--scheme",
+                "dced",
+                "--format",
+                "sarif",
+                "--output",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert json.loads(out.read_text())["version"] == "2.1.0"
+
+
+class TestTelemetry:
+    def test_lint_metrics_published(self, machine):
+        from repro import obs
+
+        obs.configure()
+        try:
+            lint_program(build_loop_program(), Scheme.CASTED, machine)
+            tel = obs.get_telemetry()
+            snapshot = tel.metrics.snapshot()
+            assert any(
+                k.startswith("lint.windows") for k in snapshot["gauges"]
+            )
+            assert "lint.window" in snapshot["histograms"]
+        finally:
+            obs.reset()
