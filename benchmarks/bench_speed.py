@@ -1,15 +1,25 @@
-"""Serial-vs-parallel wall-clock benchmark for the evaluation engine.
+"""Wall-clock benchmark for the evaluation engine's speed layers.
 
-Measures three things and writes them to ``BENCH_speed.json`` (the repo's
-performance trajectory artifact — CI uploads it from every run):
+Measures the per-layer and end-to-end gains and writes them to
+``BENCH_speed.json`` (the repo's performance trajectory artifact — CI
+uploads it from every run):
 
-* **executor** — raw cycle-level simulation throughput (instructions/s),
-  with a deliberately loose timing assertion guarding the hot-loop
-  micro-optimisations against catastrophic regression (an 8x margin, so
-  slow CI machines never flake);
-* **campaign** — one Monte-Carlo fault campaign, serial (``jobs=1``) vs
-  sharded over a process pool (``--jobs``), asserting the outcome counts
-  are bit-identical (the determinism contract) and reporting trials/s;
+* **executor** — raw cycle-level simulation throughput (instructions/s)
+  under both execution backends: the per-instruction closure interpreter
+  (``interp``) and the fused-superblock code generator (``compiled``,
+  the default); a deliberately loose timing assertion guards the hot loop
+  against catastrophic regression;
+* **campaign** — one Monte-Carlo fault campaign measured four ways so each
+  speedup layer is attributed separately:
+
+  1. ``interp`` backend, snapshots off — the PR-2 baseline configuration,
+  2. ``compiled`` backend, snapshots off — layer 1 alone,
+  3. ``compiled`` + golden-run snapshots, serial — layers 1+2 (the
+     default configuration),
+  4. the same, sharded over ``--jobs`` workers.
+
+  All four must produce bit-identical outcome counts, fault totals and
+  detection latencies (the determinism contract, asserted);
 * **sweep** — a multi-point (workload, scheme, issue-width, delay) grid
   through :meth:`Evaluator.sweep`, serial vs parallel, each from a cold
   cache in its own temp dir, asserting the resulting cache files are
@@ -19,11 +29,13 @@ Run directly::
 
     python benchmarks/bench_speed.py --jobs 4            # paper-sized
     python benchmarks/bench_speed.py --quick --jobs 2    # CI smoke
+    python benchmarks/bench_speed.py --quick --assert-speedup 3
 
-Speedups scale with available cores: on a single-core box the pool adds
-overhead and the report simply records that (``effective_cores`` says what
-the machine offered).  Not a pytest file on purpose — wall-clock A/B needs
-a cold cache and a controlled process layout.
+Pool speedups scale with available cores (``effective_cores`` reports the
+scheduler-affinity/cgroup-aware count actually available, not the raw
+``os.cpu_count``); the compiled-backend and checkpointing speedups do not
+need cores at all.  Not a pytest file on purpose — wall-clock A/B needs a
+cold cache and a controlled process layout.
 """
 
 from __future__ import annotations
@@ -39,13 +51,14 @@ from pathlib import Path
 from repro.eval.experiment import Evaluator
 from repro.faults.injector import FaultInjector
 from repro.machine.config import MachineConfig
-from repro.parallel import SHARD_TRIALS, resolve_jobs
+from repro.parallel import SHARD_TRIALS, effective_cores, resolve_jobs
 from repro.pipeline import Scheme, compile_program
 from repro.sim.executor import VLIWExecutor
 from repro.workloads import get_workload
 
-#: Throughput floor for the executor hot loop (observed ~2M insn/s on a
-#: 2026 container core; 8x headroom keeps this assertion quick, not flaky).
+#: Throughput floor for the (compiled) executor hot loop — observed ~4M
+#: insn/s on a 2026 container core; generous headroom keeps this assertion
+#: quick, not flaky.
 MIN_EXECUTOR_INSN_PER_S = 250_000
 
 
@@ -55,67 +68,119 @@ def _time(fn):
     return result, time.perf_counter() - t0
 
 
-def bench_executor(seconds: float = 1.0) -> dict:
-    """Cycle-level simulation throughput on a protected workload."""
-    cp = compile_program(
+def _parser_casted():
+    return compile_program(
         get_workload("parser").program,
         Scheme.CASTED,
         MachineConfig(issue_width=2, inter_cluster_delay=1),
     )
-    ex = VLIWExecutor(cp)
-    ex.run()  # warm up block-code extraction
-    t0 = time.perf_counter()
-    runs = 0
-    insns = 0
-    while time.perf_counter() - t0 < seconds:
-        result = ex.run()
-        runs += 1
-        insns += result.dyn_instructions
-    elapsed = time.perf_counter() - t0
-    insn_per_s = insns / elapsed
-    print(f"executor: {runs} runs, {insn_per_s:,.0f} insn/s")
-    assert insn_per_s >= MIN_EXECUTOR_INSN_PER_S, (
-        f"executor hot loop regressed: {insn_per_s:,.0f} insn/s is below the "
+
+
+def bench_executor(seconds: float = 1.0) -> dict:
+    """Cycle-level simulation throughput, per execution backend."""
+    cp = _parser_casted()
+
+    def throughput(backend: str) -> float:
+        ex = VLIWExecutor(cp, backend=backend)
+        ex.run()  # warm up block fusion / code extraction
+        t0 = time.perf_counter()
+        insns = 0
+        while time.perf_counter() - t0 < seconds:
+            insns += ex.run().dyn_instructions
+        return insns / (time.perf_counter() - t0)
+
+    interp = throughput("interp")
+    compiled = throughput("compiled")
+    speedup = compiled / interp if interp > 0 else 0.0
+    print(
+        f"executor: interp {interp:,.0f} insn/s  "
+        f"compiled {compiled:,.0f} insn/s  speedup {speedup:.2f}x"
+    )
+    assert compiled >= MIN_EXECUTOR_INSN_PER_S, (
+        f"executor hot loop regressed: {compiled:,.0f} insn/s is below the "
         f"{MIN_EXECUTOR_INSN_PER_S:,} floor"
     )
-    return {"runs": runs, "insn_per_s": round(insn_per_s)}
+    return {
+        "insn_per_s": round(compiled),
+        "insn_per_s_interp": round(interp),
+        "speedup_compiled": round(speedup, 2),
+    }
 
 
 def bench_campaign(trials: int, jobs: int, seed: int = 2013) -> dict:
-    """One campaign, serial vs sharded over ``jobs`` workers."""
-    cp = compile_program(
-        get_workload("parser").program,
-        Scheme.CASTED,
-        MachineConfig(issue_width=2, inter_cluster_delay=1),
+    """One campaign, measured per speed layer (see module docstring)."""
+    cp = _parser_casted()
+
+    def injector(backend: str, snapshots: bool) -> FaultInjector:
+        return FaultInjector(
+            cp.program, mem_words=cp.mem_words, frame_words=cp.frame_words,
+            backend=backend, snapshots=snapshots,
+        )
+
+    baseline_inj = injector("interp", snapshots=False)
+    compiled_inj = injector("compiled", snapshots=False)
+    full_inj = injector("compiled", snapshots=True)
+
+    baseline, baseline_s = _time(
+        lambda: baseline_inj.run_campaign(trials, seed, jobs=1)
     )
-    injector = FaultInjector(
-        cp.program, mem_words=cp.mem_words, frame_words=cp.frame_words
+    compiled, compiled_s = _time(
+        lambda: compiled_inj.run_campaign(trials, seed, jobs=1)
     )
-    serial, serial_s = _time(lambda: injector.run_campaign(trials, seed, jobs=1))
+    serial, serial_s = _time(lambda: full_inj.run_campaign(trials, seed, jobs=1))
     parallel, parallel_s = _time(
-        lambda: injector.run_campaign(trials, seed, jobs=jobs)
+        lambda: full_inj.run_campaign(trials, seed, jobs=jobs)
     )
-    assert serial.counts == parallel.counts, (
-        "determinism contract violated: jobs=1 and "
-        f"jobs={jobs} outcome counts differ: {serial.counts} vs {parallel.counts}"
-    )
-    assert serial.total_faults_injected == parallel.total_faults_injected
-    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+
+    def signature(res):
+        return (
+            res.counts,
+            res.total_faults_injected,
+            res.detection_latency_sum,
+            res.detections_timed,
+        )
+
+    for name, res in (
+        ("compiled backend", compiled),
+        ("compiled+snapshots", serial),
+        (f"compiled+snapshots jobs={jobs}", parallel),
+    ):
+        assert signature(res) == signature(baseline), (
+            f"determinism contract violated: {name} differs from the "
+            f"interp/replay baseline: {signature(res)} vs {signature(baseline)}"
+        )
+
+    speedup_compiled = baseline_s / compiled_s if compiled_s > 0 else 0.0
+    speedup_checkpoint = compiled_s / serial_s if serial_s > 0 else 0.0
+    speedup_vs_baseline = baseline_s / serial_s if serial_s > 0 else 0.0
+    speedup_pool = serial_s / parallel_s if parallel_s > 0 else 0.0
     print(
-        f"campaign: {trials} trials  serial {serial_s:.2f}s "
-        f"({trials / serial_s:.1f}/s)  jobs={jobs} {parallel_s:.2f}s "
-        f"({trials / parallel_s:.1f}/s)  speedup {speedup:.2f}x"
+        f"campaign: {trials} trials\n"
+        f"  interp, replay-from-zero   {baseline_s:6.2f}s "
+        f"({trials / baseline_s:7.1f}/s)  [PR-2 baseline config]\n"
+        f"  compiled, replay-from-zero {compiled_s:6.2f}s "
+        f"({trials / compiled_s:7.1f}/s)  {speedup_compiled:.2f}x\n"
+        f"  compiled + snapshots       {serial_s:6.2f}s "
+        f"({trials / serial_s:7.1f}/s)  {speedup_checkpoint:.2f}x more, "
+        f"{speedup_vs_baseline:.2f}x total\n"
+        f"  + jobs={jobs}                  {parallel_s:6.2f}s "
+        f"({trials / parallel_s:7.1f}/s)  {speedup_pool:.2f}x over serial"
     )
     return {
         "workload": "parser",
         "scheme": "casted",
         "trials": trials,
         "shard_trials": SHARD_TRIALS,
+        "interp_serial_s": round(baseline_s, 3),
+        "compiled_serial_s": round(compiled_s, 3),
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "trials_per_s_serial": round(trials / serial_s, 1),
         "trials_per_s_parallel": round(trials / parallel_s, 1),
-        "speedup": round(speedup, 2),
+        "speedup_compiled": round(speedup_compiled, 2),
+        "speedup_checkpoint": round(speedup_checkpoint, 2),
+        "speedup_vs_baseline": round(speedup_vs_baseline, 2),
+        "speedup": round(speedup_pool, 2),
         "deterministic": True,
     }
 
@@ -178,6 +243,12 @@ def main(argv: list[str] | None = None) -> int:
         help="CI smoke mode: tiny trial count and a 2-point grid",
     )
     parser.add_argument(
+        "--assert-speedup", type=float, default=None, metavar="X",
+        help="fail unless the default campaign configuration (compiled + "
+        "snapshots, serial) is at least X times faster than the interp/"
+        "replay baseline",
+    )
+    parser.add_argument(
         "--out", default="BENCH_speed.json", help="output JSON path"
     )
     args = parser.parse_args(argv)
@@ -200,7 +271,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": "speed",
         "quick": args.quick,
         "jobs": jobs,
-        "effective_cores": os.cpu_count() or 1,
+        "effective_cores": effective_cores(),
         "python": sys.version.split()[0],
         "executor": bench_executor(),
         "campaign": bench_campaign(trials, jobs),
@@ -209,6 +280,14 @@ def main(argv: list[str] | None = None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
+
+    if args.assert_speedup is not None:
+        got = report["campaign"]["speedup_vs_baseline"]
+        assert got >= args.assert_speedup, (
+            f"campaign speedup regressed: compiled+snapshots is only {got}x "
+            f"the interp/replay baseline (required >= {args.assert_speedup}x)"
+        )
+        print(f"speedup gate passed: {got}x >= {args.assert_speedup}x")
 
     if report["effective_cores"] >= 4 and jobs >= 4 and not args.quick:
         for section in ("campaign", "sweep"):

@@ -110,6 +110,16 @@ def _jobs(args) -> int:
         raise ReproError(str(exc)) from exc
 
 
+def _add_backend(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend",
+        choices=["compiled", "interp"],
+        default=None,
+        help="execution backend (default: $REPRO_SIM_BACKEND or compiled; "
+        "interp is the differential-equivalence reference)",
+    )
+
+
 def _add_obs(p: argparse.ArgumentParser) -> None:
     """Telemetry flags shared by every pipeline-running subcommand."""
     p.add_argument(
@@ -205,7 +215,7 @@ def _run_worker(task: dict) -> tuple[str, int]:
         issue_width=task["issue"], inter_cluster_delay=task["delay"]
     )
     compiled = compile_program(program, Scheme(task["scheme"]), machine)
-    result = VLIWExecutor(compiled).run()
+    result = VLIWExecutor(compiled, backend=task.get("backend")).run()
     lines = [
         f"exit: {result.kind.value} (code {result.exit_code})",
         f"cycles: {result.cycles} ({result.stall_cycles} memory stalls)",
@@ -232,6 +242,7 @@ def cmd_run(args) -> int:
             "issue": args.issue,
             "delay": args.delay,
             "show_output": args.show_output,
+            "backend": args.backend,
         }
         for spec in args.program
     ]
@@ -290,6 +301,8 @@ def cmd_inject(args) -> int:
         mem_words=compiled.mem_words,
         frame_words=compiled.frame_words,
         fault_model=args.fault_model,
+        backend=args.backend,
+        snapshots=not args.no_snapshots,
     )
     progress = None
     if args.progress:
@@ -333,13 +346,13 @@ def cmd_inject(args) -> int:
 
 def _sweep_cell_worker(task) -> dict[str, int]:
     """Cycles of every scheme at one (issue width, delay) grid point."""
-    spec, iw, d = task
+    spec, iw, d, backend = task
     program = _load_program(spec)
     machine = MachineConfig(issue_width=iw, inter_cluster_delay=d)
     cycles = {}
     for scheme in Scheme:
         compiled = compile_program(program, scheme, machine)
-        cycles[scheme.value] = VLIWExecutor(compiled).run().cycles
+        cycles[scheme.value] = VLIWExecutor(compiled, backend=backend).run().cycles
     return cycles
 
 
@@ -347,11 +360,13 @@ def cmd_sweep(args) -> int:
     from repro.parallel import parallel_map
 
     tasks = [
-        (args.program, iw, d) for iw in args.issues for d in args.delays
+        (args.program, iw, d, args.backend)
+        for iw in args.issues
+        for d in args.delays
     ]
     cells = parallel_map(_sweep_cell_worker, tasks, jobs=_jobs(args))
     rows = []
-    for (_, iw, d), cycles in zip(tasks, cells):
+    for (_, iw, d, _backend), cycles in zip(tasks, cells):
         noed = cycles[Scheme.NOED.value]
         rows.append(
             [f"iw{iw} d{d}", noed]
@@ -565,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p, multi=True)
     _add_obs(p)
     _add_jobs(p)
+    _add_backend(p)
     p.add_argument("--show-output", action="store_true")
     p.set_defaults(fn=cmd_run)
 
@@ -625,6 +641,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="skip shards already recorded in --checkpoint FILE",
     )
+    _add_backend(p)
+    p.add_argument(
+        "--no-snapshots", action="store_true",
+        help="replay every trial from cycle 0 instead of resuming from the "
+        "nearest golden-run snapshot (results are bit-identical either way)",
+    )
     p.set_defaults(fn=cmd_inject)
 
     p = sub.add_parser("sweep", help="slowdown grid over issue widths and delays")
@@ -633,6 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--delays", type=int, nargs="+", default=[1, 2, 4])
     _add_obs(p)
     _add_jobs(p)
+    _add_backend(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("trace", help="issue trace of the first N instructions")

@@ -123,21 +123,28 @@ class Evaluator:
         if self._disk:
             path = self._cache_dir / f"{key}.json"
             if path.exists():
-                # A corrupt or unreadable cache entry is never fatal: warn,
-                # count it, and fall through to recompute (the caller will
-                # overwrite the bad file via _store).
+                # A corrupt or unreadable cache entry is never fatal: warn
+                # once, count it, quarantine the file (renamed `.bad` so the
+                # evidence survives but later runs don't re-parse and
+                # re-warn), and fall through to recompute — the caller will
+                # publish a fresh entry via _store.
                 try:
                     data = json.loads(path.read_text())
                 except (OSError, ValueError) as exc:
-                    logger.warning("corrupt result cache %s: %s — recomputing", path, exc)
+                    logger.warning(
+                        "corrupt result cache %s: %s — quarantining and "
+                        "recomputing", path, exc,
+                    )
                     tel.count("eval.cache.corrupt")
                     tel.instant(
                         "cache-corrupt", cat="eval", key=key, error=str(exc)
                     )
+                    self._quarantine(path)
                     return None
                 if not isinstance(data, dict):
                     logger.warning(
-                        "corrupt result cache %s: expected object, got %s — recomputing",
+                        "corrupt result cache %s: expected object, got %s — "
+                        "quarantining and recomputing",
                         path, type(data).__name__,
                     )
                     tel.count("eval.cache.corrupt")
@@ -145,12 +152,27 @@ class Evaluator:
                         "cache-corrupt", cat="eval", key=key,
                         error=f"expected object, got {type(data).__name__}",
                     )
+                    self._quarantine(path)
                     return None
                 self._mem[key] = data
                 tel.count("eval.cache.disk_hits")
                 return data
         tel.count("eval.cache.misses")
         return None
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt cache entry aside as ``<name>.bad`` (best-effort).
+
+        ``os.replace`` keeps this atomic and idempotent — a second corrupt
+        copy of the same key overwrites the first quarantined one.  Failure
+        to rename (e.g. a read-only cache dir) is non-fatal: the entry is
+        simply recomputed again next run, which is the old behaviour.
+        """
+        try:
+            os.replace(path, path.with_name(f"{path.name}.bad"))
+        except OSError as exc:  # pragma: no cover - depends on fs perms
+            logger.warning("could not quarantine %s: %s", path, exc)
 
     def _store(self, key: str, data: dict) -> None:
         self._mem[key] = data

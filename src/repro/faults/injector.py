@@ -47,6 +47,7 @@ Sharding also buys **resilience** (``docs/fault_injection.md``):
 from __future__ import annotations
 
 import logging
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -61,7 +62,7 @@ from repro.faults.classify import (
     detection_latency,
 )
 from repro.faults.models import DEFAULT_FAULT_MODEL, get_fault_model
-from repro.ir.interp import FaultSpec, Interpreter, RunResult
+from repro.ir.interp import FaultSpec, Interpreter, RunResult, Snapshot
 from repro.ir.program import Program
 from repro.isa.registers import RegClass
 from repro.obs import get_telemetry
@@ -73,6 +74,18 @@ logger = logging.getLogger(__name__)
 
 #: Watchdog budget = factor x golden dynamic instruction count.
 WATCHDOG_FACTOR = 25
+
+#: Default number of golden-run snapshots a checkpointing injector records.
+#: Each trial resumes from the nearest snapshot at or before its earliest
+#: fault, so the expected skipped prefix per trial is
+#: ``~(1 - 1/(2*count))`` of the fault position; 64 keeps the residual
+#: prefix under 1% of the golden run while the snapshots themselves stay a
+#: few MB for our workloads.
+SNAPSHOT_COUNT = 64
+
+#: Skip checkpointing entirely below this golden dynamic-instruction count —
+#: tiny programs replay faster than they restore.
+SNAPSHOT_MIN_DYN = 2_000
 
 #: Default extra attempts for a shard whose pool worker died.
 SHARD_RETRIES = 2
@@ -215,15 +228,39 @@ class FaultInjector:
         mem_words: int | None = None,
         frame_words: int = 0,
         fault_model: str = DEFAULT_FAULT_MODEL,
+        backend: str | None = None,
+        snapshots: bool = True,
+        snapshot_count: int = SNAPSHOT_COUNT,
     ) -> None:
         # Kept so campaign shards can rebuild an identical injector inside
         # pool workers (the interpreter's compiled closures don't pickle).
-        self._ctor_args = (program, mem_words, frame_words, fault_model)
+        self._ctor_args = (
+            program, mem_words, frame_words, fault_model,
+            backend, snapshots, snapshot_count,
+        )
         self.program = program
-        self.interp = Interpreter(program, mem_words=mem_words, frame_words=frame_words)
+        self.interp = Interpreter(
+            program, mem_words=mem_words, frame_words=frame_words, backend=backend
+        )
         self.golden: RunResult = self.interp.run(record_trace=True)
         if not self.golden.block_trace:
             raise SimError("profiling run produced no trace")
+
+        # Checkpointed injection: replay the golden run once more, recording
+        # architectural snapshots at ~snapshot_count evenly spaced points.
+        # Each trial then restores the nearest snapshot at or before its
+        # earliest fault and executes only the suffix — bit-identical to a
+        # replay from zero, because the pre-fault prefix of every trial *is*
+        # the golden execution.
+        self._snapshots: list[Snapshot] = []
+        self._snap_keys: list[int] = []
+        golden_dyn = self.golden.dyn_instructions
+        if snapshots and snapshot_count > 0 and golden_dyn >= SNAPSHOT_MIN_DYN:
+            interval = max(1, golden_dyn // snapshot_count)
+            self.interp.run(
+                snapshot_every=interval, snapshot_sink=self._snapshots
+            )
+            self._snap_keys = [s.dyn for s in self._snapshots]
 
         # Per-block static tables.
         func = program.main
@@ -294,8 +331,24 @@ class FaultInjector:
         return tuple(sample(self, rng) for _ in range(n))
 
     # -- the campaign -----------------------------------------------------------
+    def _snapshot_for(self, faults: tuple[FaultSpec, ...]) -> Snapshot | None:
+        """Nearest golden snapshot at or before the earliest fault, if any.
+
+        A fault at ``dyn_index`` fires once ``dyn_index + 1`` instructions
+        have committed, so any snapshot with ``dyn <= dyn_index`` is safe.
+        """
+        if not self._snap_keys:
+            return None
+        first = min(f.dyn_index for f in faults)
+        i = bisect_right(self._snap_keys, first) - 1
+        return self._snapshots[i] if i >= 0 else None
+
     def run_trial(self, faults: tuple[FaultSpec, ...]) -> Outcome:
-        result = self.interp.run(faults=faults, max_steps=self.max_steps)
+        result = self.interp.run(
+            faults=faults,
+            max_steps=self.max_steps,
+            resume_from=self._snapshot_for(faults) if faults else None,
+        )
         return classify(self.golden, result)
 
     def run_shard(
@@ -316,14 +369,23 @@ class FaultInjector:
         per-trial telemetry and progress heartbeats; ``latency`` is ``None``
         for non-detected trials).
         """
+        tel = get_telemetry()
         rng = make_rng(seed, "fault-campaign", shard_index)
         counts: dict[Outcome, int] = {}
         total_faults = 0
+        restores = 0
+        skipped = 0
         latencies: list[int] = []
         for _ in range(shard_trials):
             faults = self.faults_for_trial(rng, reference_dyn)
             total_faults += len(faults)
-            result = self.interp.run(faults=faults, max_steps=self.max_steps)
+            snap = self._snapshot_for(faults)
+            if snap is not None:
+                restores += 1
+                skipped += snap.dyn
+            result = self.interp.run(
+                faults=faults, max_steps=self.max_steps, resume_from=snap
+            )
             outcome = classify(self.golden, result)
             counts[outcome] = counts.get(outcome, 0) + 1
             latency = detection_latency(result, faults)
@@ -331,6 +393,9 @@ class FaultInjector:
                 latencies.append(latency)
             if on_trial is not None:
                 on_trial(outcome, len(faults), latency)
+        if restores:
+            tel.count("campaign.snapshot_restores", restores)
+            tel.count("campaign.cycles_skipped", skipped)
         return ShardResult(
             index=shard_index,
             trials=shard_trials,
@@ -517,7 +582,6 @@ class FaultInjector:
         retries: int, retry_backoff: float,
     ) -> None:
         """Fan shards out over a process pool; merge as they complete."""
-        program, mem_words, frame_words, fault_model = self._ctor_args
         tasks = [
             (shard_index, shard_trials, seed, reference_dyn)
             for shard_index, shard_trials in remaining
@@ -536,7 +600,7 @@ class FaultInjector:
             tasks,
             jobs=jobs,
             initializer=_init_campaign_worker,
-            initargs=(program, mem_words, frame_words, fault_model),
+            initargs=self._ctor_args,
             on_result=on_result,
             retries=retries,
             retry_backoff=retry_backoff,
@@ -549,11 +613,15 @@ class FaultInjector:
 _worker_injector: FaultInjector | None = None
 
 
-def _init_campaign_worker(program, mem_words, frame_words, fault_model) -> None:
+def _init_campaign_worker(
+    program, mem_words, frame_words, fault_model,
+    backend=None, snapshots=True, snapshot_count=SNAPSHOT_COUNT,
+) -> None:
     global _worker_injector
     _worker_injector = FaultInjector(
         program, mem_words=mem_words, frame_words=frame_words,
-        fault_model=fault_model,
+        fault_model=fault_model, backend=backend,
+        snapshots=snapshots, snapshot_count=snapshot_count,
     )
 
 
@@ -578,11 +646,13 @@ def run_campaign(
     fault_model: str = DEFAULT_FAULT_MODEL,
     checkpoint: str | Path | None = None,
     resume: bool = False,
+    backend: str | None = None,
+    snapshots: bool = True,
 ) -> CampaignResult:
     """Convenience wrapper: profile + campaign in one call."""
     injector = FaultInjector(
         program, mem_words=mem_words, frame_words=frame_words,
-        fault_model=fault_model,
+        fault_model=fault_model, backend=backend, snapshots=snapshots,
     )
     return injector.run_campaign(
         trials, seed, reference_dyn=reference_dyn,

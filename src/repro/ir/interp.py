@@ -26,6 +26,7 @@ fault *rate*).
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass
 from typing import Callable
 
@@ -44,6 +45,23 @@ DEFAULT_MAX_STEPS = 50_000_000
 #: Headroom words appended after the data segment when the caller does not
 #: size memory explicitly (covers small hand-written tests).
 DEFAULT_HEADROOM_WORDS = 64
+
+#: Recognized execution backends.  ``"compiled"`` fuses each basic block
+#: into one generated-Python superblock (see :mod:`repro.sim.compiled`);
+#: ``"interp"`` dispatches the per-instruction closures one at a time and
+#: is kept as the differential-equivalence reference.
+VALID_BACKENDS = ("compiled", "interp")
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a backend choice: explicit arg > ``REPRO_SIM_BACKEND`` > compiled."""
+    if backend is None:
+        backend = os.environ.get("REPRO_SIM_BACKEND") or "compiled"
+    if backend not in VALID_BACKENDS:
+        raise SimError(
+            f"unknown sim backend {backend!r} (expected one of {VALID_BACKENDS})"
+        )
+    return backend
 
 
 class ExitKind(enum.Enum):
@@ -73,6 +91,23 @@ class RunResult:
     def architectural_state(self) -> tuple:
         """The state compared against the golden run to call benign vs SDC."""
         return (self.kind, self.exit_code, self.output)
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Complete architectural state at a block boundary of a fault-free run.
+
+    ``dyn`` is the number of instructions committed before ``label`` begins;
+    restoring the snapshot and executing from ``label`` is bit-identical to
+    executing the first ``dyn`` instructions from reset (checkpointed fault
+    campaigns rely on this — see ``docs/fault_injection.md``).
+    """
+
+    dyn: int
+    label: str
+    regs: tuple[int, ...]
+    mem: tuple[int, ...]
+    output: tuple[int, ...]
 
 
 #: Recognized :attr:`FaultSpec.kind` values.
@@ -273,6 +308,7 @@ class Interpreter:
         mem_words: int | None = None,
         max_steps: int = DEFAULT_MAX_STEPS,
         frame_words: int = 0,
+        backend: str | None = None,
     ) -> None:
         self.program = program
         layout = program.layout()
@@ -318,6 +354,15 @@ class Interpreter:
                 )
             cb.n = len(cb.fns)
             self._blocks[block.label] = cb
+
+        self.backend = resolve_backend(backend)
+        self._fused: dict[str, Callable[[], object]] | None = None
+        if self.backend == "compiled":
+            # Imported lazily: repro.sim.compiled imports helpers from this
+            # module, so a top-level import would be circular.
+            from repro.sim.compiled import fuse_functional_blocks
+
+            self._fused = fuse_functional_blocks(self)
 
     # -- closure construction ---------------------------------------------------
     def _make_closure(self, insn) -> Callable[[], object]:
@@ -482,15 +527,45 @@ class Interpreter:
             M[addr] = value
         self._O.clear()
 
+    def restore(self, snap: Snapshot) -> None:
+        """Load architectural state from a :class:`Snapshot`."""
+        if len(snap.regs) != len(self._R) or len(snap.mem) != len(self._M):
+            raise SimError("snapshot shape does not match this interpreter")
+        self._R[:] = snap.regs
+        self._M[:] = snap.mem
+        self._O[:] = snap.output
+
     def run(
         self,
         faults: tuple[FaultSpec, ...] = (),
         max_steps: int | None = None,
         record_trace: bool = False,
+        snapshot_every: int | None = None,
+        snapshot_sink: list[Snapshot] | None = None,
+        resume_from: Snapshot | None = None,
     ) -> RunResult:
-        """Execute from the entry block and classify the ending."""
+        """Execute from the entry block and classify the ending.
+
+        ``snapshot_every``/``snapshot_sink`` capture a :class:`Snapshot` at
+        the first block boundary at or past each multiple of
+        ``snapshot_every`` committed instructions (golden-run side of
+        checkpointed injection).  ``resume_from`` starts execution from a
+        previously captured snapshot instead of reset state; ``faults``
+        whose ``dyn_index`` precedes the snapshot would be silently skipped,
+        so callers must pick a snapshot at or before the earliest fault.
+        The returned ``dyn_instructions`` stays absolute (counted from the
+        true program start), keeping outcome classification and detection
+        latency identical to a replay from zero.
+        """
         R, M, O = self._R, self._M, self._O
-        self.reset_state()
+        if resume_from is None:
+            self.reset_state()
+            dyn = 0
+            label = self._entry
+        else:
+            self.restore(resume_from)
+            dyn = resume_from.dyn
+            label = resume_from.label
 
         budget = self.max_steps if max_steps is None else max_steps
         fault_list = sorted(faults, key=lambda f: f.dyn_index)
@@ -499,9 +574,14 @@ class Interpreter:
         nf = fault_list[0].dyn_index + 1 if fault_list else -1
 
         trace: list[str] | None = [] if record_trace else None
-        dyn = 0
-        label = self._entry
         blocks = self._blocks
+        fused = self._fused
+
+        next_mark = -1
+        if snapshot_sink is not None and snapshot_every is not None:
+            if snapshot_every < 1:
+                raise SimError("snapshot_every must be >= 1")
+            next_mark = snapshot_every
 
         def finish(kind: ExitKind, code: int | None, trap: str | None) -> RunResult:
             return RunResult(
@@ -518,16 +598,24 @@ class Interpreter:
                 cb = blocks[label]
                 if trace is not None:
                     trace.append(label)
+                if next_mark >= 0 and dyn >= next_mark:
+                    snapshot_sink.append(
+                        Snapshot(dyn, label, tuple(R), tuple(M), tuple(O))
+                    )
+                    next_mark = (dyn // snapshot_every + 1) * snapshot_every
                 if dyn + cb.n > budget:
                     return finish(ExitKind.TIMEOUT, None, "watchdog")
                 jump: object = None
                 if nf < 0 or nf > dyn + cb.n:
                     # Fast path: no fault lands during this block visit.
-                    for fn in cb.fns:
-                        res = fn()
-                        if res is not None:
-                            jump = res
-                            break
+                    if fused is not None:
+                        jump = fused[label]()
+                    else:
+                        for fn in cb.fns:
+                            res = fn()
+                            if res is not None:
+                                jump = res
+                                break
                     dyn += cb.n
                 else:
                     dest_slots = cb.dest_slots

@@ -42,6 +42,52 @@ logger = logging.getLogger(__name__)
 SHARD_TRIALS = 25
 
 
+def _cgroup_cpu_quota() -> int | None:
+    """CPU limit imposed by the enclosing cgroup, rounded up, or ``None``.
+
+    Containers routinely advertise every host core through ``os.cpu_count``
+    while the scheduler caps them far lower; honouring the quota is what
+    makes ``--jobs 0`` and the bench harness's ``effective_cores`` honest
+    inside CI runners and dev containers.
+    """
+    try:
+        # cgroup v2: "max 100000" or "<quota_us> <period_us>".
+        raw = open("/sys/fs/cgroup/cpu.max").read().split()
+        if raw and raw[0] != "max":
+            quota, period = int(raw[0]), int(raw[1]) if len(raw) > 1 else 100_000
+            if quota > 0 and period > 0:
+                return max(1, -(-quota // period))
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        # cgroup v1.
+        quota = int(open("/sys/fs/cgroup/cpu/cpu.cfs_quota_us").read())
+        period = int(open("/sys/fs/cgroup/cpu/cpu.cfs_period_us").read())
+        if quota > 0 and period > 0:
+            return max(1, -(-quota // period))
+    except (OSError, ValueError):
+        pass
+    return None
+
+
+def effective_cores() -> int:
+    """The number of cores this process can actually use.
+
+    The minimum of the scheduler affinity mask, the cgroup CPU quota and
+    ``os.cpu_count()`` — each source alone over-reports in some environment
+    (taskset/affinity pinning, containers, plain multi-core boxes).
+    """
+    candidates = [os.cpu_count() or 1]
+    try:
+        candidates.append(len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        pass
+    quota = _cgroup_cpu_quota()
+    if quota is not None:
+        candidates.append(quota)
+    return max(1, min(candidates))
+
+
 def resolve_jobs(jobs: int | None = None) -> int:
     """Resolve a ``--jobs`` value into a concrete worker count (>= 1).
 
@@ -58,7 +104,7 @@ def resolve_jobs(jobs: int | None = None) -> int:
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     if jobs == 0:
-        jobs = os.cpu_count() or 1
+        jobs = effective_cores()
     return max(1, jobs)
 
 

@@ -1,0 +1,427 @@
+"""Compiled execution backend: superblock fusion via Python codegen.
+
+The reference interpreter pre-compiles every instruction into a closure and
+dispatches them one call at a time.  That dispatch — one CPython frame per
+dynamic instruction — is the dominant cost of a Monte-Carlo fault campaign.
+This module removes it: each basic block is *fused* into a single generated
+Python function ("superblock") in which
+
+* every operand is resolved to a flat register-file index baked into the
+  source as a literal (``R[7]``),
+* every immediate, memory bound and latency constant is folded in, and
+* opcode dispatch disappears entirely — the block body is straight-line
+  Python the bytecode compiler optimizes as a unit.
+
+Two fusion flavours exist:
+
+:func:`fuse_functional_blocks`
+    Functional semantics only, for the reference interpreter's fault-free
+    fast path.  The fused callable returns the interpreter's jump protocol:
+    a target label, the ``("halt", code)`` tuple, the detect sentinel, or
+    ``None`` (fell through — an IR bug).  Faulted block visits still run on
+    the per-instruction closures, so fault application is byte-identical to
+    the interpreted backend.
+
+:func:`fuse_timed_blocks`
+    Cycle-level semantics for :class:`~repro.sim.executor.VLIWExecutor`:
+    cache accounting (with the same-cycle miss-overlap model), memory-stall
+    attribution and partial-progress bookkeeping for traps are generated
+    inline.  The fused callable returns ``(jump, n_executed, stall_delta)``.
+
+Generated code objects are memoized in a process-wide **decode cache**
+keyed by the generated source (which embeds every constant, so the key is
+exact): two interpreters over the same program — e.g. a campaign's golden
+profiler and its shard workers, or repeated ``Evaluator`` points — compile
+each distinct block once per process.  Hits/misses are exported as the
+``sim.decode_cache.hits`` / ``sim.decode_cache.misses`` counters.
+
+Every fusion is semantics-preserving by construction and differentially
+tested against the interpreted backend (``tests/test_compiled_backend.py``,
+plus the fuzz harness in ``tests/test_fuzz_differential.py``).  A block
+using an opcode the code generator does not know falls back to the
+per-instruction closure loop for that block alone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import MemoryFault
+from repro.ir.interp import _DETECT, _div_s, _rem_s, _signed_const
+from repro.isa.opcodes import LatencyClass, Opcode
+from repro.obs import get_telemetry
+
+_MASK = (1 << 64) - 1
+_S = 1 << 63
+_W = 1 << 64
+
+#: Process-wide decode cache: generated source -> compiled code object.
+_CODE_CACHE: dict[str, object] = {}
+
+
+def decode_cache_size() -> int:
+    """Number of distinct fused blocks compiled in this process."""
+    return len(_CODE_CACHE)
+
+
+def _compile_factory(source: str) -> Callable:
+    """Compile ``source`` (decode-cached) and return its ``_factory``."""
+    tel = get_telemetry()
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        code = compile(source, "<repro.sim.compiled>", "exec")
+        _CODE_CACHE[source] = code
+        tel.count("sim.decode_cache.misses")
+    else:
+        tel.count("sim.decode_cache.hits")
+    ns: dict = {}
+    exec(code, ns)  # noqa: S102 - source is generated from trusted IR
+    return ns["_factory"]
+
+
+class UnsupportedOpcode(Exception):
+    """Raised internally when a block cannot be fused."""
+
+
+# -- shared ALU / move / output emission --------------------------------------
+
+_RAW_RR = {
+    Opcode.ADD: "(R[{a}] + R[{b}]) & {m}",
+    Opcode.SUB: "(R[{a}] - R[{b}]) & {m}",
+    Opcode.MUL: "(R[{a}] * R[{b}]) & {m}",
+    Opcode.AND: "R[{a}] & R[{b}]",
+    Opcode.OR: "R[{a}] | R[{b}]",
+    Opcode.XOR: "R[{a}] ^ R[{b}]",
+    Opcode.SHL: "(R[{a}] << (R[{b}] & 63)) & {m}",
+    Opcode.SHRL: "R[{a}] >> (R[{b}] & 63)",
+}
+
+_RAW_RI = {
+    Opcode.ADD: "(R[{a}] + {k}) & {m}",
+    Opcode.SUB: "(R[{a}] - {k}) & {m}",
+    Opcode.MUL: "(R[{a}] * {k}) & {m}",
+    Opcode.AND: "R[{a}] & {k}",
+    Opcode.OR: "R[{a}] | {k}",
+    Opcode.XOR: "R[{a}] ^ {k}",
+    Opcode.SHL: "(R[{a}] << ({k} & 63)) & {m}",
+    Opcode.SHRL: "R[{a}] >> ({k} & 63)",
+}
+
+#: Signed two-input ops, written over already sign-decoded operands.  The
+#: second operand is either the local ``y`` or a signed immediate literal.
+_SIGNED = {
+    Opcode.DIV: "div({x}, {y})",
+    Opcode.REM: "rem({x}, {y})",
+    Opcode.SHRA: "({x} >> ({y} & 63)) & {m}",
+    Opcode.MIN: "min({x}, {y}) & {m}",
+    Opcode.MAX: "max({x}, {y}) & {m}",
+    Opcode.CMPEQ: "1 if {x} == {y} else 0",
+    Opcode.CMPNE: "1 if {x} != {y} else 0",
+    Opcode.CMPLT: "1 if {x} < {y} else 0",
+    Opcode.CMPLE: "1 if {x} <= {y} else 0",
+    Opcode.CMPGT: "1 if {x} > {y} else 0",
+    Opcode.CMPGE: "1 if {x} >= {y} else 0",
+}
+
+_UNARY = {
+    Opcode.NEG: "(-x) & {m}",
+    Opcode.ABS: "abs(x) & {m}",
+    Opcode.NOT: "(~x) & {m}",
+}
+
+_SIGNED_OPS = frozenset(_SIGNED)
+_RAW_OPS = frozenset(_RAW_RR)
+
+
+def _alu_lines(insn, slot_of) -> list[str] | None:
+    """Statements for a non-memory, non-control instruction.
+
+    Returns ``None`` for opcodes this helper does not cover (memory and
+    control flow, which the two emitters handle themselves).  Raises
+    :class:`UnsupportedOpcode` for an opcode nobody can fuse.
+    """
+    op = insn.opcode
+    if op is Opcode.NOP:
+        return []
+    srcs = [slot_of[r] for r in insn.srcs]
+    d = slot_of[insn.dests[0]] if insn.dests else -1
+    imm = insn.imm
+
+    if op is Opcode.MOVI:
+        return [f"R[{d}] = {imm & _MASK}"]
+    if op is Opcode.MOV or op is Opcode.PMOV:
+        return [f"R[{d}] = R[{srcs[0]}]"]
+    if op in _RAW_OPS:
+        if imm is not None:
+            tmpl = _RAW_RI[op]
+            return [f"R[{d}] = " + tmpl.format(a=srcs[0], k=imm & _MASK, m=_MASK)]
+        tmpl = _RAW_RR[op]
+        return [f"R[{d}] = " + tmpl.format(a=srcs[0], b=srcs[1], m=_MASK)]
+    if op in _SIGNED_OPS:
+        lines = [f"x = R[{srcs[0]}]", f"if x & {_S}: x -= {_W}"]
+        if imm is not None:
+            y = repr(_signed_const(imm))
+        else:
+            y = "y"
+            lines += [f"y = R[{srcs[1]}]", f"if y & {_S}: y -= {_W}"]
+        lines.append(f"R[{d}] = " + _SIGNED[op].format(x="x", y=y, m=_MASK))
+        return lines
+    if op in _UNARY:
+        return [
+            f"x = R[{srcs[0]}]",
+            f"if x & {_S}: x -= {_W}",
+            f"R[{d}] = " + _UNARY[op].format(m=_MASK),
+        ]
+    if op is Opcode.SELECT:
+        p, a, b = srcs
+        return [f"R[{d}] = R[{a}] if R[{p}] else R[{b}]"]
+    if op is Opcode.PNE:
+        return [f"R[{d}] = 1 if R[{srcs[0]}] != R[{srcs[1]}] else 0"]
+    if op is Opcode.OUT:
+        return [f"O.append(R[{srcs[0]}])"]
+    if op in (
+        Opcode.LOAD, Opcode.STORE, Opcode.LOADFP, Opcode.STOREFP,
+        Opcode.JMP, Opcode.BRT, Opcode.BRF, Opcode.HALT, Opcode.CHKBR,
+    ):
+        return None
+    raise UnsupportedOpcode(str(op))
+
+
+# -- functional fusion (reference interpreter fast path) ----------------------
+
+
+def _functional_body(block, slot_of, frame_base: int, mem_words: int) -> list[str]:
+    lines: list[str] = []
+    for insn in block.instructions:
+        alu = _alu_lines(insn, slot_of)
+        if alu is not None:
+            lines += alu
+            continue
+        op = insn.opcode
+        srcs = [slot_of[r] for r in insn.srcs]
+        imm = insn.imm
+        if op is Opcode.LOAD:
+            d = slot_of[insn.dests[0]]
+            lines += [
+                f"t = (R[{srcs[0]}] + ({imm})) & {_MASK}",
+                f"if t < 1 or t >= {mem_words}:",
+                "    raise MF('load from invalid address %d' % t)",
+                f"R[{d}] = M[t]",
+            ]
+        elif op is Opcode.STORE:
+            lines += [
+                f"t = (R[{srcs[0]}] + ({imm})) & {_MASK}",
+                f"if t < 1 or t >= {mem_words}:",
+                "    raise MF('store to invalid address %d' % t)",
+                f"M[t] = R[{srcs[1]}]",
+            ]
+        elif op is Opcode.LOADFP:
+            d = slot_of[insn.dests[0]]
+            lines.append(f"R[{d}] = M[{frame_base + imm}]")
+        elif op is Opcode.STOREFP:
+            lines.append(f"M[{frame_base + imm}] = R[{srcs[0]}]")
+        elif op is Opcode.CHKBR:
+            lines += [f"if R[{srcs[0]}]:", "    return D"]
+        elif op is Opcode.JMP:
+            lines.append(f"return {insn.targets[0]!r}")
+        elif op is Opcode.BRT:
+            taken, fall = insn.targets
+            lines.append(f"return {taken!r} if R[{srcs[0]}] else {fall!r}")
+        elif op is Opcode.BRF:
+            taken, fall = insn.targets
+            lines.append(f"return {fall!r} if R[{srcs[0]}] else {taken!r}")
+        elif op is Opcode.HALT:
+            lines.append(f"return ('halt', {imm!r})")
+        else:  # pragma: no cover - _alu_lines already rejects these
+            raise UnsupportedOpcode(str(op))
+    return lines
+
+
+def _loop_fallback(fns) -> Callable[[], object]:
+    """Per-instruction closure loop, for blocks that cannot be fused."""
+
+    def run() -> object:
+        for fn in fns:
+            res = fn()
+            if res is not None:
+                return res
+        return None
+
+    return run
+
+
+def fuse_functional_blocks(interp) -> dict[str, Callable[[], object]]:
+    """Fuse every block of ``interp`` for its fault-free fast path.
+
+    The returned callables close over the interpreter's live register /
+    memory / output arrays, so they observe ``reset_state`` and snapshot
+    restores for free.
+    """
+    fused: dict[str, Callable[[], object]] = {}
+    slot_of = interp._slot_of
+    for block in interp.program.main.blocks():
+        try:
+            body = _functional_body(
+                block, slot_of, interp.frame_base, interp.mem_words
+            )
+        except UnsupportedOpcode:
+            fused[block.label] = _loop_fallback(interp._blocks[block.label].fns)
+            continue
+        if not body:
+            body = ["return None"]
+        source = "def _factory(R, M, O, D, div, rem, MF):\n    def _block():\n"
+        source += "".join(f"        {line}\n" for line in body)
+        source += "        return None\n    return _block\n"
+        factory = _compile_factory(source)
+        fused[block.label] = factory(
+            interp._R, interp._M, interp._O, _DETECT, _div_s, _rem_s, MemoryFault
+        )
+    return fused
+
+
+# -- timed fusion (cycle-level executor) --------------------------------------
+
+#: Opcodes whose generated statements can raise a :class:`SimTrap`; they
+#: record their execution-order index in ``P[0]`` first so the executor can
+#: attribute partial block progress on an architectural trap.
+_TRAPPING = frozenset({Opcode.LOAD, Opcode.STORE, Opcode.DIV, Opcode.REM})
+
+
+def _stall_lines(addr_expr: str, is_store: bool, cycle: int, lat: int,
+                 overlap: bool) -> list[str]:
+    """Cache-charge statements for one memory access at schedule ``cycle``."""
+    lines = [f"e = CA({addr_expr}, {is_store}) - {lat}"]
+    if overlap:
+        lines += [
+            "if e > 0:",
+            f"    if cc != {cycle}:",
+            "        s += ce",
+            f"        cc = {cycle}",
+            "        ce = e",
+            "    elif e > ce:",
+            "        ce = e",
+        ]
+    else:
+        lines += ["if e > 0:", "    s += e"]
+    return lines
+
+
+def _timed_body(block, order, cycles, slot_of, frame_base: int, mem_words: int,
+                lat_load: int, lat_store: int, overlap: bool) -> list[str]:
+    lines: list[str] = []
+    n = len(order)
+    for pos, i in enumerate(order):
+        insn = block.instructions[i]
+        op = insn.opcode
+        if op in _TRAPPING:
+            # Flushed stalls count even when this instruction traps; the
+            # pending same-cycle overlap (ce) is dropped, exactly like the
+            # interpreted loop's trap path.
+            lines.append(f"P[0] = {pos}; P[1] = s")
+        alu = _alu_lines(insn, slot_of)
+        if alu is not None:
+            lines += alu
+            continue
+        srcs = [slot_of[r] for r in insn.srcs]
+        imm = insn.imm
+        c = cycles[i]
+        if op is Opcode.LOAD:
+            d = slot_of[insn.dests[0]]
+            lines += [
+                f"t = (R[{srcs[0]}] + ({imm})) & {_MASK}",
+                f"if t < 1 or t >= {mem_words}:",
+                "    raise MF('load from invalid address %d' % t)",
+                *_stall_lines("t", False, c, lat_load, overlap),
+                f"R[{d}] = M[t]",
+            ]
+        elif op is Opcode.STORE:
+            lines += [
+                f"t = (R[{srcs[0]}] + ({imm})) & {_MASK}",
+                f"if t < 1 or t >= {mem_words}:",
+                "    raise MF('store to invalid address %d' % t)",
+                *_stall_lines("t", True, c, lat_store, overlap),
+                f"M[t] = R[{srcs[1]}]",
+            ]
+        elif op is Opcode.LOADFP:
+            d = slot_of[insn.dests[0]]
+            addr = frame_base + imm
+            lines += [
+                *_stall_lines(str(addr), False, c, lat_load, overlap),
+                f"R[{d}] = M[{addr}]",
+            ]
+        elif op is Opcode.STOREFP:
+            addr = frame_base + imm
+            lines += [
+                *_stall_lines(str(addr), True, c, lat_store, overlap),
+                f"M[{addr}] = R[{srcs[0]}]",
+            ]
+        elif op is Opcode.CHKBR:
+            lines += [f"if R[{srcs[0]}]:", f"    return (D, {pos + 1}, s + ce)"]
+        elif op is Opcode.JMP:
+            lines.append(f"return ({insn.targets[0]!r}, {n}, s + ce)")
+        elif op is Opcode.BRT:
+            taken, fall = insn.targets
+            lines.append(
+                f"return (({taken!r} if R[{srcs[0]}] else {fall!r}), {n}, s + ce)"
+            )
+        elif op is Opcode.BRF:
+            taken, fall = insn.targets
+            lines.append(
+                f"return (({fall!r} if R[{srcs[0]}] else {taken!r}), {n}, s + ce)"
+            )
+        elif op is Opcode.HALT:
+            lines.append(f"return (('halt', {imm!r}), {n}, s + ce)")
+        else:  # pragma: no cover - _alu_lines already rejects these
+            raise UnsupportedOpcode(str(op))
+    return lines
+
+
+def fuse_timed_blocks(executor) -> dict[str, tuple[Callable, int, int]] | None:
+    """Fuse every block of a :class:`VLIWExecutor` with inline timing.
+
+    Returns ``{label: (fused_fn, n_instructions, schedule_length)}``, or
+    ``None`` when some block cannot be fused (the executor then falls back
+    to the interpreted backend).  ``fused_fn() -> (jump, n_executed,
+    stall_delta)``; on a :class:`~repro.errors.SimTrap` the number of
+    instructions completed before the trapping one is left in
+    ``executor._progress[0]`` and the block's flushed stall cycles in
+    ``executor._progress[1]``.
+    """
+    interp = executor._interp
+    slot_of = interp._slot_of
+    machine = executor.machine
+    lat = machine.latencies
+    lat_load = lat[LatencyClass.LOAD]
+    lat_store = lat[LatencyClass.STORE]
+    fused: dict[str, tuple[Callable, int, int]] = {}
+    for block in executor.compiled.program.main.blocks():
+        sched = executor.compiled.schedules.blocks[block.label]
+        order = sorted(
+            range(len(block.instructions)),
+            key=lambda i: (sched.cycle_of[i], i),
+        )
+        try:
+            body = _timed_body(
+                block, order, sched.cycle_of, slot_of,
+                interp.frame_base, interp.mem_words,
+                lat_load, lat_store, executor.overlap_misses,
+            )
+        except UnsupportedOpcode:
+            return None
+        n = len(order)
+        if not body:
+            body = [f"return (None, {n}, s + ce)"]
+        source = "def _factory(R, M, O, D, div, rem, MF, CA, P):\n"
+        source += "    def _block():\n        s = 0\n        cc = -1\n        ce = 0\n"
+        source += "".join(f"        {line}\n" for line in body)
+        source += f"        return (None, {n}, s + ce)\n    return _block\n"
+        factory = _compile_factory(source)
+        fused[block.label] = (
+            factory(
+                interp._R, interp._M, interp._O, _DETECT, _div_s, _rem_s,
+                MemoryFault, executor.cache.access, executor._progress,
+            ),
+            n,
+            sched.length,
+        )
+    return fused

@@ -82,6 +82,7 @@ class VLIWExecutor:
         compiled: CompiledProgram,
         max_cycles: int = DEFAULT_MAX_CYCLES,
         overlap_misses: bool = True,
+        backend: str | None = None,
     ) -> None:
         self.compiled = compiled
         self.machine: MachineConfig = compiled.machine
@@ -92,12 +93,16 @@ class VLIWExecutor:
         self.overlap_misses = overlap_misses
         self.cache = CacheHierarchy(self.machine.cache)
 
-        # Reuse the interpreter's closure compiler and state arrays.
+        # Reuse the interpreter's closure compiler and state arrays.  The
+        # interpreter carries the backend choice too, so functional runs
+        # (and the fault campaigns built on them) fuse the same way.
         self._interp = Interpreter(
             compiled.program,
             mem_words=compiled.mem_words,
             frame_words=compiled.frame_words,
+            backend=backend,
         )
+        self.backend = self._interp.backend
         self._entry = compiled.program.main.entry.label
         self._blocks: dict[str, _BlockCode] = {}
         #: Lazy static (cluster, role) attribution table for telemetry.
@@ -107,6 +112,19 @@ class VLIWExecutor:
         lat = self.machine.latencies
         self._sched_lat_load = lat[LatencyClass.LOAD]
         self._sched_lat_store = lat[LatencyClass.STORE]
+
+        #: Partial-progress cells for the fused timed blocks: a trapping
+        #: instruction records how many block instructions completed before
+        #: it and the stalls flushed so far, so the except-path can
+        #: attribute ``dyn`` and ``stall_cycles`` exactly.
+        self._progress: list[int] = [0, 0]
+        self._fused = None
+        if self.backend == "compiled":
+            from repro.sim.compiled import fuse_timed_blocks
+
+            self._fused = fuse_timed_blocks(self)
+            if self._fused is None:  # unfusable opcode: fall back wholesale
+                self.backend = "interp"
 
     def _build(self, program: Program) -> None:
         slot_of = self._interp._slot_of
@@ -236,6 +254,80 @@ class VLIWExecutor:
         return table
 
     def _run(
+        self,
+        max_cycles: int | None,
+        visit_counts: dict[str, int] | None,
+        block_stalls: dict[str, int] | None,
+    ) -> SimResult:
+        if self._fused is not None:
+            return self._run_compiled(max_cycles, visit_counts, block_stalls)
+        return self._run_interp(max_cycles, visit_counts, block_stalls)
+
+    def _run_compiled(
+        self,
+        max_cycles: int | None,
+        visit_counts: dict[str, int] | None,
+        block_stalls: dict[str, int] | None,
+    ) -> SimResult:
+        """Hot loop over fused superblocks; accounting mirrors
+        :meth:`_run_interp` exactly (differentially tested)."""
+        interp = self._interp
+        interp.reset_state()
+        self.cache.reset()
+        budget = self.max_cycles if max_cycles is None else max_cycles
+
+        cycles = 0
+        stalls = 0
+        dyn = 0
+        visits = 0
+        label = self._entry
+        fused = self._fused
+        progress = self._progress
+
+        def finish(kind: ExitKind, code_: int | None) -> SimResult:
+            return SimResult(
+                kind=kind,
+                exit_code=code_,
+                output=tuple(interp._O),
+                cycles=cycles + stalls,
+                dyn_instructions=dyn,
+                stall_cycles=stalls,
+                block_visits=visits,
+                cache=self.cache.stats,
+            )
+
+        try:
+            while True:
+                fn, _n, length = fused[label]
+                visits += 1
+                if visit_counts is not None:
+                    visit_counts[label] = visit_counts.get(label, 0) + 1
+                cycles += length
+                if cycles + stalls > budget:
+                    return finish(ExitKind.TIMEOUT, None)
+                jump, done, ds = fn()
+                dyn += done
+                if ds:
+                    stalls += ds
+                    if block_stalls is not None:
+                        block_stalls[label] = block_stalls.get(label, 0) + ds
+                if jump is None:
+                    raise SimError(f"block {label} fell through")  # pragma: no cover
+                if jump == "__detect__":
+                    return finish(ExitKind.DETECTED, None)
+                if type(jump) is tuple:
+                    return finish(ExitKind.OK, jump[1])
+                label = jump
+        except SimTrap:
+            # The trapping instruction left its completed-predecessor count
+            # and the block's flushed stalls in the progress cells; the
+            # trapping instruction itself does not commit and pending
+            # same-cycle overlap is dropped (same as the interpreted loop).
+            dyn += progress[0]
+            stalls += progress[1]
+            return finish(ExitKind.EXCEPTION, None)
+
+    def _run_interp(
         self,
         max_cycles: int | None,
         visit_counts: dict[str, int] | None,

@@ -1,0 +1,220 @@
+"""Checkpointed fault injection: snapshot/resume determinism.
+
+A checkpointing injector replays the golden run once, records architectural
+snapshots, and then starts every trial from the nearest snapshot at or
+before its earliest fault.  The whole feature is only admissible because it
+is *invisible* in the results: every test here asserts bit-identical
+outcomes between replay-from-zero and snapshot-resume, across snapshot
+intervals, backends, fault models and ``jobs`` settings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.frontend import compile_source
+from repro.faults.injector import FaultInjector
+from repro.ir.interp import FaultSpec, Interpreter, Snapshot
+from repro.machine.config import MachineConfig
+from repro.pipeline import Scheme, compile_program
+
+# Small but snapshot-eligible kernel (~19k dynamic instructions, well above
+# SNAPSHOT_MIN_DYN): memory traffic, data-dependent branches and output on
+# every iteration, so reg/cf/mem faults all have visible targets.
+_SRC = """
+global arr[32] = { 3, 1, 4, 1, 5, 9, 2, 6 };
+lib func mix(x) {
+    return x * 1103515245 + 12345;
+}
+func main() {
+    var acc = 0;
+    for (var i = 0; i < 400; i = i + 1) {
+        var j = i & 31;
+        arr[j] = mix(arr[j] + i);
+        acc = acc ^ arr[j];
+        if (acc & 1) {
+            acc = acc + 3;
+        } else {
+            acc = acc - 1;
+        }
+        out(acc & 255);
+    }
+    out(acc);
+    return 0;
+}
+"""
+
+MACHINE = MachineConfig(issue_width=2, inter_cluster_delay=1)
+
+
+@pytest.fixture(scope="module")
+def casted():
+    return compile_program(compile_source(_SRC), Scheme.CASTED, MACHINE)
+
+
+def _injector(cp, **kwargs) -> FaultInjector:
+    return FaultInjector(
+        cp.program, mem_words=cp.mem_words, frame_words=cp.frame_words, **kwargs
+    )
+
+
+def _signature(res) -> tuple:
+    return (
+        res.counts,
+        res.trials,
+        res.total_faults_injected,
+        res.detection_latency_sum,
+        res.detections_timed,
+    )
+
+
+class TestSnapshotCapture:
+    def test_snapshots_cover_the_run(self, casted):
+        inj = _injector(cp=casted)
+        assert inj._snapshots, "program is large enough to checkpoint"
+        dyns = [s.dyn for s in inj._snapshots]
+        assert dyns == sorted(dyns)
+        assert len(dyns) == len(set(dyns))
+        assert dyns[-1] < inj.golden.dyn_instructions
+        for snap in inj._snapshots:
+            assert isinstance(snap, Snapshot)
+            assert snap.label in {b.label for b in inj.program.main.blocks()}
+
+    def test_snapshot_resume_replays_golden_exactly(self, casted):
+        """Fault-free resume from any snapshot finishes like the golden run."""
+        inj = _injector(cp=casted)
+        for snap in inj._snapshots[:: max(1, len(inj._snapshots) // 8)]:
+            res = inj.interp.run(resume_from=snap)
+            assert res.kind == inj.golden.kind
+            assert res.exit_code == inj.golden.exit_code
+            assert res.output == inj.golden.output
+            assert res.dyn_instructions == inj.golden.dyn_instructions
+
+    def test_tiny_programs_skip_snapshots(self):
+        cp = compile_program(
+            compile_source(
+                "func main() { out(1 + 2); return 0; }"
+            ),
+            Scheme.NOED,
+            MACHINE,
+        )
+        inj = _injector(cp=cp)
+        assert inj._snapshots == []
+        # ...and trials still work through the replay-from-zero path.
+        res = inj.run_campaign(trials=3, seed=9)
+        assert res.trials == 3
+
+    def test_snapshots_disabled_on_request(self, casted):
+        inj = _injector(cp=casted, snapshots=False)
+        assert inj._snapshots == []
+
+
+class TestTrialEquivalence:
+    def test_single_trials_identical_with_and_without_snapshots(self, casted):
+        """Same faults, same RunResult, whether replayed or resumed."""
+        plain = _injector(cp=casted, snapshots=False)
+        ckpt = _injector(cp=casted)
+        golden_dyn = plain.golden.dyn_instructions
+        probe_points = [
+            0, 1, golden_dyn // 3, golden_dyn // 2, golden_dyn - 2
+        ]
+        for dyn_index in probe_points:
+            for kind, arg in (("reg", None), ("cf", None), ("mem", 5)):
+                faults = (FaultSpec(dyn_index=dyn_index, bit=3, kind=kind, arg=arg),)
+                a = plain.interp.run(faults=faults, max_steps=plain.max_steps)
+                snap = ckpt._snapshot_for(faults)
+                b = ckpt.interp.run(
+                    faults=faults, max_steps=ckpt.max_steps, resume_from=snap
+                )
+                assert (a.kind, a.exit_code, a.output, a.dyn_instructions) == (
+                    b.kind, b.exit_code, b.output, b.dyn_instructions
+                ), (dyn_index, kind)
+
+    def test_snapshot_selection_never_overshoots_fault(self, casted):
+        inj = _injector(cp=casted)
+        for dyn_index in (0, 7, 1000, inj.golden.dyn_instructions - 1):
+            snap = inj._snapshot_for((FaultSpec(dyn_index=dyn_index),))
+            if snap is not None:
+                assert snap.dyn <= dyn_index
+            # multi-fault trials key off the earliest fault
+            faults = (
+                FaultSpec(dyn_index=dyn_index),
+                FaultSpec(dyn_index=max(0, dyn_index // 2)),
+            )
+            snap = inj._snapshot_for(faults)
+            if snap is not None:
+                assert snap.dyn <= min(f.dyn_index for f in faults)
+
+
+class TestCampaignDeterminism:
+    TRIALS = 60
+    SEED = 2013
+
+    def test_counts_identical_across_snapshot_intervals(self, casted):
+        reference = _injector(cp=casted, snapshots=False).run_campaign(
+            self.TRIALS, self.SEED
+        )
+        for snapshot_count in (1, 4, 16):
+            res = _injector(cp=casted, snapshot_count=snapshot_count).run_campaign(
+                self.TRIALS, self.SEED
+            )
+            assert _signature(res) == _signature(reference), snapshot_count
+
+    def test_counts_identical_across_backends(self, casted):
+        reference = _injector(
+            cp=casted, backend="interp", snapshots=False
+        ).run_campaign(self.TRIALS, self.SEED)
+        res = _injector(cp=casted, backend="compiled").run_campaign(
+            self.TRIALS, self.SEED
+        )
+        assert _signature(res) == _signature(reference)
+
+    def test_counts_identical_across_jobs(self, casted):
+        inj = _injector(cp=casted)
+        serial = inj.run_campaign(self.TRIALS, self.SEED, jobs=1)
+        pooled = inj.run_campaign(self.TRIALS, self.SEED, jobs=2)
+        assert _signature(pooled) == _signature(serial)
+
+    def test_counts_identical_under_rate_matching(self, casted):
+        """Multi-fault (binomial rate-matched) trials resume correctly too."""
+        reference_dyn = 3000  # << golden dyn => several faults per trial
+        plain = _injector(cp=casted, snapshots=False).run_campaign(
+            self.TRIALS, self.SEED, reference_dyn=reference_dyn
+        )
+        ckpt = _injector(cp=casted).run_campaign(
+            self.TRIALS, self.SEED, reference_dyn=reference_dyn
+        )
+        assert plain.total_faults_injected > self.TRIALS  # rate matching engaged
+        assert _signature(ckpt) == _signature(plain)
+
+    @pytest.mark.parametrize("model", ["burst", "cf", "mem", "opcode"])
+    def test_counts_identical_per_fault_model(self, casted, model):
+        plain = _injector(
+            cp=casted, fault_model=model, snapshots=False
+        ).run_campaign(30, self.SEED)
+        ckpt = _injector(cp=casted, fault_model=model).run_campaign(30, self.SEED)
+        assert _signature(ckpt) == _signature(plain)
+
+
+class TestTelemetry:
+    def test_restore_counters(self, casted):
+        inj = _injector(cp=casted)
+        tel = obs.configure()
+        try:
+            inj.run_campaign(25, seed=4)
+            restores = tel.metrics.counters.get("campaign.snapshot_restores", 0)
+            skipped = tel.metrics.counters.get("campaign.cycles_skipped", 0)
+        finally:
+            obs.reset()
+        assert 0 < restores <= 25
+        assert skipped > 0
+
+    def test_no_restore_counters_without_snapshots(self, casted):
+        inj = _injector(cp=casted, snapshots=False)
+        tel = obs.configure()
+        try:
+            inj.run_campaign(25, seed=4)
+            assert "campaign.snapshot_restores" not in tel.metrics.counters
+        finally:
+            obs.reset()

@@ -1,0 +1,118 @@
+"""Differential equivalence of the compiled (fused-superblock) backend.
+
+The compiled backend is pure mechanism — generated Python per basic block —
+so its only correctness story is *bit-identical equality* with the
+per-instruction closure interpreter it replaces.  These tests pin that
+equality at both semantic levels (functional RunResult, cycle-level
+SimResult) across every workload x scheme combination, plus the telemetry
+surfaces the backend adds (decode-cache counters, per-block issue
+attribution).  Random-program differential coverage lives in
+``test_fuzz_differential.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.ir.interp import Interpreter, resolve_backend
+from repro.errors import SimError
+from repro.machine.config import MachineConfig
+from repro.pipeline import Scheme, compile_program
+from repro.sim.executor import VLIWExecutor
+from repro.workloads import get_workload, workload_names
+
+MACHINE = MachineConfig(issue_width=2, inter_cluster_delay=2)
+
+
+def _compiled(workload: str, scheme: Scheme):
+    return compile_program(get_workload(workload).program, scheme, MACHINE)
+
+
+class TestBackendResolution:
+    def test_default_is_compiled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        assert resolve_backend() == "compiled"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "interp")
+        assert resolve_backend() == "interp"
+        # an explicit argument beats the environment
+        assert resolve_backend("compiled") == "compiled"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimError, match="unknown sim backend"):
+            resolve_backend("turbo")
+
+    def test_executor_reports_backend(self):
+        cp = _compiled("mcf", Scheme.NOED)
+        assert VLIWExecutor(cp, backend="compiled").backend == "compiled"
+        assert VLIWExecutor(cp, backend="interp").backend == "interp"
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("workload", workload_names())
+    def test_frontend_runresults_identical(self, workload):
+        program = get_workload(workload).program
+        ref = Interpreter(program, backend="interp").run(record_trace=True)
+        fused = Interpreter(program, backend="compiled").run(record_trace=True)
+        assert fused == ref  # kind, exit code, output, dyn count, trace
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_protected_runresults_identical(self, scheme):
+        cp = _compiled("parser", scheme)
+        kwargs = dict(mem_words=cp.mem_words, frame_words=cp.frame_words)
+        ref = Interpreter(cp.program, backend="interp", **kwargs).run()
+        fused = Interpreter(cp.program, backend="compiled", **kwargs).run()
+        assert fused == ref
+
+
+class TestTimedEquivalence:
+    @pytest.mark.parametrize("workload", workload_names())
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_simresults_identical(self, workload, scheme):
+        cp = _compiled(workload, scheme)
+        ref = VLIWExecutor(cp, backend="interp").run()
+        fused = VLIWExecutor(cp, backend="compiled").run()
+        # Full dataclass equality: exit kind, exit code, output, cycles,
+        # dyn instructions, stall cycles, block visits, cache stats.
+        assert fused == ref
+
+    def test_mlp_ablation_config_identical(self):
+        cp = _compiled("mcf", Scheme.CASTED)
+        ref = VLIWExecutor(cp, backend="interp", overlap_misses=False).run()
+        fused = VLIWExecutor(cp, backend="compiled", overlap_misses=False).run()
+        assert fused == ref
+
+    def test_issue_attribution_identical(self):
+        """Telemetry counters (incl. per-cluster issue attribution) match."""
+        cp = _compiled("parser", Scheme.CASTED)
+
+        def counters(backend: str) -> dict:
+            tel = obs.configure()
+            try:
+                VLIWExecutor(cp, backend=backend).run()
+                return {
+                    k: v for k, v in tel.metrics.counters.items()
+                    if k.startswith(("sim.issue.", "sim.stalls.", "sim.cycles",
+                                     "sim.dyn", "sim.block"))
+                }
+            finally:
+                obs.reset()
+
+        assert counters("compiled") == counters("interp")
+
+
+class TestDecodeCache:
+    def test_repeat_construction_hits_cache(self):
+        program = get_workload("mcf").program
+        Interpreter(program, backend="compiled")  # ensure blocks are cached
+        tel = obs.configure()
+        try:
+            Interpreter(program, backend="compiled")
+            hits = tel.metrics.counters.get("sim.decode_cache.hits", 0)
+            misses = tel.metrics.counters.get("sim.decode_cache.misses", 0)
+        finally:
+            obs.reset()
+        assert hits > 0
+        assert misses == 0

@@ -353,8 +353,28 @@ class TestEvaluatorCache:
         assert rec.cycles > 0
         assert any("corrupt result cache" in r.message for r in caplog.records)
         assert tel.metrics.counters["eval.cache.corrupt"] == 1
-        # the recompute must repair the cache file in place
+        # the recompute must repair the cache file in place...
         assert json.loads((tmp_path / f"{key}.json").read_text())["cycles"] == rec.cycles
+        # ...and the corrupt original is quarantined, not destroyed
+        assert (tmp_path / f"{key}.json.bad").read_text() == "{ this is not json"
+
+    def test_quarantined_cache_does_not_rewarn(self, tmp_path, monkeypatch, caplog):
+        """A second evaluator over the same cache dir loads the repaired
+        entry silently — the corrupt file no longer shadows the key."""
+        import logging
+
+        from repro.eval.experiment import CACHE_VERSION, Evaluator
+
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        key = f"v{CACHE_VERSION}_perf_cjpeg_noed_iw2_d0"
+        (tmp_path / f"{key}.json").write_text("{ this is not json")
+        first = Evaluator(seed=2013).perf("cjpeg", Scheme.NOED, 2, 0)
+        caplog.clear()  # drop the (expected) warning from the first run
+        with caplog.at_level(logging.WARNING, logger="repro.eval.experiment"):
+            again = Evaluator(seed=2013).perf("cjpeg", Scheme.NOED, 2, 0)
+        assert again.cycles == first.cycles
+        assert not any("corrupt result cache" in r.message for r in caplog.records)
 
     def test_wrong_shape_cache_falls_through(self, tmp_path, monkeypatch):
         from repro.eval.experiment import CACHE_VERSION, Evaluator
@@ -365,6 +385,7 @@ class TestEvaluatorCache:
         (tmp_path / f"{key}.json").write_text("[1, 2, 3]")
         ev = Evaluator(seed=2013)
         assert ev.perf("cjpeg", Scheme.NOED, 2, 0).cycles > 0
+        assert (tmp_path / f"{key}.json.bad").exists()
 
 
 class TestFunctionalRun:

@@ -17,7 +17,13 @@ from repro.eval.experiment import Evaluator
 from repro.faults.injector import CampaignResult, FaultInjector
 from repro.machine.config import MachineConfig
 from repro.obs.progress import ProgressEvent, ProgressTracker
-from repro.parallel import SHARD_TRIALS, parallel_map, plan_shards, resolve_jobs
+from repro.parallel import (
+    SHARD_TRIALS,
+    effective_cores,
+    parallel_map,
+    plan_shards,
+    resolve_jobs,
+)
 from repro.pipeline import Scheme, compile_program
 from repro.workloads import get_workload
 from tests.conftest import build_loop_program
@@ -28,8 +34,8 @@ class TestResolveJobs:
         assert resolve_jobs(3) == 3
         assert resolve_jobs(1) == 1
 
-    def test_zero_means_all_cores(self):
-        assert resolve_jobs(0) == (os.cpu_count() or 1)
+    def test_zero_means_all_effective_cores(self):
+        assert resolve_jobs(0) == effective_cores()
 
     def test_none_defaults_to_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
@@ -37,11 +43,36 @@ class TestResolveJobs:
         monkeypatch.setenv("REPRO_JOBS", "5")
         assert resolve_jobs(None) == 5
         monkeypatch.setenv("REPRO_JOBS", "0")
-        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == effective_cores()
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             resolve_jobs(-2)
+
+
+class TestEffectiveCores:
+    def test_positive_and_bounded_by_cpu_count(self):
+        n = effective_cores()
+        assert 1 <= n <= (os.cpu_count() or 1)
+
+    def test_honours_scheduler_affinity(self):
+        if not hasattr(os, "sched_getaffinity"):  # pragma: no cover
+            pytest.skip("no scheduler affinity on this platform")
+        assert effective_cores() <= len(os.sched_getaffinity(0))
+
+    def test_resolve_jobs_zero_uses_it(self, monkeypatch):
+        import repro.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "effective_cores", lambda: 3)
+        assert parallel_mod.resolve_jobs(0) == 3
+
+    def test_cgroup_quota_rounds_up(self, monkeypatch):
+        import repro.parallel as parallel_mod
+
+        monkeypatch.setattr(
+            parallel_mod, "_cgroup_cpu_quota", lambda: None
+        )
+        assert parallel_mod.effective_cores() >= 1
 
 
 class TestPlanShards:
