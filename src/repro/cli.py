@@ -133,6 +133,19 @@ def _add_obs(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="collect telemetry metrics and print a summary on exit",
     )
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        dest="metrics_out",
+        help="write the final metrics snapshot to FILE "
+        "(.prom/.txt = Prometheus text format, anything else = JSON)",
+    )
+    p.add_argument(
+        "--events",
+        metavar="FILE",
+        dest="events_out",
+        help="append a structured JSONL event log (run lifecycle milestones)",
+    )
 
 
 def cmd_workloads(_args) -> int:
@@ -282,7 +295,62 @@ def cmd_lint(args) -> int:
     return report.exit_code(fail_on=Severity(args.fail_on))
 
 
+def _record_campaign_run(args, res, wall_s: float, jobs: int) -> None:
+    """Persist one ``inject`` campaign as a run-ledger entry."""
+    import os
+
+    from repro.obs import get_telemetry
+    from repro.obs.ledger import RunLedger, git_revision, utc_timestamp
+    from repro.parallel import effective_cores
+
+    tel = get_telemetry()
+    metrics_snap = tel.metrics.snapshot() if tel.metrics is not None else None
+    counters = {}
+    if metrics_snap is not None:
+        counters = {
+            k: v for k, v in metrics_snap["counters"].items()
+            if k.startswith("campaign.")
+        }
+    manifest = {
+        "kind": "inject",
+        "created_at": utc_timestamp(),
+        "workload": args.program,
+        "scheme": args.scheme,
+        "fault_model": args.fault_model,
+        "backend": args.backend or os.environ.get("REPRO_SIM_BACKEND", "compiled"),
+        "snapshots": not args.no_snapshots,
+        "trials": res.trials,
+        "requested_trials": args.trials,
+        "seed": args.seed,
+        "jobs": jobs,
+        "effective_cores": effective_cores(),
+        "git_rev": git_revision(),
+        "python": sys.version.split()[0],
+        "partial": res.partial,
+        "coverage": round(res.coverage, 6),
+        "timings": {
+            "wall_s": round(wall_s, 3),
+            "trials_per_s": round(res.trials / wall_s, 1) if wall_s > 0 else 0.0,
+        },
+        "counters": counters,
+    }
+    ledger = RunLedger(args.runs_dir)
+    run_id = ledger.record(
+        manifest,
+        metrics=metrics_snap,
+        events_src=tel.events.path if tel.events is not None else None,
+        trace_events=(
+            tel.tracer.events
+            if tel.tracer is not None and tel.tracer.keep_events
+            else None
+        ),
+    )
+    print(f"[ledger] recorded run {run_id} in {ledger.root}", file=sys.stderr)
+
+
 def cmd_inject(args) -> int:
+    import time
+
     from repro.faults.classify import OUTCOME_ORDER
     from repro.faults.injector import FaultInjector
 
@@ -311,11 +379,16 @@ def cmd_inject(args) -> int:
         from repro.obs.progress import print_progress
 
         progress = print_progress
+    jobs = _jobs(args)
+    t0 = time.perf_counter()
     res = injector.run_campaign(
         args.trials, args.seed, reference_dyn=reference,
-        progress=progress, heartbeat=args.heartbeat, jobs=_jobs(args),
+        progress=progress, heartbeat=args.heartbeat, jobs=jobs,
         checkpoint=args.checkpoint, resume=args.resume,
     )
+    wall_s = time.perf_counter() - t0
+    if args.ledger:
+        _record_campaign_run(args, res, wall_s, jobs)
     rows = [
         [o.value, res.counts.get(o, 0), f"{res.fraction(o) * 100:.1f}%"]
         for o in OUTCOME_ORDER
@@ -357,6 +430,7 @@ def _sweep_cell_worker(task) -> dict[str, int]:
 
 
 def cmd_sweep(args) -> int:
+    from repro.obs.telemetry import get_telemetry
     from repro.parallel import parallel_map
 
     tasks = [
@@ -364,7 +438,12 @@ def cmd_sweep(args) -> int:
         for iw in args.issues
         for d in args.delays
     ]
+    tel = get_telemetry()
+    tel.event(
+        "sweep-start", program=args.program, points=len(tasks), jobs=_jobs(args)
+    )
     cells = parallel_map(_sweep_cell_worker, tasks, jobs=_jobs(args))
+    tel.event("sweep-end", program=args.program, points=len(tasks))
     rows = []
     for (_, iw, d, _backend), cycles in zip(tasks, cells):
         noed = cycles[Scheme.NOED.value]
@@ -463,6 +542,28 @@ def cmd_recover(args) -> int:
         f"correct completion: {res.correct_completion_rate * 100:.1f}%   "
         f"re-execution overhead: {res.recovery_overhead * 100:.1f}% of a run/trial"
     )
+    return 0
+
+
+def cmd_runs(args) -> int:
+    """Query the content-addressed run ledger (list / show / diff)."""
+    from repro.obs.ledger import (
+        RunLedger, diff_runs, render_run, render_run_list,
+    )
+
+    ledger = RunLedger(args.runs_dir)
+    if args.action == "list":
+        print(render_run_list(ledger.list_runs()))
+        return 0
+    if args.action == "show":
+        if len(args.ids) != 1:
+            raise ReproError("runs show needs exactly one run id")
+        print(render_run(ledger.load(args.ids[0])))
+        return 0
+    if len(args.ids) != 2:
+        raise ReproError("runs diff needs exactly two run ids")
+    a, b = (ledger.load(run_id) for run_id in args.ids)
+    print(diff_runs(a, b))
     return 0
 
 
@@ -647,6 +748,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay every trial from cycle 0 instead of resuming from the "
         "nearest golden-run snapshot (results are bit-identical either way)",
     )
+    p.add_argument(
+        "--ledger", action="store_true",
+        help="record this campaign in the content-addressed run ledger "
+        "(manifest + metrics + event log + Chrome trace; query with "
+        "'repro runs')",
+    )
+    p.add_argument(
+        "--runs-dir", metavar="DIR", default=None,
+        help="run-ledger directory (default: $REPRO_RUNS_DIR or results/runs)",
+    )
     p.set_defaults(fn=cmd_inject)
 
     p = sub.add_parser("sweep", help="slowdown grid over issue widths and delays")
@@ -694,6 +805,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_recover)
 
     p = sub.add_parser(
+        "runs", help="query the run ledger (list, show, diff)"
+    )
+    p.add_argument("action", choices=["list", "show", "diff"])
+    p.add_argument(
+        "ids", nargs="*",
+        help="run id(s): one for 'show', two for 'diff' (prefixes accepted)",
+    )
+    p.add_argument(
+        "--runs-dir", metavar="DIR", default=None,
+        help="run-ledger directory (default: $REPRO_RUNS_DIR or results/runs)",
+    )
+    p.set_defaults(fn=cmd_runs)
+
+    p = sub.add_parser(
         "report", help="regenerate a paper table/figure, or summarize a trace"
     )
     p.add_argument(
@@ -718,14 +843,39 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     trace_out = getattr(args, "trace_out", None)
     want_metrics = getattr(args, "metrics", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    events_out = getattr(args, "events_out", None)
+    want_ledger = getattr(args, "ledger", False)
     telemetry = None
-    if trace_out or want_metrics:
+    events_tmp = None
+    if trace_out or want_metrics or metrics_out or events_out or want_ledger:
+        import tempfile
+
         from repro import obs
 
+        events_path = events_out
+        if want_ledger and events_path is None:
+            # The ledger stores the event log per run; without an explicit
+            # --events file, stage it in a temp file the record() call
+            # copies into the run directory.
+            fd, events_tmp = tempfile.mkstemp(suffix=".events.jsonl")
+            import os as _os
+
+            _os.close(fd)
+            Path(events_tmp).unlink()  # EventLog appends; start clean
+            events_path = events_tmp
         try:
-            telemetry = obs.configure(trace_path=trace_out)
+            # --ledger keeps span events in memory (even alongside a file
+            # sink) so the run's Chrome trace can land in the ledger too.
+            telemetry = obs.configure(
+                trace_path=trace_out,
+                keep_events=True if want_ledger else None,
+                events_path=events_path,
+            )
         except OSError as exc:
-            print(f"error: cannot open trace file {trace_out}: {exc}", file=sys.stderr)
+            print(
+                f"error: cannot open telemetry sink: {exc}", file=sys.stderr
+            )
             return 2
     try:
         return args.fn(args)
@@ -740,9 +890,16 @@ def main(argv: list[str] | None = None) -> int:
             if want_metrics and telemetry.metrics is not None:
                 print()
                 print(telemetry.metrics.render())
+            if metrics_out and telemetry.metrics is not None:
+                out = obs.write_metrics(telemetry.metrics, metrics_out)
+                print(f"[telemetry] wrote metrics to {out}", file=sys.stderr)
             obs.reset()
             if trace_out:
                 print(f"[telemetry] wrote trace to {trace_out}", file=sys.stderr)
+            if events_out:
+                print(f"[telemetry] wrote events to {events_out}", file=sys.stderr)
+            if events_tmp is not None:
+                Path(events_tmp).unlink(missing_ok=True)
 
 
 if __name__ == "__main__":  # pragma: no cover

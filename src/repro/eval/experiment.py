@@ -351,6 +351,11 @@ class Evaluator:
         missing = [p for p in dict.fromkeys(norm) if not is_cached(p)]
         tracker = ProgressTracker(len(missing), progress, every=1)
         jobs = resolve_jobs(jobs)
+        tel = get_telemetry()
+        tel.event(
+            "sweep-start", points=len(norm), missing=len(missing), jobs=jobs,
+            trials=trials,
+        )
         if missing and (jobs <= 1 or len(missing) <= 1):
             for workload, scheme, issue_width, delay in missing:
                 self.perf(workload, scheme, issue_width, delay)
@@ -384,6 +389,7 @@ class Evaluator:
             parallel_map(
                 _sweep_point_worker, tasks, jobs=jobs, on_result=on_result
             )
+        tel.event("sweep-end", points=len(norm), computed=len(missing))
         return [
             {
                 "perf": self.perf(workload, scheme, issue_width, delay),
@@ -406,10 +412,14 @@ def _sweep_point_worker(task) -> dict[str, dict]:
     persist, which keeps a single writer per cache directory.
     """
     seed, workload, scheme_value, issue_width, delay, trials, known = task
-    ev = Evaluator(seed=seed, cache=False)
-    ev._mem.update(known)
-    scheme = Scheme(scheme_value)
-    ev.perf(workload, scheme, issue_width, delay)
-    if trials is not None:
-        ev.coverage(workload, scheme, issue_width, delay, trials)
-    return {key: data for key, data in ev._mem.items() if key not in known}
+    with get_telemetry().span(
+        "sweep:point", cat="eval", workload=workload, scheme=scheme_value,
+        issue_width=issue_width, delay=delay,
+    ):
+        ev = Evaluator(seed=seed, cache=False)
+        ev._mem.update(known)
+        scheme = Scheme(scheme_value)
+        ev.perf(workload, scheme, issue_width, delay)
+        if trials is not None:
+            ev.coverage(workload, scheme, issue_width, delay, trials)
+        return {key: data for key, data in ev._mem.items() if key not in known}

@@ -239,12 +239,21 @@ class FaultInjector:
             backend, snapshots, snapshot_count,
         )
         self.program = program
-        self.interp = Interpreter(
-            program, mem_words=mem_words, frame_words=frame_words, backend=backend
-        )
-        self.golden: RunResult = self.interp.run(record_trace=True)
-        if not self.golden.block_trace:
-            raise SimError("profiling run produced no trace")
+        tel = get_telemetry()
+        # The profile span covers program decode (the compiled backend's
+        # superblock generation happens on first run) plus the golden run —
+        # in a pool worker this is the per-worker re-decode cost the merged
+        # trace makes visible on that worker's lane.
+        with tel.span(
+            "injector:profile", cat="campaign", timer="campaign.profile.seconds"
+        ) as sp:
+            self.interp = Interpreter(
+                program, mem_words=mem_words, frame_words=frame_words, backend=backend
+            )
+            self.golden: RunResult = self.interp.run(record_trace=True)
+            if not self.golden.block_trace:
+                raise SimError("profiling run produced no trace")
+            sp.set(golden_dyn=self.golden.dyn_instructions)
 
         # Checkpointed injection: replay the golden run once more, recording
         # architectural snapshots at ~snapshot_count evenly spaced points.
@@ -256,11 +265,16 @@ class FaultInjector:
         self._snap_keys: list[int] = []
         golden_dyn = self.golden.dyn_instructions
         if snapshots and snapshot_count > 0 and golden_dyn >= SNAPSHOT_MIN_DYN:
-            interval = max(1, golden_dyn // snapshot_count)
-            self.interp.run(
-                snapshot_every=interval, snapshot_sink=self._snapshots
-            )
-            self._snap_keys = [s.dyn for s in self._snapshots]
+            with tel.span(
+                "injector:snapshots", cat="campaign",
+                timer="campaign.snapshot_record.seconds",
+            ) as sp:
+                interval = max(1, golden_dyn // snapshot_count)
+                self.interp.run(
+                    snapshot_every=interval, snapshot_sink=self._snapshots
+                )
+                self._snap_keys = [s.dyn for s in self._snapshots]
+                sp.set(snapshots=len(self._snapshots))
 
         # Per-block static tables.
         func = program.main
@@ -376,26 +390,34 @@ class FaultInjector:
         restores = 0
         skipped = 0
         latencies: list[int] = []
-        for _ in range(shard_trials):
-            faults = self.faults_for_trial(rng, reference_dyn)
-            total_faults += len(faults)
-            snap = self._snapshot_for(faults)
-            if snap is not None:
-                restores += 1
-                skipped += snap.dyn
-            result = self.interp.run(
-                faults=faults, max_steps=self.max_steps, resume_from=snap
-            )
-            outcome = classify(self.golden, result)
-            counts[outcome] = counts.get(outcome, 0) + 1
-            latency = detection_latency(result, faults)
-            if latency is not None:
-                latencies.append(latency)
-            if on_trial is not None:
-                on_trial(outcome, len(faults), latency)
-        if restores:
-            tel.count("campaign.snapshot_restores", restores)
-            tel.count("campaign.cycles_skipped", skipped)
+        # One span and one batch of counter updates per *shard*: telemetry
+        # must never flush per trial (the batching contract worker capture
+        # relies on — see docs/observability.md).
+        with tel.span(
+            "shard", cat="campaign", timer="campaign.shard.seconds",
+            shard=shard_index, trials=shard_trials,
+        ) as sp:
+            for _ in range(shard_trials):
+                faults = self.faults_for_trial(rng, reference_dyn)
+                total_faults += len(faults)
+                snap = self._snapshot_for(faults)
+                if snap is not None:
+                    restores += 1
+                    skipped += snap.dyn
+                result = self.interp.run(
+                    faults=faults, max_steps=self.max_steps, resume_from=snap
+                )
+                outcome = classify(self.golden, result)
+                counts[outcome] = counts.get(outcome, 0) + 1
+                latency = detection_latency(result, faults)
+                if latency is not None:
+                    latencies.append(latency)
+                if on_trial is not None:
+                    on_trial(outcome, len(faults), latency)
+            if restores:
+                tel.count("campaign.snapshot_restores", restores)
+                tel.count("campaign.cycles_skipped", skipped)
+            sp.set(faults=total_faults, restores=restores, skipped_dyn=skipped)
         return ShardResult(
             index=shard_index,
             trials=shard_trials,
@@ -483,10 +505,20 @@ class FaultInjector:
                 tel.observe("campaign.detection_latency", v)
             if fresh and ckpt is not None:
                 ckpt.append(sr.to_json())
+            tel.event(
+                "shard-done", shard=sr.index, trials=sr.trials,
+                faults=sr.faults, fresh=fresh,
+                outcomes={o.value: n for o, n in sr.counts.items()},
+            )
             if progress is not None:
                 tracker.advance(sr.trials, {o.value: n for o, n in counts.items()})
 
         lost_shards: list[int] = []
+        tel.event(
+            "campaign-start", trials=trials, seed=seed, jobs=jobs,
+            shards=len(shard_plan), fault_model=self.fault_model,
+            resumed_shards=len(done),
+        )
         with tel.span(
             "campaign", cat="campaign", timer="campaign.seconds",
             trials=trials, seed=seed, jobs=jobs, shards=len(shard_plan),
@@ -526,6 +558,11 @@ class FaultInjector:
                 faults=state["faults"], lost_trials=lost_trials,
                 **{f"outcome_{o.value}": n for o, n in counts.items()},
             )
+        tel.event(
+            "campaign-end", trials=completed, faults=state["faults"],
+            lost_trials=lost_trials,
+            outcomes={o.value: n for o, n in counts.items()},
+        )
         return CampaignResult(
             trials=completed,
             counts=counts,
@@ -576,6 +613,11 @@ class FaultInjector:
                 tel.observe("campaign.detection_latency", v)
             if ckpt is not None:
                 ckpt.append(sr.to_json())
+            tel.event(
+                "shard-done", shard=sr.index, trials=sr.trials,
+                faults=sr.faults, fresh=True,
+                outcomes={o.value: n for o, n in sr.counts.items()},
+            )
 
     def _run_shards_pool(
         self, remaining, seed, reference_dyn, jobs, absorb, lost_shards,
@@ -593,6 +635,9 @@ class FaultInjector:
         def on_failure(index: int, exc: BaseException) -> None:
             shard_index = remaining[index][0]
             logger.warning("shard %d lost: %s", shard_index, exc)
+            get_telemetry().event(
+                "shard-lost", shard=shard_index, error=str(exc)
+            )
             lost_shards.append(shard_index)
 
         parallel_map(
@@ -618,11 +663,17 @@ def _init_campaign_worker(
     backend=None, snapshots=True, snapshot_count=SNAPSHOT_COUNT,
 ) -> None:
     global _worker_injector
-    _worker_injector = FaultInjector(
-        program, mem_words=mem_words, frame_words=frame_words,
-        fault_model=fault_model, backend=backend,
-        snapshots=snapshots, snapshot_count=snapshot_count,
-    )
+    # The init span makes pool spin-up cost explicit on each worker's trace
+    # lane: every worker re-profiles the binary (the compiled closures
+    # don't pickle), which is exactly the per-worker re-decode overhead the
+    # parallelism roadmap item is chasing.
+    with get_telemetry().span("worker:init", cat="worker") as sp:
+        _worker_injector = FaultInjector(
+            program, mem_words=mem_words, frame_words=frame_words,
+            fault_model=fault_model, backend=backend,
+            snapshots=snapshots, snapshot_count=snapshot_count,
+        )
+        sp.set(fault_model=fault_model, snapshots=snapshots)
 
 
 def _campaign_shard_worker(task) -> ShardResult:

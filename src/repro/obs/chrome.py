@@ -7,9 +7,12 @@ nested timeline.  We emit the JSON *object* flavour
 and instant (``"ph": "i"``) events, timestamps in microseconds as the format
 requires.
 
-Events are grouped into one synthetic process; the trace category becomes
-the thread so each subsystem (``compile``, ``sim``, ``campaign``) gets its
-own swim lane.
+Parent-process events land in one synthetic process whose threads are the
+trace categories (``compile``, ``sim``, ``campaign`` — one swim lane each).
+Events merged from pool workers carry a ``"pid"`` field (see
+:meth:`repro.obs.trace.Tracer.absorb`) and get **one Chrome process lane per
+worker pid**, so pool spin-up, per-worker re-decode, and shard phases are
+directly visible next to the parent timeline.
 """
 
 from __future__ import annotations
@@ -20,10 +23,11 @@ from typing import Iterable
 
 from repro.obs.trace import read_trace
 
+#: Synthetic pid for the parent timeline (worker events carry real pids).
 _PID = 1
 
 #: Stable lane order for known categories; unknown categories append after.
-_LANE_ORDER = ("compile", "sim", "campaign", "eval")
+_LANE_ORDER = ("compile", "sim", "campaign", "eval", "worker")
 
 
 def _lane_ids(events: Iterable[dict]) -> dict[str, int]:
@@ -46,18 +50,28 @@ def to_chrome_events(events: Iterable[dict]) -> list[dict]:
             "tid": 0,
             "name": "process_name",
             "args": {"name": "repro"},
-        }
+        },
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_sort_index",
+            "args": {"sort_index": 0},
+        },
     ]
-    used: set[str] = set()
+    used: set[tuple[int, str]] = set()
+    worker_pids: list[int] = []
     for ev in events:
         cat = ev.get("cat") or "misc"
-        used.add(cat)
-        tid = lanes[cat]
+        pid = int(ev.get("pid", _PID))
+        if pid != _PID and pid not in worker_pids:
+            worker_pids.append(pid)
+        used.add((pid, cat))
         base = {
             "name": ev.get("name", "?"),
             "cat": cat,
-            "pid": _PID,
-            "tid": tid,
+            "pid": pid,
+            "tid": lanes[cat],
             "ts": float(ev.get("ts", 0.0)) * 1e6,
             "args": ev.get("args", {}),
         }
@@ -68,11 +82,30 @@ def to_chrome_events(events: Iterable[dict]) -> list[dict]:
             base["ph"] = "i"
             base["s"] = "t"  # thread-scoped instant
         out.append(base)
-    for cat in sorted(used, key=lambda c: lanes[c]):
+    for i, pid in enumerate(worker_pids):
         out.append(
             {
                 "ph": "M",
-                "pid": _PID,
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"worker {pid}"},
+            }
+        )
+        out.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_sort_index",
+                "args": {"sort_index": i + 1},
+            }
+        )
+    for pid, cat in sorted(used, key=lambda pc: (pc[0], lanes[pc[1]])):
+        out.append(
+            {
+                "ph": "M",
+                "pid": pid,
                 "tid": lanes[cat],
                 "name": "thread_name",
                 "args": {"name": cat},

@@ -1,0 +1,93 @@
+"""Structured run-event log (JSON lines, append-only).
+
+Where the span tracer (:mod:`repro.obs.trace`) answers "where did the time
+go?", the event log answers "what happened?": a durable, machine-readable
+record of run lifecycle milestones — campaign start/end, shard completions,
+heartbeats, worker losses, cache corruption — that survives the process and
+lands in the run ledger (:mod:`repro.obs.ledger`) next to the manifest.
+
+One JSON object per line::
+
+    {"ts": 1754650000.123, "elapsed_s": 0.41, "kind": "shard-done",
+     "shard": 3, "trials": 25, "pid": 41712}
+
+``ts`` is absolute wall-clock seconds (``time.time``) so events from
+different runs and machines are orderable; ``elapsed_s`` is seconds since
+the log was opened, which makes single-run timings diffable across runs.
+Every other field is caller-defined.  Emission goes through the telemetry
+facade (``tel.event(kind, **fields)``) so instrumented code needs no
+``None`` checks when no log is configured.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, Any, Callable
+
+
+class EventLog:
+    """Appends structured events to a JSONL file (or memory, for tests)."""
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        clock: Callable[[], float] = time.time,
+        keep_events: bool | None = None,
+    ) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self._sink: IO[str] | None = None
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = self.path.open("a", encoding="utf-8")
+        self.keep_events = (self._sink is None) if keep_events is None else keep_events
+        self.events: list[dict] = []
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        now = self._clock()
+        event = {
+            "ts": now,
+            "elapsed_s": round(now - self._t0, 6),
+            "kind": kind,
+            **fields,
+        }
+        if self.keep_events:
+            self.events.append(event)
+        if self._sink is not None:
+            self._sink.write(json.dumps(event) + "\n")
+            self._sink.flush()
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Load an event log back into dicts.
+
+    Blank lines are skipped.  A malformed *trailing* line (a crash
+    mid-append) is dropped silently — the append-only format can tear at
+    most its last line; a malformed line anywhere else raises
+    ``ValueError`` naming the line, because that means the file is not an
+    event log at all.
+    """
+    events: list[dict] = []
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines):
+                break  # torn tail from a crash mid-append
+            raise ValueError(f"{path}:{lineno}: malformed event line: {exc}") from exc
+        if not isinstance(event, dict):
+            raise ValueError(f"{path}:{lineno}: event is not an object")
+        events.append(event)
+    return events

@@ -44,6 +44,25 @@ class HistogramSummary:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, other: "HistogramSummary") -> None:
+        """Fold another summary in (the cross-process aggregation path)."""
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistogramSummary":
+        hist = cls(
+            count=int(data.get("count", 0)), total=float(data.get("total", 0.0))
+        )
+        if hist.count:
+            hist.min = float(data.get("min", hist.min))
+            hist.max = float(data.get("max", hist.max))
+        return hist
+
     def as_dict(self) -> dict:
         return {
             "count": self.count,
@@ -103,6 +122,31 @@ class MetricsRegistry:
     def timer(self, name: str) -> _Timer:
         """Time a ``with`` block into the histogram ``name`` (seconds)."""
         return _Timer(self, name)
+
+    # -- cross-process merging -------------------------------------------------
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict (usually from a worker process) in.
+
+        Counters and histogram summaries accumulate; gauges are
+        last-write-wins, matching their single-process semantics.  This is
+        the one merge point for worker-side telemetry: a worker batches all
+        of a shard's metric updates locally and ships one snapshot back, so
+        the merged registry is bit-identical to a serial run's for every
+        deterministic metric (see ``docs/observability.md``).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            incoming = HistogramSummary.from_dict(data)
+            if not incoming.count:
+                continue
+            hist = self.histograms.get(name)
+            if hist is None:
+                self.histograms[name] = incoming
+            else:
+                hist.merge(incoming)
 
     # -- export ----------------------------------------------------------------
     def snapshot(self) -> dict:

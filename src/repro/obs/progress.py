@@ -6,6 +6,11 @@ now they were completely silent.  :class:`ProgressTracker` turns a trial
 stream into periodic :class:`ProgressEvent` heartbeats: the campaign driver
 calls :meth:`ProgressTracker.step` once per trial and the user callback
 fires every ``every`` trials plus once at the end.
+
+When a structured event log is configured (see :mod:`repro.obs.events`),
+every heartbeat is additionally appended to it as a ``heartbeat`` event —
+so a run's ledger entry records its live throughput curve, not just the
+final totals.
 """
 
 from __future__ import annotations
@@ -97,7 +102,17 @@ class ProgressTracker:
             return
         if self.done // self.every > before // self.every or self.done >= self.total:
             self.n_events += 1
-            self.callback(self._event(counts))
+            event = self._event(counts)
+            from repro.obs.telemetry import get_telemetry
+
+            get_telemetry().event(
+                "heartbeat",
+                done=event.done,
+                total=event.total,
+                rate=round(event.rate, 2),
+                eta_s=round(event.eta_s, 2),
+            )
+            self.callback(event)
 
 
 def print_progress(event: ProgressEvent) -> None:

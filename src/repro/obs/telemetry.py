@@ -14,10 +14,12 @@ telemetry behaves exactly like an enabled one that records nothing.
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 from typing import Any
 
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, Tracer
 
@@ -71,19 +73,23 @@ class _TimedSpan:
 
 
 class Telemetry:
-    """Bundle of an optional metrics registry and an optional tracer."""
+    """Bundle of an optional metrics registry, tracer, and event log."""
 
-    __slots__ = ("enabled", "metrics", "tracer")
+    __slots__ = ("enabled", "metrics", "tracer", "events")
 
     def __init__(
         self,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        events: EventLog | None = None,
         enabled: bool = True,
     ) -> None:
         self.metrics = metrics
         self.tracer = tracer
-        self.enabled = enabled and (metrics is not None or tracer is not None)
+        self.events = events
+        self.enabled = enabled and (
+            metrics is not None or tracer is not None or events is not None
+        )
 
     # -- spans -----------------------------------------------------------------
     def span(self, name: str, cat: str = "", timer: str | None = None, **args: Any):
@@ -102,6 +108,12 @@ class Telemetry:
     def instant(self, name: str, cat: str = "", **args: Any) -> None:
         if self.enabled and self.tracer is not None:
             self.tracer.instant(name, cat, **args)
+
+    # -- structured events -----------------------------------------------------
+    def event(self, kind: str, **fields: Any) -> None:
+        """Append one structured event to the run event log (if configured)."""
+        if self.enabled and self.events is not None:
+            self.events.emit(kind, **fields)
 
     # -- metrics ---------------------------------------------------------------
     def count(self, name: str, n: float = 1) -> None:
@@ -125,6 +137,8 @@ class Telemetry:
     def close(self) -> None:
         if self.tracer is not None:
             self.tracer.close()
+        if self.events is not None:
+            self.events.close()
 
 
 #: The disabled default every call site sees until ``configure`` runs.
@@ -150,12 +164,14 @@ def configure(
     trace_path: str | Path | None = None,
     metrics: bool = True,
     keep_events: bool | None = None,
+    events_path: str | Path | None = None,
 ) -> Telemetry:
     """Build and install a live telemetry.
 
     ``trace_path`` opens a JSON-lines tracer sink; ``metrics`` attaches a
-    registry (on by default — metrics are cheap).  Returns the installed
-    instance so callers can render/flush it at shutdown.
+    registry (on by default — metrics are cheap); ``events_path`` attaches
+    a structured :class:`~repro.obs.events.EventLog`.  Returns the
+    installed instance so callers can render/flush it at shutdown.
     """
     registry = MetricsRegistry() if metrics else None
     tracer = (
@@ -163,13 +179,77 @@ def configure(
         if trace_path is not None or keep_events
         else None
     )
-    telemetry = Telemetry(metrics=registry, tracer=tracer)
+    event_log = EventLog(path=events_path) if events_path is not None else None
+    telemetry = Telemetry(metrics=registry, tracer=tracer, events=event_log)
     set_telemetry(telemetry)
     return telemetry
 
 
 def reset() -> None:
-    """Close any active tracer and restore the disabled default."""
+    """Close any active tracer/event log and restore the disabled default."""
     global _current
     _current.close()
     _current = NULL_TELEMETRY
+
+
+# -- worker-side capture -------------------------------------------------------
+#
+# A pool worker cannot share the parent's sinks (a forked trace-file handle
+# would interleave JSON lines from every process), so instead it records
+# everything *in memory* and ships one snapshot per task back with the task's
+# result.  The parent rebases the spans onto its own timeline (tagged with
+# the worker's pid — Chrome export turns that into per-worker lanes) and
+# folds the metrics into its registry.  One payload per shard, not one
+# update per trial: the batching contract that keeps worker telemetry off
+# the trial hot path.
+
+
+def configure_worker_capture() -> Telemetry:
+    """Install an in-memory capture telemetry in a pool worker."""
+    telemetry = Telemetry(
+        metrics=MetricsRegistry(), tracer=Tracer(keep_events=True)
+    )
+    set_telemetry(telemetry)
+    return telemetry
+
+
+def drain_worker_snapshot() -> dict | None:
+    """Capture-and-clear this worker's telemetry as one picklable payload.
+
+    Returns ``None`` when no capture telemetry is installed (workers of a
+    telemetry-less parent).  Draining clears the worker's buffers so each
+    task's payload contains exactly the events and metric deltas produced
+    since the previous drain — merging payloads therefore never double
+    counts, and worker-merged counters stay bit-identical to a serial run.
+    """
+    tel = _current
+    if not tel.enabled or tel.tracer is None or tel.metrics is None:
+        return None
+    snapshot = {
+        "pid": os.getpid(),
+        "epoch": tel.tracer.epoch,
+        "events": list(tel.tracer.events),
+        "metrics": tel.metrics.snapshot(),
+    }
+    tel.tracer.events.clear()
+    tel.metrics.clear()
+    return snapshot
+
+
+def absorb_worker_snapshot(
+    snapshot: dict | None, telemetry: Telemetry | None = None
+) -> None:
+    """Merge one worker snapshot into the (parent) telemetry."""
+    if snapshot is None:
+        return
+    tel = telemetry if telemetry is not None else _current
+    if not tel.enabled:
+        return
+    if tel.tracer is not None and snapshot.get("events"):
+        tel.tracer.absorb(
+            snapshot["events"],
+            pid=int(snapshot.get("pid", 0)),
+            epoch=float(snapshot.get("epoch", tel.tracer.epoch)),
+        )
+    if tel.metrics is not None and snapshot.get("metrics"):
+        tel.metrics.merge_snapshot(snapshot["metrics"])

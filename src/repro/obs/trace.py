@@ -12,6 +12,8 @@ Event schema (one JSON object per line):
 ``{"ev": "X", "name": ..., "cat": ..., "ts": ..., "dur": ..., "depth": ...,
 "args": {...}}`` for spans, and ``{"ev": "I", ...}`` (no ``dur``) for
 instants.  ``depth`` is the span-nesting depth at open time (0 = top level).
+Events merged from a worker process additionally carry ``"pid"`` (see
+:meth:`Tracer.absorb`); events without it belong to the parent timeline.
 The format converts 1:1 to the Chrome trace-event format — see
 :mod:`repro.obs.chrome`.
 """
@@ -118,6 +120,28 @@ class Tracer:
             self.events.append(event)
         if self._sink is not None:
             self._sink.write(json.dumps(event) + "\n")
+
+    # -- cross-process merging -------------------------------------------------
+    @property
+    def epoch(self) -> float:
+        """The tracer's absolute epoch on its clock (for cross-process rebasing)."""
+        return self._epoch
+
+    def absorb(self, events: list[dict], pid: int, epoch: float) -> None:
+        """Merge events captured by a worker tracer into this timeline.
+
+        ``events`` carry timestamps relative to the worker tracer's
+        ``epoch`` (an absolute reading of the same monotonic clock —
+        ``time.perf_counter`` is system-wide on Linux), so rebasing is a
+        constant offset.  Each merged event is tagged with the worker's
+        ``pid``, which the Chrome exporter turns into a per-worker lane.
+        """
+        offset = epoch - self._epoch
+        for ev in events:
+            merged = dict(ev)
+            merged["ts"] = float(ev.get("ts", 0.0)) + offset
+            merged["pid"] = pid
+            self._emit(merged)
 
     # -- lifecycle -------------------------------------------------------------
     def flush(self) -> None:

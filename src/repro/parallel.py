@@ -21,6 +21,16 @@ this module provides the three small pieces everything else builds on:
   pool, and after exhausting its retry budget the failure is reported to
   ``on_failure`` instead of aborting the whole map.
 
+**Worker telemetry.**  When the parent has live telemetry, workers are
+bootstrapped with an in-memory *capture* telemetry instead of none: spans
+and metric updates accumulate locally (one batched payload per task, never
+a per-trial flush) and travel back piggybacked on the task result.  The
+parent rebases the spans onto its own timeline tagged with the worker's
+pid — Chrome export then shows one lane per worker — and folds the metric
+deltas into its registry, so worker-merged counters are bit-identical to a
+serial run's.  Mapped functions never see the payload; unwrapping happens
+here.
+
 Workers are separate processes: the mapped function and its tasks must be
 module-level / picklable, and results travel back by value.
 """
@@ -32,7 +42,10 @@ import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from functools import partial
 from typing import Any, Callable, Sequence
+
+from repro.obs.telemetry import absorb_worker_snapshot, get_telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -125,18 +138,62 @@ def plan_shards(total: int, shard_size: int = SHARD_TRIALS) -> list[int]:
     return plan
 
 
-def _pool_bootstrap(initializer: Callable[..., None] | None, initargs: tuple) -> None:
+def _pool_bootstrap(
+    initializer: Callable[..., None] | None,
+    initargs: tuple,
+    capture: bool = False,
+) -> None:
     """Run in every worker before its first task.
 
     Telemetry objects forked from the parent share its trace-file handle;
     writing to it from several processes would interleave JSON lines, so
-    workers always start with telemetry disabled.
+    workers never inherit the parent's sinks.  With ``capture`` on (the
+    parent has live telemetry) the worker instead records into an
+    in-memory capture telemetry — installed *before* the user initializer
+    so expensive per-worker setup (program re-decode, golden-run
+    profiling) is visible in the merged trace; its spans ride back with
+    the worker's first task result.
     """
     from repro import obs
 
     obs.reset()
+    if capture:
+        obs.configure_worker_capture()
     if initializer is not None:
         initializer(*initargs)
+
+
+class _Captured:
+    """A task result plus the worker-telemetry payload it carries home."""
+
+    __slots__ = ("result", "snapshot")
+
+    def __init__(self, result: Any, snapshot: dict | None) -> None:
+        self.result = result
+        self.snapshot = snapshot
+
+    def __getstate__(self):
+        return (self.result, self.snapshot)
+
+    def __setstate__(self, state) -> None:
+        self.result, self.snapshot = state
+
+
+def _captured_call(fn: Callable[[Any], Any], task: Any) -> _Captured:
+    """Run one task in a worker, attaching the drained telemetry snapshot.
+
+    A failing task discards its partial telemetry instead of letting it
+    leak into the next task's payload — retried work must not double-count
+    metrics.
+    """
+    from repro.obs.telemetry import drain_worker_snapshot
+
+    try:
+        result = fn(task)
+    except BaseException:
+        drain_worker_snapshot()
+        raise
+    return _Captured(result, drain_worker_snapshot())
 
 
 def parallel_map(
@@ -199,6 +256,21 @@ def parallel_map(
 
     results: list[Any] = [None] * len(tasks)
 
+    # Worker telemetry: capture in workers only when the parent can absorb
+    # it.  The mapped function is wrapped once; completion paths unwrap.
+    tel = get_telemetry()
+    capture = tel.enabled
+    call: Callable[[Any], Any] = partial(_captured_call, fn) if capture else fn
+
+    def settle(i: int, outcome: Any) -> None:
+        """Record one successful task result (unwrapping captured payloads)."""
+        if isinstance(outcome, _Captured):
+            absorb_worker_snapshot(outcome.snapshot, tel)
+            outcome = outcome.result
+        results[i] = outcome
+        if on_result is not None:
+            on_result(i, outcome)
+
     def exhaust(i: int, attempt: int, exc: BaseException) -> bool:
         """Requeue (False) or finalize the failure (True)."""
         if attempt < retries:
@@ -222,10 +294,10 @@ def parallel_map(
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(this_round)),
             initializer=_pool_bootstrap,
-            initargs=(initializer, initargs),
+            initargs=(initializer, initargs, capture),
         ) as pool:
             future_of = {
-                pool.submit(fn, tasks[i]): (i, attempt)
+                pool.submit(call, tasks[i]): (i, attempt)
                 for i, attempt in this_round
             }
             not_done = set(future_of)
@@ -243,9 +315,7 @@ def parallel_map(
                         if not exhaust(i, attempt, exc):
                             pending.append((i, attempt + 1))
                     else:
-                        results[i] = result
-                        if on_result is not None:
-                            on_result(i, result)
+                        settle(i, result)
                 if broken:
                     # The executor is unusable; every unfinished future has
                     # (or will get) BrokenProcessPool.  Drain them all and
@@ -259,8 +329,6 @@ def parallel_map(
                             if not exhaust(i, attempt, exc):
                                 pending.append((i, attempt + 1))
                         else:
-                            results[i] = result
-                            if on_result is not None:
-                                on_result(i, result)
+                            settle(i, result)
                     not_done = set()
     return results

@@ -1,0 +1,406 @@
+"""Event log, metrics export, and the content-addressed run ledger."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.obs.events import EventLog, read_events
+from repro.obs.export import prometheus_name, to_json, to_prometheus, write_metrics
+from repro.obs.ledger import RunLedger, diff_runs, run_id_for
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _fake_clock(step: float = 1.0, start: float = 100.0):
+    state = {"t": start}
+
+    def clock() -> float:
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+class TestEventLog:
+    def test_emit_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "run.events.jsonl"
+        log = EventLog(path=path, clock=_fake_clock())
+        log.emit("campaign-start", trials=100, seed=7)
+        log.emit("shard-done", shard=0, trials=25)
+        log.close()
+        events = read_events(path)
+        assert [e["kind"] for e in events] == ["campaign-start", "shard-done"]
+        assert events[0]["trials"] == 100 and events[0]["seed"] == 7
+        assert events[1]["shard"] == 0
+
+    def test_elapsed_is_monotone_and_relative(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path=path, clock=_fake_clock(step=2.0))
+        log.emit("a")
+        log.emit("b")
+        log.close()
+        a, b = read_events(path)
+        assert b["elapsed_s"] > a["elapsed_s"] > 0
+        assert b["ts"] > a["ts"] > 100.0
+
+    def test_append_only_across_reopens(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        for kind in ("first", "second"):
+            log = EventLog(path=path)
+            log.emit(kind)
+            log.close()
+        assert [e["kind"] for e in read_events(path)] == ["first", "second"]
+
+    def test_torn_trailing_line_is_dropped(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"ts": 1, "kind": "ok"}\n{"ts": 2, "ki')
+        events = read_events(path)
+        assert [e["kind"] for e in events] == ["ok"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('not json\n{"ts": 1, "kind": "ok"}\n')
+        with pytest.raises(ValueError, match="e.jsonl:1"):
+            read_events(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"kind": "a"}\n\n\n{"kind": "b"}\n')
+        assert [e["kind"] for e in read_events(path)] == ["a", "b"]
+
+    def test_in_memory_mode(self):
+        log = EventLog(clock=_fake_clock())
+        log.emit("x", n=1)
+        assert log.events[0]["kind"] == "x" and log.events[0]["n"] == 1
+
+    def test_telemetry_event_facade(self, tmp_path):
+        tel = obs.configure(events_path=tmp_path / "e.jsonl")
+        tel.event("milestone", detail="ok")
+        obs.reset()  # closes the log
+        (ev,) = read_events(tmp_path / "e.jsonl")
+        assert ev["kind"] == "milestone" and ev["detail"] == "ok"
+
+    def test_campaign_emits_lifecycle_events(self, tmp_path):
+        from repro.faults.injector import run_campaign
+        from repro.machine.config import MachineConfig
+        from repro.pipeline import Scheme, compile_program
+        from tests.conftest import build_loop_program
+
+        machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+        compiled = compile_program(build_loop_program(6), Scheme.NOED, machine)
+        obs.configure(events_path=tmp_path / "e.jsonl")
+        run_campaign(
+            compiled.program, trials=30, seed=3,
+            mem_words=compiled.mem_words, frame_words=compiled.frame_words,
+        )
+        obs.reset()
+        events = read_events(tmp_path / "e.jsonl")
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "campaign-start"
+        assert kinds[-1] == "campaign-end"
+        shard_done = [e for e in events if e["kind"] == "shard-done"]
+        assert len(shard_done) == 2  # 30 trials = shards of 25 + 5
+        assert {e["shard"] for e in shard_done} == {0, 1}
+        end = events[-1]
+        assert end["trials"] == 30
+        assert sum(end["outcomes"].values()) == 30
+
+
+class TestPrometheusExport:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.count("campaign.trials", 200)
+        reg.count("campaign.outcome.data-corrupt", 5)
+        reg.gauge("eval.points", 12)
+        for v in (1.0, 3.0):
+            reg.observe("campaign.detection_latency", v)
+        return reg
+
+    def test_name_sanitization(self):
+        assert prometheus_name("campaign.trials") == "repro_campaign_trials"
+        assert (
+            prometheus_name("campaign.outcome.data-corrupt")
+            == "repro_campaign_outcome_data_corrupt"
+        )
+        assert prometheus_name("9lives") == "repro__9lives"
+
+    def test_counters_get_total_suffix_and_type(self):
+        text = to_prometheus(self._registry())
+        assert "# TYPE repro_campaign_trials_total counter" in text
+        assert "repro_campaign_trials_total 200" in text
+
+    def test_histograms_export_as_summaries(self):
+        text = to_prometheus(self._registry())
+        assert "# TYPE repro_campaign_detection_latency summary" in text
+        assert "repro_campaign_detection_latency_count 2" in text
+        assert "repro_campaign_detection_latency_sum 4" in text
+        assert "repro_campaign_detection_latency_min 1" in text
+        assert "repro_campaign_detection_latency_max 3" in text
+
+    def test_gauges(self):
+        text = to_prometheus(self._registry())
+        assert "# TYPE repro_eval_points gauge" in text
+        assert "repro_eval_points 12" in text
+
+    def test_accepts_snapshot_dict(self):
+        reg = self._registry()
+        assert to_prometheus(reg) == to_prometheus(reg.snapshot())
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_json_roundtrip(self):
+        reg = self._registry()
+        payload = json.loads(to_json(reg))
+        assert payload["counters"]["campaign.trials"] == 200
+        assert payload["histograms"]["campaign.detection_latency"]["count"] == 2
+
+    def test_write_metrics_format_by_suffix(self, tmp_path):
+        reg = self._registry()
+        prom = write_metrics(reg, tmp_path / "m.prom")
+        js = write_metrics(reg, tmp_path / "m.json")
+        assert "# TYPE" in prom.read_text()
+        assert json.loads(js.read_text())["counters"]["campaign.trials"] == 200
+
+
+def _manifest(**over) -> dict:
+    base = {
+        "kind": "inject",
+        "created_at": "2026-08-08T12:00:00Z",
+        "workload": "workload:parser",
+        "scheme": "casted",
+        "fault_model": "reg-bit",
+        "backend": "compiled",
+        "trials": 100,
+        "seed": 2013,
+        "jobs": 2,
+        "effective_cores": 4,
+        "timings": {"wall_s": 1.5, "trials_per_s": 66.7},
+        "counters": {"campaign.trials": 100, "campaign.faults_injected": 120},
+    }
+    base.update(over)
+    return base
+
+
+class TestRunLedger:
+    def test_record_and_load(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        run_id = ledger.record(
+            _manifest(), metrics={"counters": {"campaign.trials": 100}}
+        )
+        rec = ledger.load(run_id)
+        assert rec.manifest["scheme"] == "casted"
+        assert rec.manifest["run_id"] == run_id
+        assert rec.metrics["counters"]["campaign.trials"] == 100
+
+    def test_run_id_is_content_addressed(self, tmp_path):
+        assert run_id_for(_manifest()) == run_id_for(_manifest())
+        assert run_id_for(_manifest()) != run_id_for(_manifest(seed=7))
+        ledger = RunLedger(tmp_path / "runs")
+        a = ledger.record(_manifest())
+        b = ledger.record(_manifest())  # idempotent republish
+        assert a == b
+        assert len(ledger.list_runs()) == 1
+
+    def test_prefix_load_and_ambiguity(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        run_id = ledger.record(_manifest())
+        assert ledger.load(run_id[:4]).run_id == run_id
+        with pytest.raises(ReproError, match="no run"):
+            ledger.load("ffffffffffff")
+        with pytest.raises(ReproError, match="ambiguous"):
+            ledger.record(_manifest(seed=99))
+            ledger.load("")
+
+    def test_list_newest_first(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        ledger.record(_manifest(created_at="2026-08-08T10:00:00Z"))
+        newest = ledger.record(_manifest(created_at="2026-08-08T11:00:00Z"))
+        records = ledger.list_runs()
+        assert [r.run_id for r in records][0] == newest
+
+    def test_events_and_trace_artifacts(self, tmp_path):
+        src = tmp_path / "src.events.jsonl"
+        log = EventLog(path=src)
+        log.emit("campaign-start", trials=100)
+        log.close()
+        trace = [
+            {"ev": "X", "name": "shard", "cat": "campaign", "ts": 0.1,
+             "dur": 0.2, "depth": 0, "args": {}},
+        ]
+        ledger = RunLedger(tmp_path / "runs")
+        run_id = ledger.record(_manifest(), events_src=src, trace_events=trace)
+        rec = ledger.load(run_id)
+        assert rec.events_path is not None
+        assert read_events(rec.events_path)[0]["kind"] == "campaign-start"
+        assert rec.trace_path is not None
+        payload = json.loads(rec.trace_path.read_text())
+        assert any(e.get("name") == "shard" for e in payload["traceEvents"])
+
+    def test_no_ledger_dir(self, tmp_path):
+        ledger = RunLedger(tmp_path / "missing")
+        assert ledger.list_runs() == []
+        with pytest.raises(ReproError, match="no run ledger"):
+            ledger.load("abc")
+
+    def test_env_var_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "env-runs"))
+        assert RunLedger().root == tmp_path / "env-runs"
+
+
+class TestLedgerQuarantine:
+    def test_corrupt_manifest_quarantined_and_skipped(self, tmp_path, caplog):
+        ledger = RunLedger(tmp_path / "runs")
+        good = ledger.record(_manifest())
+        bad_dir = tmp_path / "runs" / "deadbeef0000"
+        bad_dir.mkdir()
+        (bad_dir / "manifest.json").write_text("{ not json")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.ledger"):
+            records = ledger.list_runs()
+        assert [r.run_id for r in records] == [good]
+        warnings = [
+            r for r in caplog.records if "corrupt run manifest" in r.message
+        ]
+        assert len(warnings) == 1
+        # quarantined, not destroyed
+        assert (bad_dir / "manifest.json.bad").read_text() == "{ not json"
+        assert not (bad_dir / "manifest.json").exists()
+
+    def test_quarantined_run_does_not_rewarn(self, tmp_path, caplog):
+        ledger = RunLedger(tmp_path / "runs")
+        ledger.record(_manifest())
+        bad_dir = tmp_path / "runs" / "deadbeef0000"
+        bad_dir.mkdir()
+        (bad_dir / "manifest.json").write_text("[1, 2]")
+        ledger.list_runs()  # first scan quarantines
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.obs.ledger"):
+            ledger.list_runs()
+        assert not any(
+            "corrupt run manifest" in r.message for r in caplog.records
+        )
+
+
+class TestDiffRuns:
+    def test_diff_marks_config_and_deltas(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        a = ledger.load(ledger.record(_manifest()))
+        b = ledger.load(
+            ledger.record(
+                _manifest(
+                    scheme="noed",
+                    timings={"wall_s": 3.0, "trials_per_s": 33.3},
+                    counters={"campaign.trials": 100},
+                )
+            )
+        )
+        text = diff_runs(a, b)
+        assert "scheme" in text and "noed" in text and "*" in text
+        assert "wall_s" in text and "+1.5" in text
+        # counter missing from b is treated as zero
+        assert "campaign.faults_injected" in text and "-120" in text
+
+
+class TestRunsCLI:
+    def _record_two(self, runs_dir) -> tuple[str, str]:
+        ledger = RunLedger(runs_dir)
+        a = ledger.record(_manifest())
+        b = ledger.record(_manifest(scheme="noed", seed=7))
+        return a, b
+
+    def test_list_show_diff(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runs_dir = str(tmp_path / "runs")
+        a, b = self._record_two(runs_dir)
+        assert main(["runs", "list", "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert a in out and b in out and "run ledger (2 runs)" in out
+
+        assert main(["runs", "show", a[:6], "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert f"run {a}" in out and "casted" in out
+
+        assert main(["runs", "diff", a, b, "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert "run diff" in out and "scheme" in out
+
+    def test_show_needs_one_id(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runs_dir = str(tmp_path / "runs")
+        self._record_two(runs_dir)
+        assert main(["runs", "show", "--runs-dir", runs_dir]) == 2
+        assert "exactly one run id" in capsys.readouterr().err
+
+    def test_diff_needs_two_ids(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runs_dir = str(tmp_path / "runs")
+        a, _ = self._record_two(runs_dir)
+        assert main(["runs", "diff", a, "--runs-dir", runs_dir]) == 2
+        assert "exactly two run ids" in capsys.readouterr().err
+
+    def test_unknown_run_id(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runs_dir = str(tmp_path / "runs")
+        self._record_two(runs_dir)
+        assert main(["runs", "show", "ffffffffffff", "--runs-dir", runs_dir]) == 2
+        assert "no run" in capsys.readouterr().err
+
+
+class TestInjectLedgerCLI:
+    def test_inject_records_run_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runs_dir = str(tmp_path / "runs")
+        rc = main(
+            ["inject", "workload:cjpeg", "--scheme", "noed", "--trials", "30",
+             "--issue", "2", "--delay", "1", "--jobs", "2",
+             "--ledger", "--runs-dir", runs_dir]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[ledger] recorded run" in err
+        ledger = RunLedger(runs_dir)
+        (rec,) = ledger.list_runs()
+        m = rec.manifest
+        assert m["kind"] == "inject"
+        assert m["workload"] == "workload:cjpeg"
+        assert m["scheme"] == "noed"
+        assert m["trials"] == 30 and m["jobs"] == 2
+        assert m["counters"]["campaign.trials"] == 30
+        assert m["timings"]["wall_s"] > 0
+        # all three artifacts land next to the manifest
+        rec = ledger.load(rec.run_id)
+        assert rec.metrics is not None
+        assert rec.events_path is not None and rec.trace_path is not None
+        kinds = [e["kind"] for e in read_events(rec.events_path)]
+        assert "campaign-start" in kinds and "campaign-end" in kinds
+
+    def test_metrics_out_and_events_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        prom = tmp_path / "m.prom"
+        events = tmp_path / "run.events.jsonl"
+        rc = main(
+            ["inject", "workload:cjpeg", "--scheme", "noed", "--trials", "5",
+             "--issue", "2", "--delay", "1",
+             "--metrics-out", str(prom), "--events", str(events)]
+        )
+        assert rc == 0
+        assert "repro_campaign_trials_total 5" in prom.read_text()
+        kinds = [e["kind"] for e in read_events(events)]
+        assert kinds[0] == "campaign-start" and kinds[-1] == "campaign-end"
