@@ -14,6 +14,8 @@ cohort.  Ratio checks are hardware-independent and always apply:
 
 * ``speedup_vs_baseline`` (compiled + snapshots over the interp/replay
   baseline) must stay >= ``MIN_BASELINE_SPEEDUP``;
+* ``speedup_batch_vs_baseline`` (the batched trial engine over the same
+  baseline) must stay >= ``MIN_BATCH_SPEEDUP``;
 * the pool speedup floor applies only when the report says the parallel
   measurement was meaningful (``parallel_meaningful``: enough effective
   cores for the worker count — see bench_speed.py) on a >= 4-core box;
@@ -50,6 +52,9 @@ DEFAULT_REPORT = REPO_ROOT / "BENCH_speed.json"
 #: Compiled+snapshots must stay at least this many times faster than the
 #: interp/replay-from-zero baseline (hardware-independent ratio).
 MIN_BASELINE_SPEEDUP = 3.0
+#: The batched engine must likewise hold this floor over the interp/replay
+#: baseline (hardware-independent ratio; absent in pre-batching reports).
+MIN_BATCH_SPEEDUP = 3.0
 #: Pool speedup floor, applied only to meaningful parallel measurements on
 #: a >= 4-core machine.
 MIN_POOL_SPEEDUP = 1.5
@@ -82,8 +87,11 @@ def entry_from_report(report: dict) -> dict:
         "insn_per_s": executor.get("insn_per_s"),
         "trials": campaign.get("trials"),
         "trials_per_s_serial": campaign.get("trials_per_s_serial"),
+        "trials_per_s_serial_batched": campaign.get("trials_per_s_serial_batched"),
         "trials_per_s_parallel": campaign.get("trials_per_s_parallel"),
         "speedup_vs_baseline": campaign.get("speedup_vs_baseline"),
+        "speedup_batch": campaign.get("speedup_batch"),
+        "speedup_batch_vs_baseline": campaign.get("speedup_batch_vs_baseline"),
         "speedup_pool": campaign.get("speedup"),
         "speedup_sweep": sweep.get("speedup"),
     }
@@ -118,6 +126,13 @@ def check(candidate: dict, history: list[dict]) -> list[str]:
             f"speedup_vs_baseline {svb}x is below the {MIN_BASELINE_SPEEDUP}x "
             "floor (compiled+snapshots vs interp/replay baseline)"
         )
+    sbb = candidate.get("speedup_batch_vs_baseline")
+    if sbb is not None and sbb < MIN_BATCH_SPEEDUP:
+        failures.append(
+            f"speedup_batch_vs_baseline {sbb}x is below the "
+            f"{MIN_BATCH_SPEEDUP}x floor (batched engine vs interp/replay "
+            "baseline)"
+        )
     pool = candidate.get("speedup_pool")
     if (
         candidate.get("parallel_meaningful")
@@ -149,6 +164,7 @@ def check(candidate: dict, history: list[dict]) -> list[str]:
         return failures
     for key, label in (
         ("trials_per_s_serial", "serial campaign trials/s"),
+        ("trials_per_s_serial_batched", "batched campaign trials/s"),
         ("insn_per_s", "executor insn/s"),
     ):
         got = candidate.get(key)
@@ -198,6 +214,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"{e.get('recorded_at', '?'):20s}  {e.get('git_rev', '?'):8s}  "
                 f"{cohort_tag(e):20s}  quick={str(bool(e.get('quick'))).lower():5s}  "
                 f"serial {e.get('trials_per_s_serial', '?')}/s  "
+                f"batched {e.get('trials_per_s_serial_batched', '?')}/s  "
                 f"pool {e.get('speedup_pool', '?')}x  "
                 f"vs-baseline {e.get('speedup_vs_baseline', '?')}x"
             )

@@ -295,7 +295,7 @@ def cmd_lint(args) -> int:
     return report.exit_code(fail_on=Severity(args.fail_on))
 
 
-def _record_campaign_run(args, res, wall_s: float, jobs: int) -> None:
+def _record_campaign_run(args, res, wall_s: float, jobs: int, batch: bool) -> None:
     """Persist one ``inject`` campaign as a run-ledger entry."""
     import os
 
@@ -319,6 +319,7 @@ def _record_campaign_run(args, res, wall_s: float, jobs: int) -> None:
         "fault_model": args.fault_model,
         "backend": args.backend or os.environ.get("REPRO_SIM_BACKEND", "compiled"),
         "snapshots": not args.no_snapshots,
+        "batch": batch,
         "trials": res.trials,
         "requested_trials": args.trials,
         "seed": args.seed,
@@ -385,10 +386,13 @@ def cmd_inject(args) -> int:
         args.trials, args.seed, reference_dyn=reference,
         progress=progress, heartbeat=args.heartbeat, jobs=jobs,
         checkpoint=args.checkpoint, resume=args.resume,
+        batch=args.batch,
     )
     wall_s = time.perf_counter() - t0
     if args.ledger:
-        _record_campaign_run(args, res, wall_s, jobs)
+        _record_campaign_run(
+            args, res, wall_s, jobs, injector.resolve_batch(args.batch)
+        )
     rows = [
         [o.value, res.counts.get(o, 0), f"{res.fraction(o) * 100:.1f}%"]
         for o in OUTCOME_ORDER
@@ -747,6 +751,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-snapshots", action="store_true",
         help="replay every trial from cycle 0 instead of resuming from the "
         "nearest golden-run snapshot (results are bit-identical either way)",
+    )
+    p.add_argument(
+        "--batch", dest="batch", action="store_true", default=None,
+        help="batched trial engine: group trials by golden snapshot, advance "
+        "shared prefixes once, peel divergent trials to the scalar path "
+        "(default on the compiled backend; results are bit-identical)",
+    )
+    p.add_argument(
+        "--no-batch", dest="batch", action="store_false",
+        help="force the one-trial-at-a-time scalar campaign loop",
     )
     p.add_argument(
         "--ledger", action="store_true",

@@ -26,14 +26,18 @@ it.
 
 from __future__ import annotations
 
+import hashlib
+import re
 import json
 import logging
 import os
+from collections import OrderedDict
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.faults.classify import Outcome
 from repro.faults.injector import CampaignResult, FaultInjector
+from repro.ir.printer import print_program
 from repro.machine.config import MachineConfig
 from repro.obs import get_telemetry
 from repro.obs.progress import ProgressCallback, ProgressTracker
@@ -100,6 +104,60 @@ class CoverageRecord:
 def _scheme_delay(scheme: Scheme, delay: int) -> int:
     """NOED/SCED run on one cluster: the inter-cluster delay is irrelevant."""
     return 0 if scheme in (Scheme.NOED, Scheme.SCED) else delay
+
+
+#: Process-wide golden-run dedupe for fault campaigns (LRU, content-keyed).
+#:
+#: A :class:`FaultInjector` profiles its golden run (trace + snapshots) in
+#: ``__init__``, which is pure fixed overhead a sweep re-pays for every grid
+#: point that compiles to the same program — e.g. delay-only variations of a
+#: (workload, scheme) pair.  Keying by a hash of the *printed post-regalloc
+#: program* (plus the memory/frame geometry and fault model) makes the reuse
+#: exact-by-construction: identical key means identical golden execution, so
+#: a cached injector's campaigns are bit-identical to a fresh one's.  The
+#: cache is module-level so sweep pool workers, which persist across tasks,
+#: amortize goldens across the points they are handed.
+_INJECTOR_CACHE: OrderedDict[tuple, FaultInjector] = OrderedDict()
+_INJECTOR_CACHE_MAX = 8
+
+#: ``!of<uid>`` tags print process-global instruction uids, which differ
+#: between otherwise-identical compiles of the same source.  ``dup_of`` is
+#: compiler-pass metadata the simulator and injector never read, so hashing
+#: a first-appearance renumbering keeps the key content-exact while letting
+#: repeated compiles of the same program share one golden run.
+_DUP_OF_TAG = re.compile(r"!of(\d+)")
+
+
+def _canonical_program_text(program) -> str:
+    ids: dict[str, str] = {}
+    return _DUP_OF_TAG.sub(
+        lambda m: "!of" + ids.setdefault(m.group(1), str(len(ids))),
+        print_program(program),
+    )
+
+
+def _cached_injector(cp: CompiledProgram, fault_model: str) -> FaultInjector:
+    tel = get_telemetry()
+    key = (
+        hashlib.sha256(_canonical_program_text(cp.program).encode()).hexdigest(),
+        cp.mem_words,
+        cp.frame_words,
+        fault_model,
+    )
+    injector = _INJECTOR_CACHE.get(key)
+    if injector is not None:
+        _INJECTOR_CACHE.move_to_end(key)
+        tel.count("eval.golden_cache.hits")
+        return injector
+    tel.count("eval.golden_cache.misses")
+    injector = FaultInjector(
+        cp.program, mem_words=cp.mem_words, frame_words=cp.frame_words,
+        fault_model=fault_model,
+    )
+    _INJECTOR_CACHE[key] = injector
+    while len(_INJECTOR_CACHE) > _INJECTOR_CACHE_MAX:
+        _INJECTOR_CACHE.popitem(last=False)
+    return injector
 
 
 class Evaluator:
@@ -279,10 +337,7 @@ class Evaluator:
                 noed = self.perf(workload, Scheme.NOED, issue_width, delay)
                 reference_dyn = noed.dyn_instructions
             cp = self.compiled(workload, scheme, issue_width, delay)
-            injector = FaultInjector(
-                cp.program, mem_words=cp.mem_words, frame_words=cp.frame_words,
-                fault_model=fault_model,
-            )
+            injector = _cached_injector(cp, fault_model)
             campaign: CampaignResult = injector.run_campaign(
                 trials=trials,
                 seed=derive_seed(self.seed, workload, scheme.value, issue_width, delay),

@@ -47,6 +47,8 @@ Sharding also buys **resilience** (``docs/fault_injection.md``):
 from __future__ import annotations
 
 import logging
+import os
+import time
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -67,7 +69,14 @@ from repro.ir.program import Program
 from repro.isa.registers import RegClass
 from repro.obs import get_telemetry
 from repro.obs.progress import ProgressCallback, ProgressTracker
-from repro.parallel import SHARD_TRIALS, parallel_map, plan_shards, resolve_jobs
+from repro.parallel import (
+    SHARD_TRIALS,
+    parallel_map,
+    plan_shards,
+    plan_task_groups,
+    resolve_jobs,
+)
+from repro.sim.batch import BatchRunner, GroupStats, TrialPlan
 from repro.utils.rng import make_rng
 
 logger = logging.getLogger(__name__)
@@ -86,6 +95,13 @@ SNAPSHOT_COUNT = 64
 #: Skip checkpointing entirely below this golden dynamic-instruction count —
 #: tiny programs replay faster than they restore.
 SNAPSHOT_MIN_DYN = 2_000
+
+#: Minimum seconds of estimated work per pool task: shards are grouped into
+#: tasks until each task carries at least this much, so cheap (batched)
+#: shards stop paying one IPC round trip each.  The *shard* stays the RNG
+#: and checkpoint unit — grouping never changes which stream a trial draws
+#: from (see docs/performance.md, "Adaptive task sizing").
+MIN_TASK_SECONDS = 0.25
 
 #: Default extra attempts for a shard whose pool worker died.
 SHARD_RETRIES = 2
@@ -250,7 +266,11 @@ class FaultInjector:
             self.interp = Interpreter(
                 program, mem_words=mem_words, frame_words=frame_words, backend=backend
             )
+            t0 = time.perf_counter()
             self.golden: RunResult = self.interp.run(record_trace=True)
+            #: Wall cost of one fault-free execution — the calibration input
+            #: for adaptive pool task sizing (estimated_shard_seconds).
+            self.golden_run_seconds = time.perf_counter() - t0
             if not self.golden.block_trace:
                 raise SimError("profiling run produced no trace")
             sp.set(golden_dyn=self.golden.dyn_instructions)
@@ -307,6 +327,54 @@ class FaultInjector:
         self.fault_model = fault_model
         self.model = get_fault_model(fault_model)
         self.model.prepare(self)
+        self._batch_runner: BatchRunner | None = None
+
+    # -- batched execution -------------------------------------------------------
+    def resolve_batch(self, batch: bool | None = None) -> bool:
+        """Resolve a ``batch`` choice: explicit arg > ``REPRO_BATCH`` > default.
+
+        The default is on for the compiled backend (batching is its
+        amortization layer) and off for interp, which stays the scalar
+        differential oracle.  Results are bit-identical either way.
+        """
+        if batch is None:
+            env = os.environ.get("REPRO_BATCH", "").strip().lower()
+            if env:
+                batch = env not in ("0", "false", "no", "off")
+            else:
+                batch = self.interp.backend == "compiled"
+        return bool(batch)
+
+    def batch_runner(self) -> BatchRunner:
+        """The (lazily built) batched group runner over this golden run."""
+        if self._batch_runner is None:
+            self._batch_runner = BatchRunner(
+                self.interp,
+                self.golden,
+                self._snapshots,
+                self._visit_dyn_start,
+                self.max_steps,
+            )
+        return self._batch_runner
+
+    def estimated_shard_seconds(self, batch: bool) -> float:
+        """Calibrated wall-cost estimate of one full campaign shard.
+
+        Derived from the measured golden-run cost: a scalar trial resumes
+        from the nearest snapshot and executes on average about half the
+        program (the whole program without snapshots); a batched trial
+        amortizes the prefix and usually early-exits at the next snapshot
+        boundary, costing a small fraction of a golden run.  Only used to
+        size pool tasks — never affects results.
+        """
+        golden = max(self.golden_run_seconds, 1e-6)
+        if batch and self._snapshots:
+            per_trial = golden * 0.05
+        elif self._snapshots:
+            per_trial = golden * 0.6
+        else:
+            per_trial = golden
+        return SHARD_TRIALS * per_trial
 
     # -- sampling ------------------------------------------------------------
     def sample_fault(self, rng: np.random.Generator) -> FaultSpec:
@@ -372,6 +440,7 @@ class FaultInjector:
         seed: int,
         reference_dyn: int | None = None,
         on_trial=None,
+        batch: bool | None = None,
     ) -> ShardResult:
         """Run one campaign shard.
 
@@ -382,7 +451,18 @@ class FaultInjector:
         latency)`` fires after every trial (serial mode uses it for
         per-trial telemetry and progress heartbeats; ``latency`` is ``None``
         for non-detected trials).
+
+        ``batch`` selects the batched group engine (:mod:`repro.sim.batch`):
+        faults for every trial are pre-drawn in trial order from the same
+        RNG stream (executions never consume RNG, so the draw sequence is
+        untouched), trials run grouped by shared golden prefix, and
+        classification / latency / ``on_trial`` still happen in trial order
+        — the shard's :class:`ShardResult` is bit-identical either way.
         """
+        if self.resolve_batch(batch):
+            return self._run_shard_batched(
+                shard_index, shard_trials, seed, reference_dyn, on_trial
+            )
         tel = get_telemetry()
         rng = make_rng(seed, "fault-campaign", shard_index)
         counts: dict[Outcome, int] = {}
@@ -426,6 +506,81 @@ class FaultInjector:
             latencies=tuple(latencies),
         )
 
+    def _run_shard_batched(
+        self, shard_index, shard_trials, seed, reference_dyn, on_trial
+    ) -> ShardResult:
+        """Batched variant of :meth:`run_shard` — same contract, same bits.
+
+        The RNG draws happen up front in trial order (bit-identical to the
+        scalar loop, which also draws before executing and never consumes
+        RNG during a run); execution is then free to proceed in group
+        order.  Results are re-emitted in trial order so outcome counts,
+        the latency tuple, and ``on_trial`` callbacks are indistinguishable
+        from the scalar path.
+        """
+        tel = get_telemetry()
+        rng = make_rng(seed, "fault-campaign", shard_index)
+        plans = []
+        total_faults = 0
+        for t in range(shard_trials):
+            faults = self.faults_for_trial(rng, reference_dyn)
+            total_faults += len(faults)
+            plans.append(TrialPlan(index=t, faults=faults))
+
+        runner = self.batch_runner()
+        results: dict[int, RunResult] = {}
+        stats = GroupStats()
+        counts: dict[Outcome, int] = {}
+        latencies: list[int] = []
+        with tel.span(
+            "shard", cat="campaign", timer="campaign.shard.seconds",
+            shard=shard_index, trials=shard_trials, batch=True,
+        ) as sp:
+            for group in runner.plan(plans):
+                # One span per *group*, not per trial: batch lanes in the
+                # Chrome trace show the shared-prefix amortization without
+                # breaking the per-shard telemetry batching contract.
+                with tel.span(
+                    "batch:group", cat="batch", snap=group.snap_index,
+                    trials=len(group.trials),
+                ):
+                    runner.run_group(
+                        group,
+                        lambda plan, result: results.__setitem__(
+                            plan.index, result
+                        ),
+                        stats,
+                    )
+            for plan in plans:
+                result = results[plan.index]
+                outcome = classify(self.golden, result)
+                counts[outcome] = counts.get(outcome, 0) + 1
+                latency = detection_latency(result, plan.faults)
+                if latency is not None:
+                    latencies.append(latency)
+                if on_trial is not None:
+                    on_trial(outcome, len(plan.faults), latency)
+            if stats.restores:
+                tel.count("campaign.snapshot_restores", stats.restores)
+                tel.count("campaign.cycles_skipped", stats.skipped_dyn)
+            tel.count("campaign.batch_groups", stats.groups)
+            tel.count("campaign.batch_trials", shard_trials)
+            tel.count("campaign.batch_converged", stats.converged)
+            tel.count("campaign.batch_golden_dyn", stats.golden_advanced)
+            tel.count("campaign.batch_guided_visits", stats.guided_visits)
+            sp.set(
+                faults=total_faults, groups=stats.groups,
+                restores=stats.restores, skipped_dyn=stats.skipped_dyn,
+                converged=stats.converged, guided=stats.guided_visits,
+            )
+        return ShardResult(
+            index=shard_index,
+            trials=shard_trials,
+            counts=counts,
+            faults=total_faults,
+            latencies=tuple(latencies),
+        )
+
     def run_campaign(
         self,
         trials: int,
@@ -438,6 +593,7 @@ class FaultInjector:
         resume: bool = False,
         retries: int = SHARD_RETRIES,
         retry_backoff: float = SHARD_RETRY_BACKOFF,
+        batch: bool | None = None,
     ) -> CampaignResult:
         """Run ``trials`` Monte-Carlo trials and aggregate the outcomes.
 
@@ -466,9 +622,15 @@ class FaultInjector:
         ``campaign.detection_latency`` histogram, and in serial mode every
         trial additionally emits one instant event carrying its outcome
         and fault count.
+
+        ``batch`` selects the batched group engine for each shard (``None``
+        resolves via ``REPRO_BATCH`` and the backend default — see
+        :meth:`resolve_batch`); outcome counts are bit-identical either
+        way.
         """
         tel = get_telemetry()
         jobs = resolve_jobs(jobs)
+        batch = self.resolve_batch(batch)
         shard_plan = plan_shards(trials, SHARD_TRIALS)
         counts: dict[Outcome, int] = {}
         state = {"faults": 0, "latency_sum": 0, "latency_n": 0}
@@ -517,13 +679,13 @@ class FaultInjector:
         tel.event(
             "campaign-start", trials=trials, seed=seed, jobs=jobs,
             shards=len(shard_plan), fault_model=self.fault_model,
-            resumed_shards=len(done),
+            resumed_shards=len(done), batch=batch,
         )
         with tel.span(
             "campaign", cat="campaign", timer="campaign.seconds",
             trials=trials, seed=seed, jobs=jobs, shards=len(shard_plan),
             fault_model=self.fault_model, resumed_shards=len(done),
-            golden_dyn=self.golden.dyn_instructions,
+            golden_dyn=self.golden.dyn_instructions, batch=batch,
         ) as sp:
             for index in sorted(done):
                 absorb(done[index], fresh=False)
@@ -534,11 +696,13 @@ class FaultInjector:
                 self._run_shards_serial(
                     remaining, seed, reference_dyn, tracker, counts, tel,
                     state, ckpt, progress_on=progress is not None,
+                    batch=batch,
                 )
             else:
                 self._run_shards_pool(
                     remaining, seed, reference_dyn, jobs, absorb, lost_shards,
                     retries=retries, retry_backoff=retry_backoff,
+                    batch=batch,
                 )
             lost_trials = sum(shard_plan[index] for index in lost_shards)
             completed = sum(counts.values())
@@ -577,7 +741,7 @@ class FaultInjector:
 
     def _run_shards_serial(
         self, remaining, seed, reference_dyn, tracker, counts, tel,
-        state, ckpt, progress_on: bool,
+        state, ckpt, progress_on: bool, batch: bool = False,
     ) -> None:
         """In-process shard loop with per-trial telemetry + heartbeats.
 
@@ -604,7 +768,8 @@ class FaultInjector:
                     tracker.step({o.value: n for o, n in counts.items()})
 
             sr = self.run_shard(
-                shard_index, shard_trials, seed, reference_dyn, on_trial=on_trial
+                shard_index, shard_trials, seed, reference_dyn,
+                on_trial=on_trial, batch=batch,
             )
             state["faults"] += sr.faults
             state["latency_sum"] += sum(sr.latencies)
@@ -621,27 +786,46 @@ class FaultInjector:
 
     def _run_shards_pool(
         self, remaining, seed, reference_dyn, jobs, absorb, lost_shards,
-        retries: int, retry_backoff: float,
+        retries: int, retry_backoff: float, batch: bool = False,
     ) -> None:
-        """Fan shards out over a process pool; merge as they complete."""
+        """Fan shards out over a process pool; merge as they complete.
+
+        Shards are grouped into pool *tasks* by estimated cost (see
+        :data:`MIN_TASK_SECONDS`): batching makes individual shards cheap
+        enough that one IPC round trip per shard would dominate, so each
+        task carries enough contiguous shards to be worth dispatching.  The
+        shard remains the RNG / checkpoint / retry-accounting unit — a lost
+        task reports every shard it carried.
+        """
+        groups = plan_task_groups(
+            len(remaining),
+            self.estimated_shard_seconds(batch),
+            jobs,
+            min_task_seconds=MIN_TASK_SECONDS,
+        )
         tasks = [
-            (shard_index, shard_trials, seed, reference_dyn)
-            for shard_index, shard_trials in remaining
+            [
+                (remaining[i][0], remaining[i][1], seed, reference_dyn, batch)
+                for i in g
+            ]
+            for g in groups
         ]
 
-        def on_result(index: int, sr: ShardResult) -> None:
-            absorb(sr, fresh=True)
+        def on_result(index: int, srs: list[ShardResult]) -> None:
+            for sr in srs:
+                absorb(sr, fresh=True)
 
         def on_failure(index: int, exc: BaseException) -> None:
-            shard_index = remaining[index][0]
-            logger.warning("shard %d lost: %s", shard_index, exc)
-            get_telemetry().event(
-                "shard-lost", shard=shard_index, error=str(exc)
-            )
-            lost_shards.append(shard_index)
+            for i in groups[index]:
+                shard_index = remaining[i][0]
+                logger.warning("shard %d lost: %s", shard_index, exc)
+                get_telemetry().event(
+                    "shard-lost", shard=shard_index, error=str(exc)
+                )
+                lost_shards.append(shard_index)
 
         parallel_map(
-            _campaign_shard_worker,
+            _campaign_task_worker,
             tasks,
             jobs=jobs,
             initializer=_init_campaign_worker,
@@ -684,6 +868,17 @@ def _campaign_shard_worker(task) -> ShardResult:
     )
 
 
+def _campaign_task_worker(task) -> list[ShardResult]:
+    """Run a cost-calibrated group of shards in one pool dispatch."""
+    assert _worker_injector is not None, "worker initializer did not run"
+    return [
+        _worker_injector.run_shard(
+            shard_index, shard_trials, seed, reference_dyn, batch=batch
+        )
+        for shard_index, shard_trials, seed, reference_dyn, batch in task
+    ]
+
+
 def run_campaign(
     program: Program,
     trials: int,
@@ -699,6 +894,7 @@ def run_campaign(
     resume: bool = False,
     backend: str | None = None,
     snapshots: bool = True,
+    batch: bool | None = None,
 ) -> CampaignResult:
     """Convenience wrapper: profile + campaign in one call."""
     injector = FaultInjector(
@@ -708,5 +904,5 @@ def run_campaign(
     return injector.run_campaign(
         trials, seed, reference_dyn=reference_dyn,
         progress=progress, heartbeat=heartbeat, jobs=jobs,
-        checkpoint=checkpoint, resume=resume,
+        checkpoint=checkpoint, resume=resume, batch=batch,
     )

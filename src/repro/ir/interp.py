@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import enum
 import os
+import sys
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Callable
 
@@ -108,6 +110,122 @@ class Snapshot:
     regs: tuple[int, ...]
     mem: tuple[int, ...]
     output: tuple[int, ...]
+
+
+class ConvergenceIndex:
+    """Golden states a faulted run can be checked against mid-flight.
+
+    Built from the golden run's :class:`Snapshot` list (see
+    :mod:`repro.sim.batch`).  When :meth:`Interpreter.run` is given one via
+    ``converge`` it compares the live registers and memory against the
+    golden state each time execution crosses a snapshot boundary *after
+    every fault has been applied*.  A match means the remainder of the run
+    replays the golden continuation instruction for instruction — execution
+    is a deterministic function of (label, registers, memory), and output
+    is append-only — so the run finishes immediately with the golden final
+    kind / exit code / dyn count and ``output = emitted-so-far + the golden
+    output suffix past this boundary``.  A trial whose emitted output
+    already equals the golden prefix gets the shared ``final`` object; one
+    that diverged in output alone (the silent-corruption shape: a wrong
+    value was printed, the architectural state healed) still exits early
+    with its own synthesized output.  Purely an early exit either way: a
+    run that never matches is byte-identical to one executed without the
+    index, and a run that matches returns exactly what executing the
+    suffix would have produced (asserted by the three-way parity tests).
+
+    ``hits`` counts early exits taken against this index (telemetry only).
+    """
+
+    __slots__ = ("keys", "labels", "regs", "mems", "out_lens", "final", "hits")
+
+    def __init__(self, snapshots: list["Snapshot"], final: "RunResult") -> None:
+        self.keys = [s.dyn for s in snapshots]
+        self.labels = [s.label for s in snapshots]
+        # Stored as lists so the hot-loop comparison against the live
+        # register/memory lists is a single C-level == with first-mismatch
+        # early exit (no per-check tuple conversion).
+        self.regs = [list(s.regs) for s in snapshots]
+        self.mems = [list(s.mem) for s in snapshots]
+        #: Golden output length at each boundary — the split point for the
+        #: synthesized output of an output-diverged but state-converged run.
+        self.out_lens = [len(s.output) for s in snapshots]
+        self.final = RunResult(
+            kind=final.kind,
+            exit_code=final.exit_code,
+            output=final.output,
+            dyn_instructions=final.dyn_instructions,
+            trap=final.trap,
+            block_trace=(),
+        )
+        self.hits = 0
+
+
+class TraceGuide:
+    """Golden-trace-guided execution plan for post-fault suffixes.
+
+    Fault trials overwhelmingly keep following the golden control flow even
+    after their architectural state diverged: benign faults rejoin it,
+    exception trials follow it until the trap, and silent corruption rides
+    along it for most of the suffix (the corrupted value flows through the
+    same branches).  The guide lets :meth:`Interpreter.run` execute such
+    suffixes as a tight loop over the recorded golden block trace — one
+    pre-fused callable plus one next-label comparison per block visit —
+    instead of the general dispatch loop, peeling back to it the moment a
+    block's actual jump disagrees with the trace.
+
+    Misprediction cannot corrupt a run: every callable in ``pairs`` is the
+    compiled body for the label recorded at that trace position, so any
+    visit the guided loop executes is architecturally exact regardless of
+    how the run is aligned against the trace; the trace only *predicts* the
+    next label.  Likewise the committed-instruction count stays exact
+    because ``vds`` deltas along the trace are the block lengths of the
+    visited labels.  Guided chunks stop at golden snapshot boundaries
+    (``key_visits``) so the convergence early exit fires at exactly the
+    positions the scalar loop would check, and a chunk is only entered when
+    it fits under the watchdog budget, so timeout accounting is untouched.
+
+    ``visits`` counts block visits executed under guidance (telemetry).
+    """
+
+    __slots__ = ("pairs", "vds", "labels", "occ", "key_visits", "last",
+                 "visits")
+
+    def __init__(
+        self,
+        interp: "Interpreter",
+        golden: "RunResult",
+        visit_dyn_start,
+        snap_keys: list[int],
+    ) -> None:
+        fused = interp._fused
+        if fused is None:
+            raise SimError("trace guide requires a fused (compiled) backend")
+        trace = golden.block_trace
+        if not trace:
+            raise SimError("trace guide requires a recorded golden trace")
+        n = len(trace)
+        # Interning lets the guided loop's `is` comparison short-circuit
+        # the common predicted-correctly case (generated code constants
+        # that look like identifiers are interned by CPython).
+        labels = [sys.intern(lb) for lb in trace]
+        self.labels = labels
+        self.pairs = [(fused[labels[i]], labels[i + 1]) for i in range(n - 1)]
+        vds = [int(x) for x in visit_dyn_start]
+        if len(vds) != n:
+            raise SimError("visit table does not match the golden trace")
+        self.vds = vds
+        occ: dict[str, list[int]] = {}
+        for i, lb in enumerate(labels):
+            occ.setdefault(lb, []).append(i)
+        self.occ = occ
+        kv: list[int] = []
+        for key in snap_keys:
+            j = bisect_left(vds, key)
+            if j < n and vds[j] == key:
+                kv.append(j)
+        self.key_visits = kv
+        self.last = n - 1
+        self.visits = 0
 
 
 #: Recognized :attr:`FaultSpec.kind` values.
@@ -543,6 +661,8 @@ class Interpreter:
         snapshot_every: int | None = None,
         snapshot_sink: list[Snapshot] | None = None,
         resume_from: Snapshot | None = None,
+        converge: ConvergenceIndex | None = None,
+        guide: TraceGuide | None = None,
     ) -> RunResult:
         """Execute from the entry block and classify the ending.
 
@@ -556,6 +676,22 @@ class Interpreter:
         The returned ``dyn_instructions`` stays absolute (counted from the
         true program start), keeping outcome classification and detection
         latency identical to a replay from zero.
+
+        ``converge`` (a :class:`ConvergenceIndex`) enables the batched
+        engine's golden re-convergence early exit: once every fault has
+        been applied, crossing a golden snapshot boundary with state equal
+        to the golden state at that point returns the golden final result
+        immediately — the continuation would replay the golden run, so the
+        returned :class:`RunResult` is identical to executing the suffix.
+
+        ``guide`` (a :class:`TraceGuide`) turns the post-fault suffix into
+        trace-guided execution: once every fault is applied, block visits
+        that keep matching the golden control flow run through a tight
+        chunked loop instead of the general dispatch loop, falling back
+        here the moment a jump disagrees with the trace.  Purely a faster
+        engine for the same instruction stream (see :class:`TraceGuide`);
+        ignored on unfused backends and for trace-recording/snapshotting
+        runs, which need per-block bookkeeping.
         """
         R, M, O = self._R, self._M, self._O
         if resume_from is None:
@@ -583,6 +719,34 @@ class Interpreter:
                 raise SimError("snapshot_every must be >= 1")
             next_mark = snapshot_every
 
+        g_pairs = None
+        g_vds = g_labels = g_occ = g_keyvisits = None
+        g_nkeys = g_last = 0
+        g_floor = g_fails = g_skip = 0
+        if (
+            guide is not None
+            and trace is None
+            and next_mark < 0
+            and fused is not None
+        ):
+            g_pairs = guide.pairs
+            g_vds = guide.vds
+            g_labels = guide.labels
+            g_occ = guide.occ
+            g_keyvisits = guide.key_visits
+            g_nkeys = len(g_keyvisits)
+            g_last = guide.last
+
+        conv_keys = conv_n = None
+        ci = 0
+        if converge is not None:
+            conv_keys = converge.keys
+            conv_n = len(conv_keys)
+            # Boundaries at or before the resume point are the pre-fault
+            # prefix — never candidates.
+            while ci < conv_n and conv_keys[ci] <= dyn:
+                ci += 1
+
         def finish(kind: ExitKind, code: int | None, trap: str | None) -> RunResult:
             return RunResult(
                 kind,
@@ -603,6 +767,122 @@ class Interpreter:
                         Snapshot(dyn, label, tuple(R), tuple(M), tuple(O))
                     )
                     next_mark = (dyn // snapshot_every + 1) * snapshot_every
+                if conv_keys is not None and nf < 0:
+                    # All faults applied: crossing a golden boundary with
+                    # golden-equal registers and memory means the suffix
+                    # replays the golden continuation verbatim — finish with
+                    # the golden final result, splicing the golden output
+                    # suffix onto whatever this run has emitted so far.
+                    while ci < conv_n and conv_keys[ci] < dyn:
+                        ci += 1
+                    if ci < conv_n and conv_keys[ci] == dyn:
+                        j = ci
+                        ci += 1
+                        if (
+                            converge.labels[j] == label
+                            and R == converge.regs[j]
+                            and M == converge.mems[j]
+                        ):
+                            converge.hits += 1
+                            final = converge.final
+                            n_out = converge.out_lens[j]
+                            if len(O) == n_out and O == list(final.output[:n_out]):
+                                return final
+                            return RunResult(
+                                final.kind,
+                                final.exit_code,
+                                tuple(O) + final.output[n_out:],
+                                final.dyn_instructions,
+                                trap=final.trap,
+                                block_trace=(),
+                            )
+                if g_skip and nf < 0:
+                    g_skip -= 1
+                if g_pairs is not None and nf < 0 and g_skip == 0:
+                    # Trace-guided fast path: align against the golden
+                    # block trace and execute visits in chunks while the
+                    # control flow keeps agreeing with it.
+                    gi = -1
+                    off = 0
+                    v = bisect_left(g_vds, dyn, g_floor)
+                    if v < g_last and g_vds[v] == dyn and g_labels[v] == label:
+                        gi = v
+                    else:
+                        # Control flow diverged from the trace earlier (or
+                        # skipped/repeated visits): re-sync at the next
+                        # occurrence of this label.  A wrong alignment only
+                        # costs prediction accuracy, never correctness.
+                        loc = g_occ.get(label)
+                        if loc is not None:
+                            k = bisect_left(loc, g_floor)
+                            if k < len(loc) and loc[k] < g_last:
+                                gi = loc[k]
+                                off = dyn - g_vds[gi]
+                    if gi < 0:
+                        # No trace position left for this label: the run
+                        # has left the golden path for good (or overran
+                        # its occurrences).  Back off exponentially so a
+                        # permanently diverged run stops paying the sync
+                        # probe on every block.
+                        g_fails += 1
+                        g_skip = min(128, 1 << g_fails)
+                    else:
+                        if off == 0:
+                            kk = bisect_right(g_keyvisits, gi)
+                            stop = (
+                                g_keyvisits[kk] if kk < g_nkeys else g_last
+                            )
+                        else:
+                            # Misaligned runs cannot hit a convergence key
+                            # (guarded by exact dyn equality), so chunk by
+                            # a fixed stride instead.
+                            stop = min(gi + 2048, g_last)
+                        if g_vds[stop] + off > budget:
+                            # Near the watchdog budget: hand over to the
+                            # scalar loop's exact per-block accounting.
+                            g_pairs = None
+                        else:
+                            i = gi
+                            res = None
+                            try:
+                                for fn, exp in g_pairs[gi:stop]:
+                                    r = fn()
+                                    if r is not exp and r != exp:
+                                        res = r
+                                        break
+                                    i += 1
+                            except SimTrap:
+                                dyn = g_vds[i] + off
+                                raise
+                            if res is None:
+                                guide.visits += i - gi
+                                g_fails = 0
+                                dyn = g_vds[stop] + off
+                                label = g_labels[stop]
+                                g_floor = stop
+                                continue
+                            # Visit i executed in full; its jump left the
+                            # trace (or ended the run).
+                            guide.visits += i - gi + 1
+                            if i - gi + 1 >= 4:
+                                g_fails = 0
+                            else:
+                                # The alignment guess barely predicted:
+                                # treat it like a failed probe.
+                                g_fails += 1
+                                g_skip = min(128, 1 << g_fails)
+                            dyn = g_vds[i + 1] + off
+                            g_floor = i + 1
+                            if res is _DETECT:
+                                return finish(ExitKind.DETECTED, None, None)
+                            if type(res) is tuple:
+                                return finish(ExitKind.OK, res[1], None)
+                            if type(res) is not str:  # pragma: no cover
+                                raise SimError(
+                                    f"block {g_labels[i]} fell through"
+                                )
+                            label = res
+                            continue
                 if dyn + cb.n > budget:
                     return finish(ExitKind.TIMEOUT, None, "watchdog")
                 jump: object = None

@@ -138,6 +138,31 @@ def plan_shards(total: int, shard_size: int = SHARD_TRIALS) -> list[int]:
     return plan
 
 
+def plan_task_groups(
+    n_items: int,
+    est_item_seconds: float,
+    jobs: int,
+    min_task_seconds: float = 0.25,
+) -> list[range]:
+    """Group ``n_items`` work items into contiguous pool-task ranges.
+
+    Each group carries at least ``min_task_seconds`` of estimated work
+    (``est_item_seconds`` per item), so that cheap items — batched campaign
+    shards take only a few milliseconds — stop paying one IPC round trip
+    each.  Grouping is capped at ``ceil(n_items / jobs)`` items per task so
+    every worker still gets work.  Like :func:`plan_shards`, the grouping
+    only decides *dispatch*: items keep their own identity (RNG stream,
+    checkpoint record), so results are bit-identical for any grouping.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    if n_items == 0:
+        return []
+    per = max(1, -(-min_task_seconds // max(est_item_seconds, 1e-9)))
+    per = int(min(per, -(-n_items // max(jobs, 1))))
+    return [range(i, min(i + per, n_items)) for i in range(0, n_items, per)]
+
+
 def _pool_bootstrap(
     initializer: Callable[..., None] | None,
     initargs: tuple,

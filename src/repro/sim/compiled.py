@@ -164,6 +164,28 @@ def _alu_lines(insn, slot_of) -> list[str] | None:
         else:
             y = "y"
             lines += [f"y = R[{srcs[1]}]", f"if y & {_S}: y -= {_W}"]
+        if op is Opcode.DIV or op is Opcode.REM:
+            # Inline truncated division instead of calling the interp
+            # helper: `x % y` is floored, so nudge the remainder toward
+            # zero when the signs differ.  The zero check delegates to the
+            # helper purely to raise the identical ArithmeticTrap.
+            name = "div" if op is Opcode.DIV else "rem"
+            if imm is not None:
+                if _signed_const(imm) == 0:
+                    return lines + [f"{name}(0, 0)"]
+                if _signed_const(imm) > 0:
+                    adjust = f"if r and x < 0: r -= {y}"
+                else:
+                    adjust = f"if r and x >= 0: r -= {y}"
+            else:
+                lines.append(f"if y == 0: {name}(0, 0)")
+                adjust = f"if r and (x < 0) != ({y} < 0): r -= {y}"
+            lines += [f"r = x % {y}", adjust]
+            if op is Opcode.REM:
+                lines.append(f"R[{d}] = r & {_MASK}")
+            else:
+                lines.append(f"R[{d}] = ((x - r) // {y}) & {_MASK}")
+            return lines
         lines.append(f"R[{d}] = " + _SIGNED[op].format(x="x", y=y, m=_MASK))
         return lines
     if op in _UNARY:
@@ -277,6 +299,47 @@ def fuse_functional_blocks(interp) -> dict[str, Callable[[], object]]:
             interp._R, interp._M, interp._O, _DETECT, _div_s, _rem_s, MemoryFault
         )
     return fused
+
+
+# -- golden trace advance (batched fault trials) ------------------------------
+
+
+class TraceAdvancer:
+    """Replay a known fault-free block trace with minimum dispatch.
+
+    The batched trial engine (:mod:`repro.sim.batch`) advances a whole
+    group of trials through their shared golden prefix *once*.  Because the
+    golden control flow is already known (the profiling run recorded the
+    block trace), none of the interpreter run loop's bookkeeping — fault
+    scheduling, watchdog accounting, jump decoding — is needed: the prefix
+    is a flat list of the pre-fused superblock callables, and advancing is
+    one Python-level loop over a slice of it.  On the interp backend the
+    per-visit callable is the block's closure loop instead, so the advancer
+    works (more slowly) under either backend.
+
+    The callables close over the interpreter's live register/memory/output
+    arrays, so the advanced state is byte-identical to running the same
+    visits through :meth:`Interpreter.run`.
+    """
+
+    __slots__ = ("_fns",)
+
+    def __init__(self, interp, trace: tuple[str, ...]) -> None:
+        fused = interp._fused
+        if fused is not None:
+            per_label = fused
+        else:
+            per_label = {
+                label: _loop_fallback(cb.fns)
+                for label, cb in interp._blocks.items()
+            }
+        self._fns = [per_label[label] for label in trace]
+
+    def advance(self, start_visit: int, stop_visit: int) -> None:
+        """Execute golden trace visits ``[start_visit, stop_visit)``."""
+        fns = self._fns
+        for i in range(start_visit, stop_visit):
+            fns[i]()
 
 
 # -- timed fusion (cycle-level executor) --------------------------------------

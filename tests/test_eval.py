@@ -80,6 +80,43 @@ class TestMetrics:
         assert s.stats.n == 2
 
 
+class TestGoldenRunDedupe:
+    def test_injector_shared_across_recompiles(self):
+        """Separate compiles of the same point share one golden run.
+
+        Printed programs embed process-global instruction uids in their
+        ``!of`` tags, so the content key must canonicalize them — a fresh
+        compile of the same source still has to hit the cache.
+        """
+        from repro.eval.experiment import _cached_injector
+
+        cp1 = Evaluator(seed=1, cache=False).compiled("mcf", Scheme.CASTED, 2, 1)
+        cp2 = Evaluator(seed=2, cache=False).compiled("mcf", Scheme.CASTED, 2, 1)
+        assert _cached_injector(cp1, "reg-bit") is _cached_injector(cp2, "reg-bit")
+
+    def test_shared_injector_campaign_matches_fresh(self):
+        from repro.eval.experiment import _cached_injector
+        from repro.faults.injector import FaultInjector
+
+        cp = Evaluator(seed=3, cache=False).compiled("mcf", Scheme.CASTED, 2, 1)
+        shared = _cached_injector(cp, "reg-bit").run_campaign(25, 42, jobs=1)
+        fresh = FaultInjector(
+            cp.program, mem_words=cp.mem_words, frame_words=cp.frame_words,
+            fault_model="reg-bit",
+        ).run_campaign(25, 42, jobs=1)
+        assert shared.counts == fresh.counts
+        assert shared.total_faults_injected == fresh.total_faults_injected
+        assert shared.detection_latency_sum == fresh.detection_latency_sum
+
+    def test_different_fault_models_do_not_share(self):
+        from repro.eval.experiment import _cached_injector
+
+        cp = Evaluator(seed=4, cache=False).compiled("mcf", Scheme.CASTED, 2, 1)
+        a = _cached_injector(cp, "reg-bit")
+        b = _cached_injector(cp, "cf")
+        assert a is not b
+
+
 class TestRenderers:
     def test_fig6_7(self, ev):
         data = fig6_7_data(ev, ["mcf"], issue_widths=(1, 2), delays=(1,))

@@ -255,6 +255,9 @@ class TestCampaignDegradation:
         monkeypatch.setattr(
             injector_mod, "parallel_map", self._lossy_parallel_map(1)
         )
+        # Pin one shard per pool task so "task 1 lost" means "shard 1 lost"
+        # regardless of the cost-calibrated task grouping.
+        monkeypatch.setattr(injector_mod, "MIN_TASK_SECONDS", 0.0)
         path = tmp_path / "c.jsonl"
         res = loop_injector.run_campaign(
             trials=75, seed=5, jobs=2, checkpoint=path
