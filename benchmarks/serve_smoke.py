@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""CI smoke for ``repro serve``: SIGKILL mid-campaign, restart, exact counts.
+
+Self-contained (stdlib + the repo); exercises the full crash-recovery
+story end to end through real processes:
+
+1. compute the reference outcome counts with a direct in-process campaign;
+2. start the daemon chaos-armed (``REPRO_CHAOS=daemon.heartbeat:2``),
+   submit the same campaign as an inject job, and let the daemon SIGKILL
+   itself mid-run — after at least one shard hit the checkpoint;
+3. restart the daemon on the same state directory: recovery must requeue
+   the interrupted job and the re-run must resume from the checkpoint;
+4. assert the final counts are bit-identical to the reference, then stop
+   the daemon with SIGTERM and check the exit is clean.
+
+Exit status 0 on success.  On failure the state directory (job records,
+checkpoints, per-job event logs) is left in place for CI to upload.
+
+Usage::
+
+    python benchmarks/serve_smoke.py [--state-dir DIR] [--trials N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+LISTEN_PREFIX = "[serve] listening on "
+
+
+def log(msg: str) -> None:
+    print(f"[serve-smoke] {msg}", flush=True)
+
+
+def reference_counts(workload: str, trials: int, seed: int) -> dict[str, int]:
+    from repro.cli import _load_program
+    from repro.faults.injector import run_campaign
+    from repro.machine.config import MachineConfig
+    from repro.pipeline import Scheme, compile_program
+    from repro.sim.executor import VLIWExecutor
+
+    machine = MachineConfig(issue_width=2, inter_cluster_delay=1)
+    program = _load_program(workload)
+    compiled = compile_program(program, Scheme.CASTED, machine)
+    noed = compile_program(program, Scheme.NOED, machine)
+    reference = VLIWExecutor(noed).run().dyn_instructions
+    res = run_campaign(
+        compiled.program, trials, seed,
+        mem_words=compiled.mem_words, frame_words=compiled.frame_words,
+        reference_dyn=reference,
+    )
+    return {o.value: n for o, n in res.counts.items()}
+
+
+def start_daemon(state_dir: Path, chaos: str | None = None) -> tuple:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    env.pop("REPRO_CHAOS", None)
+    if chaos:
+        env["REPRO_CHAOS"] = chaos
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--state-dir", str(state_dir), "--jobs", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env, cwd=REPO_ROOT,
+    )
+    assert proc.stdout is not None
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"FAIL: daemon exited before listening (rc={proc.poll()})"
+            )
+        if line.startswith(LISTEN_PREFIX):
+            return proc, line[len(LISTEN_PREFIX):].strip()
+
+
+def api(url: str, path: str, body: dict | None = None) -> dict:
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        f"{url}{path}", data=data, method="POST" if data else "GET",
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--state-dir", default="results/serve-smoke")
+    ap.add_argument("--workload", default="workload:mcf")
+    ap.add_argument("--trials", type=int, default=75)
+    ap.add_argument("--seed", type=int, default=7)
+    args = ap.parse_args()
+    state_dir = Path(args.state_dir)
+
+    log(f"reference campaign: {args.workload}, {args.trials} trials")
+    want = reference_counts(args.workload, args.trials, args.seed)
+    log(f"reference counts: {want}")
+
+    log("phase 1: chaos-armed daemon (SIGKILLs itself at heartbeat #2)")
+    proc, url = start_daemon(state_dir, chaos="daemon.heartbeat:2")
+    job = api(url, "/jobs", {
+        "kind": "inject",
+        "spec": {"program": args.workload, "trials": args.trials,
+                 "seed": args.seed, "heartbeat": 25},
+        "client": "ci",
+    })
+    log(f"submitted {job['id']}; waiting for the daemon to die")
+    rc = proc.wait(timeout=300)
+    proc.stdout.close()
+    if rc == 0:
+        log("FAIL: daemon exited cleanly; the chaos point never fired")
+        return 1
+    log(f"daemon died rc={rc} (SIGKILL)")
+
+    store = state_dir / "jobs" / f"{job['id']}.json"
+    record = json.loads(store.read_text())
+    if record["state"] not in ("running", "checkpointing"):
+        log(f"FAIL: crashed job record says {record['state']!r}")
+        return 1
+    ckpt = state_dir / "checkpoints" / f"{job['id']}.jsonl"
+    shards = len(ckpt.read_text().splitlines()) - 1 if ckpt.exists() else 0
+    log(f"durable state after crash: job {record['state']}, {shards} shard(s)")
+    if shards < 1:
+        log("FAIL: no shards checkpointed before the crash")
+        return 1
+
+    log("phase 2: restart on the same state dir; recovery must requeue")
+    proc, url = start_daemon(state_dir)
+    deadline = time.monotonic() + 300
+    while True:
+        final = api(url, f"/jobs/{job['id']}")
+        if final["state"] in ("done", "failed", "cancelled"):
+            break
+        if time.monotonic() > deadline:
+            log(f"FAIL: job stuck in {final['state']}")
+            return 1
+        time.sleep(0.25)
+
+    ok = True
+    if final["state"] != "done":
+        log(f"FAIL: job finished {final['state']}: {final.get('error')}")
+        ok = False
+    elif final["restarts"] < 1:
+        log("FAIL: restart counter never bumped — recovery did not run")
+        ok = False
+    elif final["incomplete"]:
+        log("FAIL: result marked incomplete after a full resume")
+        ok = False
+    elif final["result"]["counts"] != want:
+        log(f"FAIL: counts diverged: {final['result']['counts']} != {want}")
+        ok = False
+    else:
+        log(f"counts bit-identical after kill -9 + restart: "
+            f"{final['result']['counts']} (restarts={final['restarts']})")
+
+    metrics = urllib.request.urlopen(f"{url}/metrics", timeout=30).read().decode()
+    if "repro_serve_jobs_recovered_total" not in metrics:
+        log("FAIL: /metrics missing the recovery counter")
+        ok = False
+
+    log("phase 3: graceful SIGTERM")
+    proc.send_signal(signal.SIGTERM)
+    rc = proc.wait(timeout=60)
+    proc.stdout.close()
+    if rc != 0:
+        log(f"FAIL: graceful shutdown exited rc={rc}")
+        ok = False
+
+    log("PASS" if ok else "FAIL (state dir kept for artifact upload)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

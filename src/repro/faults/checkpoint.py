@@ -16,8 +16,9 @@ shards already computed.  The format is one JSON object per line:
 
 Shard lines are appended with a single ``write()`` + flush + fsync as each
 shard completes, so a crash can lose at most the trailing, partially
-written line — which :meth:`CampaignCheckpoint.load` detects and drops
-(rewriting the file to the last good record).  Because every shard draws
+written line — which :meth:`CampaignCheckpoint.load` detects, quarantines
+to ``<file>.bad`` with one warning, and drops (rewriting the file to the
+last good record).  Because every shard draws
 from an RNG stream fully determined by ``(seed, shard_index)``, merging the
 checkpointed shards with freshly computed ones is bit-identical to an
 uninterrupted run at any worker count.
@@ -30,11 +31,14 @@ raises: silently mixing streams would corrupt the statistics.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 
 from repro.errors import ReproError
 from repro.faults.classify import Outcome
+
+logger = logging.getLogger(__name__)
 
 FORMAT_NAME = "repro-campaign-checkpoint"
 FORMAT_VERSION = 1
@@ -69,17 +73,34 @@ class CampaignCheckpoint:
         fresh header and the result is empty.  With ``resume=True`` the
         existing file is validated against this campaign's identity and its
         intact shard records are returned; a torn trailing line (from a
-        crash mid-append) is dropped and the file is healed in place.
+        crash mid-append) is quarantined to ``<file>.bad`` with one warning
+        and the file is healed in place — resume continues from the last
+        complete record instead of raising.
         """
         if not resume or not self.path.exists():
             self._rewrite([])
             return {}
-        records, torn = self._read_records()
-        if torn:
+        records, torn_line = self._read_records()
+        if torn_line is not None:
+            self._quarantine_torn(torn_line)
             self._rewrite(list(records.values()))
         return records
 
-    def _read_records(self) -> tuple[dict[int, dict], bool]:
+    def _quarantine_torn(self, torn_line: str) -> None:
+        """Preserve the torn tail as evidence in ``<file>.bad``, warn once."""
+        bad = self.path.with_name(f"{self.path.name}.bad")
+        try:
+            bad.write_text(torn_line + "\n")
+        except OSError as exc:  # pragma: no cover - fs permissions
+            logger.warning("could not quarantine torn line to %s: %s", bad, exc)
+            return
+        logger.warning(
+            "checkpoint %s has a torn trailing line (crash mid-append); "
+            "quarantined it to %s and resuming from the last complete "
+            "record", self.path, bad,
+        )
+
+    def _read_records(self) -> tuple[dict[int, dict], str | None]:
         lines = self.path.read_text().splitlines()
         if not lines:
             raise CheckpointError(f"checkpoint {self.path} is empty")
@@ -103,7 +124,7 @@ class CampaignCheckpoint:
                     f"{key}={header.get(key)!r} != {self.header[key]!r}"
                 )
         records: dict[int, dict] = {}
-        torn = False
+        torn_line: str | None = None
         for lineno, line in enumerate(lines[1:], start=2):
             if not line.strip():
                 continue
@@ -118,7 +139,7 @@ class CampaignCheckpoint:
                 rec["latencies"] = [int(v) for v in rec.get("latencies", [])]
             except (ValueError, KeyError, TypeError):
                 if lineno == len(lines):
-                    torn = True  # crash mid-append: drop the torn tail
+                    torn_line = line  # crash mid-append: quarantine the tail
                     break
                 raise CheckpointError(
                     f"checkpoint {self.path} line {lineno} is corrupt"
@@ -128,7 +149,7 @@ class CampaignCheckpoint:
         for rec in records.values():
             for name in rec["counts"]:
                 Outcome(name)  # unknown outcome => stale/foreign file
-        return records, torn
+        return records, torn_line
 
     # -- writing ---------------------------------------------------------------
     def _rewrite(self, records: list[dict]) -> None:

@@ -593,6 +593,7 @@ class FaultInjector:
         resume: bool = False,
         retries: int = SHARD_RETRIES,
         retry_backoff: float = SHARD_RETRY_BACKOFF,
+        shard_timeout: float | None = None,
         batch: bool | None = None,
     ) -> CampaignResult:
         """Run ``trials`` Monte-Carlo trials and aggregate the outcomes.
@@ -611,7 +612,10 @@ class FaultInjector:
         exhausts its retries is *dropped* — the campaign merges the
         surviving shards, logs the loss, and returns a ``partial`` result
         (the lost shards stay absent from the checkpoint, so a later
-        ``resume`` retries exactly those).
+        ``resume`` retries exactly those).  ``shard_timeout`` (seconds,
+        pool mode only) additionally arms the hung-worker watchdog: a pool
+        task running past it is killed and retried on the same budget (see
+        :func:`repro.parallel.parallel_map`).
 
         ``progress`` (if given) receives a
         :class:`~repro.obs.progress.ProgressEvent` — completed trials,
@@ -702,7 +706,7 @@ class FaultInjector:
                 self._run_shards_pool(
                     remaining, seed, reference_dyn, jobs, absorb, lost_shards,
                     retries=retries, retry_backoff=retry_backoff,
-                    batch=batch,
+                    shard_timeout=shard_timeout, batch=batch,
                 )
             lost_trials = sum(shard_plan[index] for index in lost_shards)
             completed = sum(counts.values())
@@ -786,7 +790,8 @@ class FaultInjector:
 
     def _run_shards_pool(
         self, remaining, seed, reference_dyn, jobs, absorb, lost_shards,
-        retries: int, retry_backoff: float, batch: bool = False,
+        retries: int, retry_backoff: float,
+        shard_timeout: float | None = None, batch: bool = False,
     ) -> None:
         """Fan shards out over a process pool; merge as they complete.
 
@@ -833,6 +838,7 @@ class FaultInjector:
             on_result=on_result,
             retries=retries,
             retry_backoff=retry_backoff,
+            timeout=shard_timeout,
             on_failure=on_failure,
         )
 
@@ -870,13 +876,18 @@ def _campaign_shard_worker(task) -> ShardResult:
 
 def _campaign_task_worker(task) -> list[ShardResult]:
     """Run a cost-calibrated group of shards in one pool dispatch."""
+    from repro.chaos import chaos_point
+
     assert _worker_injector is not None, "worker initializer did not run"
-    return [
-        _worker_injector.run_shard(
-            shard_index, shard_trials, seed, reference_dyn, batch=batch
+    out = []
+    for shard_index, shard_trials, seed, reference_dyn, batch in task:
+        chaos_point("worker.shard")
+        out.append(
+            _worker_injector.run_shard(
+                shard_index, shard_trials, seed, reference_dyn, batch=batch
+            )
         )
-        for shard_index, shard_trials, seed, reference_dyn, batch in task
-    ]
+    return out
 
 
 def run_campaign(
@@ -894,6 +905,7 @@ def run_campaign(
     resume: bool = False,
     backend: str | None = None,
     snapshots: bool = True,
+    shard_timeout: float | None = None,
     batch: bool | None = None,
 ) -> CampaignResult:
     """Convenience wrapper: profile + campaign in one call."""
@@ -904,5 +916,6 @@ def run_campaign(
     return injector.run_campaign(
         trials, seed, reference_dyn=reference_dyn,
         progress=progress, heartbeat=heartbeat, jobs=jobs,
-        checkpoint=checkpoint, resume=resume, batch=batch,
+        checkpoint=checkpoint, resume=resume,
+        shard_timeout=shard_timeout, batch=batch,
     )

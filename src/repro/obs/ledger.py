@@ -99,13 +99,54 @@ class RunRecord:
         return p if p.exists() else None
 
 
+#: Staging directories older than this are presumed orphaned by a crashed
+#: publish and swept on the next ledger use; generous enough that no live
+#: ``record()`` (staging is a few file copies) can be caught by it.
+STAGE_TTL_S = 3600.0
+
+
 class RunLedger:
     """Reader/writer for the content-addressed run directory."""
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(
+        self, root: str | Path | None = None, stage_ttl_s: float = STAGE_TTL_S
+    ) -> None:
         if root is None:
             root = os.environ.get("REPRO_RUNS_DIR") or DEFAULT_RUNS_DIR
         self.root = Path(root)
+        self.stage_ttl_s = stage_ttl_s
+        self._swept = False
+
+    def _sweep_stale_stages(self) -> int:
+        """Remove ``.stage-*`` directories a crashed publish left behind.
+
+        A ``record()`` interrupted between staging and the atomic rename
+        leaks its temp directory; a crash-looping recorder leaks one per
+        attempt.  Swept once per ledger instance (the first read or write),
+        age-gated by ``stage_ttl_s`` so a concurrent publisher's live stage
+        is never touched.  Returns the number of directories removed.
+        """
+        if self._swept or not self.root.is_dir():
+            self._swept = True
+            return 0
+        self._swept = True
+        removed = 0
+        cutoff = time.time() - self.stage_ttl_s
+        for stage in self.root.glob(".stage-*"):
+            try:
+                if not stage.is_dir() or stage.stat().st_mtime > cutoff:
+                    continue
+            except OSError:  # pragma: no cover - raced with another sweep
+                continue
+            shutil.rmtree(stage, ignore_errors=True)
+            removed += 1
+        if removed:
+            logger.warning(
+                "swept %d orphaned staging director%s from %s "
+                "(left by a crashed publish)",
+                removed, "y" if removed == 1 else "ies", self.root,
+            )
+        return removed
 
     # -- recording -------------------------------------------------------------
     def record(
@@ -129,6 +170,7 @@ class RunLedger:
         final = self.root / run_id
         stage = self.root / f".stage-{os.getpid()}-{run_id}"
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_stages()
         shutil.rmtree(stage, ignore_errors=True)
         stage.mkdir()
         try:
@@ -181,6 +223,7 @@ class RunLedger:
         records: list[RunRecord] = []
         if not self.root.is_dir():
             return records
+        self._sweep_stale_stages()
         for run_dir in sorted(self.root.iterdir()):
             if not run_dir.is_dir() or run_dir.name.startswith("."):
                 continue

@@ -39,7 +39,9 @@ from __future__ import annotations
 
 import logging
 import os
+import random
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from functools import partial
@@ -48,6 +50,11 @@ from typing import Any, Callable, Sequence
 from repro.obs.telemetry import absorb_worker_snapshot, get_telemetry
 
 logger = logging.getLogger(__name__)
+
+#: Default jitter fraction applied to retry backoff sleeps: each sleep is
+#: stretched by up to this fraction, drawn uniformly, so many clients
+#: retrying after a shared failure do not re-arrive in lockstep.
+RETRY_JITTER = 0.25
 
 #: Fixed trials-per-shard for fault campaigns.  Part of the determinism
 #: contract: changing it changes which RNG stream each trial draws from,
@@ -221,6 +228,24 @@ def _captured_call(fn: Callable[[Any], Any], task: Any) -> _Captured:
     return _Captured(result, drain_worker_snapshot())
 
 
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> int:
+    """SIGKILL every live worker of ``pool`` (hung workers ignore SIGTERM).
+
+    Reaches into the executor's ``_processes`` map — stable across every
+    CPython we support — because the stdlib offers no public way to kill a
+    worker that is stuck inside a task.  Returns the number of processes
+    signalled; the executor observes the deaths as a broken pool.
+    """
+    killed = 0
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.kill()
+            killed += 1
+        except (OSError, AttributeError):  # pragma: no cover - already gone
+            pass
+    return killed
+
+
 def parallel_map(
     fn: Callable[[Any], Any],
     tasks: Sequence[Any],
@@ -230,6 +255,8 @@ def parallel_map(
     on_result: Callable[[int, Any], None] | None = None,
     retries: int = 0,
     retry_backoff: float = 0.0,
+    retry_jitter: float = RETRY_JITTER,
+    timeout: float | None = None,
     on_failure: Callable[[int, BaseException], None] | None = None,
 ) -> list[Any]:
     """Map ``fn`` over ``tasks``, preserving task order in the result list.
@@ -248,7 +275,9 @@ def parallel_map(
     **Failure handling.**  A task attempt fails when ``fn`` raises or when
     its worker process dies (``BrokenProcessPool`` — an OOM kill, a signal,
     a segfaulting extension).  Each task is retried up to ``retries`` extra
-    times, waiting ``retry_backoff * round`` seconds between rounds; a dead
+    times, waiting ``retry_backoff * 2**(round-1)`` seconds between rounds
+    — exponential, stretched by up to ``retry_jitter`` of itself (drawn
+    uniformly) so synchronized failures do not retry in lockstep; a dead
     pool is rebuilt and the unfinished tasks resubmitted to fresh workers.
     A worker death cannot be attributed to one task exactly, so a pool
     crash charges an attempt to *every* task that was in flight: transient
@@ -257,6 +286,17 @@ def parallel_map(
     After exhaustion the task's slot stays ``None`` and ``on_failure(index,
     exc)`` is invoked; with no ``on_failure`` the exception propagates
     (the pre-existing fail-fast contract, the default).
+
+    **Hung workers.**  ``timeout`` arms a per-task deadline (seconds): a
+    task still running past it is presumed *hung* — not dead, so
+    ``BrokenProcessPool`` never fires — and its whole pool is SIGKILLed.
+    The overdue task is charged a :class:`TimeoutError` attempt and retried
+    like a crash; in-flight tasks that were merely sharing the pool are
+    resubmitted without losing an attempt.  With a timeout armed, tasks are
+    dispatched in a sliding window of ``jobs`` so the clock starts when a
+    worker can actually pick the task up, not when the map began.  Inline
+    execution (``jobs <= 1``) cannot preempt a hung call; the timeout only
+    protects pool mode.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
@@ -312,22 +352,47 @@ def parallel_map(
     round_no = 0
     while pending:
         if round_no and retry_backoff > 0:
-            time.sleep(retry_backoff * round_no)
+            sleep_s = retry_backoff * (2 ** (round_no - 1))
+            if retry_jitter > 0:
+                sleep_s *= 1.0 + random.uniform(0.0, retry_jitter)
+            time.sleep(sleep_s)
         round_no += 1
         this_round, pending = pending, []
         broken = False
+        hung: set = set()
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(this_round)),
             initializer=_pool_bootstrap,
             initargs=(initializer, initargs, capture),
         ) as pool:
-            future_of = {
-                pool.submit(call, tasks[i]): (i, attempt)
-                for i, attempt in this_round
-            }
-            not_done = set(future_of)
+            queue = deque(this_round)
+            # With no deadline, submit everything upfront (the historical
+            # behaviour).  With one, dispatch in a window of ``jobs`` so a
+            # task's clock starts roughly when a worker can run it.
+            window = len(this_round) if timeout is None else min(jobs, len(this_round))
+            future_of: dict = {}
+            deadline_of: dict = {}
+
+            def submit_next():
+                i, attempt = queue.popleft()
+                future = pool.submit(call, tasks[i])
+                future_of[future] = (i, attempt)
+                if timeout is not None:
+                    deadline_of[future] = time.monotonic() + timeout
+                return future
+
+            not_done = {submit_next() for _ in range(window)}
             while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                if timeout is not None:
+                    budget = max(
+                        0.0,
+                        min(deadline_of[f] for f in not_done) - time.monotonic(),
+                    )
+                    done, not_done = wait(
+                        not_done, timeout=budget, return_when=FIRST_COMPLETED
+                    )
+                else:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                 for future in done:
                     i, attempt = future_of[future]
                     try:
@@ -341,6 +406,21 @@ def parallel_map(
                             pending.append((i, attempt + 1))
                     else:
                         settle(i, result)
+                if timeout is not None and not broken:
+                    now = time.monotonic()
+                    hung = {f for f in not_done if now >= deadline_of[f]}
+                    if hung:
+                        # Presumed-hung workers: kill the pool and sort the
+                        # wreckage below — overdue tasks are charged a
+                        # timeout attempt, bystanders retry for free.
+                        broken = True
+                        for future in hung:
+                            i, _ = future_of[future]
+                            logger.warning(
+                                "task %d exceeded its %.1fs deadline; "
+                                "killing its worker pool", i, timeout,
+                            )
+                        _kill_pool_workers(pool)
                 if broken:
                     # The executor is unusable; every unfinished future has
                     # (or will get) BrokenProcessPool.  Drain them all and
@@ -348,12 +428,37 @@ def parallel_map(
                     wait(not_done)
                     for future in not_done:
                         i, attempt = future_of[future]
+                        if future in hung:
+                            try:
+                                result = future.result()
+                            except BaseException:  # noqa: BLE001
+                                texc = TimeoutError(
+                                    f"task {i} exceeded its {timeout:.1f}s "
+                                    "deadline and its worker was killed"
+                                )
+                                if not exhaust(i, attempt, texc):
+                                    pending.append((i, attempt + 1))
+                            else:
+                                # Finished in the race window before the
+                                # kill landed: keep the honest result.
+                                settle(i, result)
+                            continue
                         try:
                             result = future.result()
                         except BaseException as exc:  # noqa: BLE001
-                            if not exhaust(i, attempt, exc):
+                            if hung:
+                                # Collateral of our own watchdog kill: the
+                                # task did nothing wrong, retry uncharged.
+                                pending.append((i, attempt))
+                            elif not exhaust(i, attempt, exc):
                                 pending.append((i, attempt + 1))
                         else:
                             settle(i, result)
                     not_done = set()
+                    # Never-dispatched tasks carry over untouched.
+                    pending.extend(queue)
+                    queue.clear()
+                elif queue:
+                    while queue and len(not_done) < window:
+                        not_done.add(submit_next())
     return results

@@ -1,0 +1,46 @@
+"""Fault-tolerant campaign service: job queue, retries, resume-on-restart.
+
+``repro serve`` exposes compile / inject / sweep jobs over a JSON HTTP
+API (stdlib only).  The package splits into:
+
+* :mod:`repro.serve.store` — durable job records + explicit state machine,
+* :mod:`repro.serve.queue` — bounded multi-tenant priority queue (429 +
+  Retry-After backpressure),
+* :mod:`repro.serve.runner` — the single-job executor, watchdog deadlines,
+  cooperative cancellation, graceful degradation to partial results,
+* :mod:`repro.serve.daemon` — :class:`ServeApp` and the HTTP front-end,
+* :mod:`repro.serve.client` — a urllib client for scripts and tests.
+
+See ``docs/serve.md`` for the API and the failure-mode contract.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.daemon import ServeApp, ServeHTTPServer, ServerThread, make_server
+from repro.serve.queue import JobQueue, QueueFull
+from repro.serve.runner import JobInterrupted, JobRunner, Watchdog
+from repro.serve.store import (
+    JOB_KINDS,
+    Job,
+    JobError,
+    JobState,
+    JobStore,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "Job",
+    "JobError",
+    "JobInterrupted",
+    "JobQueue",
+    "JobRunner",
+    "JobState",
+    "JobStore",
+    "QueueFull",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "ServeHTTPServer",
+    "ServerThread",
+    "Watchdog",
+    "make_server",
+]

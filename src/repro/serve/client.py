@@ -1,0 +1,129 @@
+"""Minimal stdlib client for the campaign service (urllib, no deps).
+
+Used by the CLI smoke script, the chaos harness, and anyone scripting
+against a running daemon::
+
+    client = ServeClient("http://127.0.0.1:8321")
+    job = client.submit("inject", {"program": "workload:matmul", "trials": 200})
+    final = client.wait(job["id"])
+    print(final["result"]["counts"])
+
+Every call raises :class:`ServeClientError` on a non-2xx response; a 429
+carries ``retry_after_s`` so callers can implement polite backoff.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ReproError
+
+
+class ServeClientError(ReproError):
+    """Non-2xx response from the service."""
+
+    def __init__(
+        self, message: str, status: int = 0, retry_after_s: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Tiny JSON-over-HTTP client bound to one daemon base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, resp.read(), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read(), dict(exc.headers)
+        except urllib.error.URLError as exc:
+            raise ServeClientError(
+                f"{method} {path}: daemon unreachable ({exc.reason})"
+            ) from None
+
+    def _json(self, method: str, path: str, body: dict | None = None):
+        status, raw, headers = self._request(method, path, body)
+        try:
+            payload = json.loads(raw) if raw else {}
+        except ValueError:
+            payload = {"error": raw.decode(errors="replace")}
+        if status >= 400:
+            retry = float(headers.get("Retry-After", 0) or 0)
+            message = payload.get("error") if isinstance(payload, dict) else None
+            raise ServeClientError(
+                f"{method} {path} -> {status}: {message or raw[:200]!r}",
+                status=status,
+                retry_after_s=retry,
+            )
+        return payload
+
+    # -- API -------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        status, raw, _ = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeClientError(f"GET /metrics -> {status}", status=status)
+        return raw.decode()
+
+    def submit(
+        self,
+        kind: str,
+        spec: dict,
+        client: str = "anonymous",
+        priority: int = 10,
+    ) -> dict:
+        return self._json("POST", "/jobs", {
+            "kind": kind, "spec": spec, "client": client, "priority": priority,
+        })
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", "/jobs")
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._json("GET", f"/jobs/{job_id}/result")
+
+    def events(self, job_id: str, since: int = 0, wait: float = 0.0) -> dict:
+        return self._json(
+            "GET", f"/jobs/{job_id}/events?since={since}&wait={wait}"
+        )
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_s: float = 0.25
+    ) -> dict:
+        """Poll until ``job_id`` reaches a terminal state; return the record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    f"job {job_id} still {record['state']} after {timeout}s"
+                )
+            time.sleep(poll_s)

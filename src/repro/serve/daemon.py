@@ -1,0 +1,378 @@
+"""The campaign service daemon: application core + stdlib HTTP front-end.
+
+:class:`ServeApp` owns the durable store, the bounded queue, the runner
+thread and the watchdog; :class:`ServeHTTPServer` is a thin
+``ThreadingHTTPServer`` translating JSON-over-HTTP into app calls.  The
+two are deliberately separable — tests drive :class:`ServeApp` directly,
+the chaos/e2e suite drives the HTTP surface.
+
+Routes (all JSON unless noted)::
+
+    GET  /healthz                     liveness + queue depth
+    GET  /metrics                     Prometheus text format 0.0.4
+    GET  /jobs                        job summaries, oldest first
+    GET  /jobs/<id>                   full job record
+    GET  /jobs/<id>/result            result only; 409 until terminal
+    GET  /jobs/<id>/events?since=N&wait=S   long-poll the job event log
+    POST /jobs                        submit {"kind", "spec", ...}
+    POST /jobs/<id>/cancel            cooperative cancellation
+
+Backpressure: a full queue turns a submission into ``429 Too Many
+Requests`` with a ``Retry-After`` header estimating when capacity frees
+up.  Startup runs :meth:`~repro.serve.store.JobStore.recover` before the
+runner starts, so jobs interrupted by the previous daemon's death are
+requeued (force-pushed — recovered work is never dropped to make room for
+new traffic).  Shutdown cancels the current job with ``requeue=True``,
+which checkpoints and returns it to the durable queue.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.events import read_events
+from repro.obs.export import to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry, set_telemetry
+from repro.serve.queue import JobQueue, QueueFull
+from repro.serve.runner import JobRunner, Watchdog
+from repro.serve.store import JOB_KINDS, JobError, JobState, JobStore
+
+logger = logging.getLogger(__name__)
+
+#: Hard cap on one long-poll wait; clients re-poll with the new offset.
+MAX_EVENT_WAIT_S = 30.0
+
+
+class ServeApp:
+    """Everything the service does, minus HTTP."""
+
+    def __init__(
+        self,
+        state_dir: str | Path | None = None,
+        jobs: int = 1,
+        queue_limit: int = 16,
+        max_per_client: int = 0,
+        shard_timeout: float | None = None,
+        job_timeout: float | None = None,
+    ) -> None:
+        self.store = JobStore(state_dir)
+        self.queue = JobQueue(limit=queue_limit, max_per_client=max_per_client)
+        self.metrics = MetricsRegistry()
+        self.started_at = time.time()
+        # Base telemetry: shared metrics, no event log (jobs get their own).
+        self._base_tel = Telemetry(metrics=self.metrics)
+        set_telemetry(self._base_tel)
+        recovered = self.store.recover()
+        for job in recovered:
+            self.queue.push(job, force=True)
+        if recovered:
+            logger.info(
+                "recovered %d queued/interrupted job(s) from %s",
+                len(recovered), self.store.root,
+            )
+            self.metrics.count("serve.jobs_recovered", len(recovered))
+        self.runner = JobRunner(
+            self.store,
+            self.queue,
+            jobs=jobs,
+            shard_timeout=shard_timeout,
+            default_deadline_s=job_timeout,
+            metrics=self.metrics,
+        )
+        self.watchdog = Watchdog(self.runner)
+        self._shut = False
+
+    def start(self) -> None:
+        self.runner.start()
+        self.watchdog.start()
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, payload: dict) -> dict:
+        """Admit one job: capacity check, durable save, then enqueue.
+
+        File-then-queue ordering on purpose: a crash between the two
+        leaves a ``queued`` record on disk that the next startup's
+        ``recover()`` re-enqueues — whereas queue-then-file would lose the
+        job entirely.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {kind!r} (expected one of {JOB_KINDS})"
+            )
+        spec = payload.get("spec")
+        if not isinstance(spec, dict):
+            raise ValueError('"spec" must be a JSON object')
+        client = str(payload.get("client", "anonymous"))
+        priority = int(payload.get("priority", 10))
+        self.queue.ensure_capacity(client)
+        job = self.store.new_job(kind, spec, client=client, priority=priority)
+        self.store.save(job)
+        self.queue.push(job, force=True)
+        self.metrics.count("serve.jobs_submitted")
+        logger.info(
+            "accepted job %s (%s) from %s, priority %d",
+            job.id, kind, client, priority,
+        )
+        return job.summary()
+
+    # -- queries ---------------------------------------------------------------
+    def healthz(self) -> dict:
+        current = self.runner.current_job()
+        return {
+            "ok": True,
+            "uptime_s": round(time.time() - self.started_at, 1),
+            "queued": len(self.queue),
+            "running": current[0].id if current else None,
+        }
+
+    def list_jobs(self) -> list[dict]:
+        return [job.summary() for job in self.store.load_all()]
+
+    def get_job(self, job_id: str) -> dict:
+        return self.store.load(job_id).to_json()
+
+    def get_result(self, job_id: str) -> tuple[int, dict]:
+        job = self.store.load(job_id)
+        if not job.terminal:
+            return 409, {
+                "error": f"job {job_id} is {job.state.value}, not terminal"
+            }
+        return 200, {
+            "id": job.id,
+            "state": job.state.value,
+            "incomplete": job.incomplete,
+            "error": job.error,
+            "result": job.result,
+        }
+
+    def events(
+        self, job_id: str, since: int = 0, wait: float = 0.0
+    ) -> dict:
+        """Events after offset ``since``; long-polls up to ``wait`` seconds.
+
+        Plain polling over the append-only JSONL log: cheap, stateless,
+        and tolerant of a torn tail by construction (``read_events``).
+        Returns early once the job is terminal — nothing more will be
+        appended, so there is no reason to hold the connection open.
+        """
+        since = max(0, since)
+        job = self.store.load(job_id)  # 404 before we block
+        path = self.store.events_path(job_id)
+        deadline = time.monotonic() + min(max(wait, 0.0), MAX_EVENT_WAIT_S)
+        while True:
+            events = read_events(path) if path.exists() else []
+            fresh = events[since:] if since < len(events) else []
+            if fresh or job.terminal or time.monotonic() >= deadline:
+                return {
+                    "id": job_id,
+                    "state": job.state.value,
+                    "next": since + len(fresh),
+                    "events": fresh,
+                }
+            time.sleep(0.1)
+            job = self.store.load(job_id)
+
+    def metrics_text(self) -> str:
+        self.metrics.gauge("serve.queue_depth", len(self.queue))
+        self.metrics.gauge(
+            "serve.uptime_seconds", round(time.time() - self.started_at, 1)
+        )
+        return to_prometheus(self.metrics)
+
+    # -- cancellation ----------------------------------------------------------
+    def cancel(self, job_id: str, reason: str = "client-cancel") -> dict:
+        """Cancel a job wherever it is: queued, running, or already done."""
+        job = self.store.load(job_id)
+        if job.terminal:
+            return {"id": job_id, "state": job.state.value, "changed": False}
+        removed = self.queue.remove(job_id)
+        if removed is not None:
+            removed.transition(JobState.CANCELLED)
+            removed.finished_at = time.time()
+            removed.note = reason
+            self.store.save(removed)
+            self.metrics.count("serve.jobs_cancelled")
+            return {"id": job_id, "state": "cancelled", "changed": True}
+        # Not queued: if it is the running job this flags it; the runner
+        # checkpoints at the next heartbeat and finishes the transition.
+        self.runner.request_cancel(job_id, reason=reason)
+        return {"id": job_id, "state": job.state.value, "changed": True}
+
+    # -- lifecycle -------------------------------------------------------------
+    def shutdown(self, requeue: bool = True) -> None:
+        """Graceful stop: current job checkpoints and returns to the queue."""
+        if self._shut:
+            return
+        self._shut = True
+        self.watchdog.stop()
+        self.runner.stop(requeue_current=requeue)
+        self.runner.join(timeout=30.0)
+        self.watchdog.join(timeout=5.0)
+        logger.info("serve daemon stopped (queued jobs remain durable)")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON route dispatch; every response body is a JSON document."""
+
+    server: ServeHTTPServer  # typing aid
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        logger.debug("http: " + fmt, *args)
+
+    def _send(
+        self, status: int, payload: dict | list, headers: dict | None = None
+    ) -> None:
+        body = (json.dumps(payload, indent=2) + "\n").encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from None
+
+    # -- routing ---------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802
+        app = self.server.app
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                self._send(200, app.healthz())
+            elif parts == ["metrics"]:
+                self._send_text(
+                    200, app.metrics_text(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif parts == ["jobs"]:
+                self._send(200, app.list_jobs())
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send(200, app.get_job(parts[1]))
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                status, payload = app.get_result(parts[1])
+                self._send(status, payload)
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+                query = parse_qs(url.query)
+                self._send(200, app.events(
+                    parts[1],
+                    since=int(query.get("since", ["0"])[0]),
+                    wait=float(query.get("wait", ["0"])[0]),
+                ))
+            else:
+                self._send(404, {"error": f"no route {url.path}"})
+        except JobError as exc:
+            self._send(404, {"error": str(exc)})
+        except ValueError as exc:
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            logger.exception("GET %s failed", self.path)
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        app = self.server.app
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["jobs"]:
+                self._send(202, app.submit(self._read_body()))
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                self._send(200, app.cancel(parts[1]))
+            else:
+                self._send(404, {"error": f"no route {url.path}"})
+        except QueueFull as exc:
+            retry = max(1, int(round(exc.retry_after_s)))
+            self._send(
+                429,
+                {"error": str(exc), "retry_after_s": retry},
+                headers={"Retry-After": str(retry)},
+            )
+        except JobError as exc:
+            self._send(404, {"error": str(exc)})
+        except ValueError as exc:
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - keep the server alive
+            logger.exception("POST %s failed", self.path)
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to a :class:`ServeApp`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], app: ServeApp) -> None:
+        super().__init__(address, _Handler)
+        self.app = app
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **app_kwargs,
+) -> ServeHTTPServer:
+    """Build the app + server pair; ``port=0`` binds an ephemeral port."""
+    app = ServeApp(**app_kwargs)
+    server = ServeHTTPServer((host, port), app)
+    app.start()
+    return server
+
+
+class ServerThread:
+    """In-process server harness for tests: start, talk, stop."""
+
+    def __init__(self, server: ServeHTTPServer) -> None:
+        self.server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="serve-http", daemon=True
+        )
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def __enter__(self) -> ServerThread:
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.server.app.shutdown(requeue=True)
+        self.server.shutdown()
+        self.server.server_close()
+        self._thread.join(timeout=10.0)

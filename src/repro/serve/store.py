@@ -1,0 +1,288 @@
+"""Durable job store for the campaign service: one JSON file per job.
+
+Layout under the service state directory (default ``results/serve/``,
+override with ``REPRO_SERVE_DIR``)::
+
+    results/serve/
+        jobs/<job_id>.json          # the job record (state machine below)
+        checkpoints/<job_id>.jsonl  # campaign shard checkpoint (inject jobs)
+        events/<job_id>.jsonl       # per-job structured event log
+
+Every job record is written atomically (temp + ``os.replace``) on every
+state change, so a ``kill -9`` at any instant leaves either the previous
+or the next complete record on disk — never a torn one.  A record that is
+nevertheless unreadable (disk corruption, a foreign file) is quarantined
+as ``<file>.bad`` with one warning and skipped, mirroring the run-ledger
+and eval-cache behaviour.
+
+The job state machine::
+
+    queued ──► running ──► checkpointing ──► done | failed | cancelled
+      │           │              │
+      ▼           └──────────────┴──► queued      (requeue: daemon restart
+    cancelled                                      or graceful shutdown)
+
+``checkpointing`` is the finalization window — the runner is flushing the
+job's result/partial state; it exists so a crash there is distinguishable
+from a crash mid-execution (both requeue, and the campaign checkpoint
+makes the replay cheap either way).  Terminal states never transition.
+:meth:`JobStore.recover` is the resume-on-restart half: it rescans the
+store, requeues every interrupted job, and leaves terminal jobs untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import secrets
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from pathlib import Path
+
+from repro.errors import ReproError
+
+logger = logging.getLogger(__name__)
+
+#: Default service state directory, relative to the working directory.
+DEFAULT_SERVE_DIR = Path("results") / "serve"
+
+
+class JobError(ReproError):
+    """Job lookup, validation, or persistence failure."""
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    CHECKPOINTING = "checkpointing"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+
+#: The legal state machine; anything else is a bug, not a request.
+ALLOWED_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.QUEUED: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset({JobState.CHECKPOINTING, JobState.QUEUED}),
+    JobState.CHECKPOINTING: frozenset(
+        {JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.QUEUED}
+    ),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+#: Job kinds the runner knows how to execute.
+JOB_KINDS = ("inject", "compile", "sweep")
+
+
+@dataclass
+class Job:
+    """One unit of service work, durably mirrored to ``jobs/<id>.json``."""
+
+    id: str
+    kind: str
+    spec: dict
+    client: str = "anonymous"
+    priority: int = 10  #: lower runs sooner; ties break by submission order
+    seq: int = 0  #: monotonic submission sequence (survives restarts)
+    state: JobState = JobState.QUEUED
+    attempts: int = 0  #: times the runner started executing this job
+    restarts: int = 0  #: times a daemon restart requeued this job
+    created_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    incomplete: bool = False  #: degraded: result is partial but usable
+    result: dict | None = None
+    note: str | None = None  #: last lifecycle annotation (requeue reason...)
+
+    def transition(self, new: JobState) -> None:
+        """Advance the state machine; illegal moves raise :class:`JobError`."""
+        if new not in ALLOWED_TRANSITIONS[self.state]:
+            raise JobError(
+                f"job {self.id}: illegal transition "
+                f"{self.state.value} -> {new.value}"
+            )
+        self.state = new
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["state"] = self.state.value
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> Job:
+        state = JobState(data["state"])
+        kwargs = {k: data[k] for k in cls.__dataclass_fields__ if k in data}
+        kwargs["state"] = state
+        job = cls(**kwargs)
+        if job.kind not in JOB_KINDS:
+            raise JobError(f"job {job.id}: unknown kind {job.kind!r}")
+        return job
+
+    def summary(self) -> dict:
+        """The compact listing shape (``GET /jobs``)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "client": self.client,
+            "priority": self.priority,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "restarts": self.restarts,
+            "incomplete": self.incomplete,
+            "created_at": self.created_at,
+            "error": self.error,
+        }
+
+
+class JobStore:
+    """Reader/writer for the durable job directory."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_SERVE_DIR") or DEFAULT_SERVE_DIR
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.checkpoints_dir = self.root / "checkpoints"
+        self.events_dir = self.root / "events"
+        for d in (self.jobs_dir, self.checkpoints_dir, self.events_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._next_seq = self._scan_next_seq()
+
+    def _scan_next_seq(self) -> int:
+        top = 0
+        for path in self.jobs_dir.glob("*.json"):
+            try:
+                top = max(top, int(json.loads(path.read_text()).get("seq", 0)))
+            except (OSError, ValueError, TypeError):
+                continue  # quarantined on the next load_all()
+        return top + 1
+
+    # -- paths -----------------------------------------------------------------
+    def job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def checkpoint_path(self, job_id: str) -> Path:
+        return self.checkpoints_dir / f"{job_id}.jsonl"
+
+    def events_path(self, job_id: str) -> Path:
+        return self.events_dir / f"{job_id}.jsonl"
+
+    # -- creating / writing ----------------------------------------------------
+    def new_job(
+        self,
+        kind: str,
+        spec: dict,
+        client: str = "anonymous",
+        priority: int = 10,
+    ) -> Job:
+        """Mint a new (unsaved) job with a unique id and the next seq."""
+        if kind not in JOB_KINDS:
+            raise JobError(
+                f"unknown job kind {kind!r} (expected one of {JOB_KINDS})"
+            )
+        if not isinstance(spec, dict):
+            raise JobError("job spec must be a JSON object")
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+        return Job(
+            id=f"j{seq:06d}-{secrets.token_hex(3)}",
+            kind=kind,
+            spec=spec,
+            client=str(client),
+            priority=int(priority),
+            seq=seq,
+        )
+
+    def save(self, job: Job) -> None:
+        """Atomically persist ``job`` (temp + ``os.replace``)."""
+        path = self.job_path(job.id)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w") as f:
+                json.dump(job.to_json(), f, indent=2, sort_keys=True)
+                f.write("\n")
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # -- reading ---------------------------------------------------------------
+    def _read_job(self, path: Path) -> Job | None:
+        """Load one record, quarantining corruption (warn once, ``.bad``)."""
+        try:
+            return Job.from_json(json.loads(path.read_text()))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, TypeError, KeyError, JobError) as exc:
+            logger.warning(
+                "corrupt job record %s: %s — quarantining as %s.bad and "
+                "skipping", path, exc, path.name,
+            )
+            try:
+                os.replace(path, path.with_name(f"{path.name}.bad"))
+            except OSError as rexc:  # pragma: no cover - fs permissions
+                logger.warning("could not quarantine %s: %s", path, rexc)
+            return None
+
+    def load(self, job_id: str) -> Job:
+        job = self._read_job(self.job_path(job_id))
+        if job is None:
+            raise JobError(f"no job {job_id!r} in {self.jobs_dir}")
+        return job
+
+    def load_all(self) -> list[Job]:
+        """Every readable job, oldest first (by submission seq)."""
+        jobs = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            job = self._read_job(path)
+            if job is not None:
+                jobs.append(job)
+        jobs.sort(key=lambda j: j.seq)
+        return jobs
+
+    # -- resume-on-restart -----------------------------------------------------
+    def recover(self) -> list[Job]:
+        """Requeue every job a previous daemon left interrupted.
+
+        Jobs found ``running`` or ``checkpointing`` were in flight when the
+        previous process died; they go back to ``queued`` (restart counter
+        bumped, note set) and their campaign checkpoints make the re-run
+        resume from the last completed shard.  Returns every job now
+        queued, in scheduling order (priority, then submission seq) — the
+        caller feeds them straight into the queue.
+        """
+        queued: list[Job] = []
+        for job in self.load_all():
+            if job.state in (JobState.RUNNING, JobState.CHECKPOINTING):
+                prior = job.state.value
+                job.transition(JobState.QUEUED)
+                job.restarts += 1
+                job.note = f"requeued-on-restart (was {prior})"
+                self.save(job)
+                logger.warning(
+                    "job %s was %s at shutdown; requeued (restart #%d)",
+                    job.id, prior, job.restarts,
+                )
+                queued.append(job)
+            elif job.state is JobState.QUEUED:
+                queued.append(job)
+        queued.sort(key=lambda j: (j.priority, j.seq))
+        return queued

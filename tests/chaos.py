@@ -1,0 +1,129 @@
+"""Chaos harness: spawn the serve daemon as a subprocess and kill it.
+
+The seeded kill points come from :mod:`repro.chaos` — the daemon (and its
+pool workers) SIGKILL *themselves* when an armed ``REPRO_CHAOS`` point
+fires, so the death lands at a deterministic place in the execution
+instead of wherever an external signal happens to arrive.  This module
+only handles process plumbing: spawning ``python -m repro serve``,
+waiting for the listening line, and cleaning up.
+
+Kill points currently wired in the product code:
+
+* ``daemon.job-start``   — runner thread, right after a job goes running;
+* ``daemon.heartbeat``   — runner thread, every campaign progress beat;
+* ``worker.shard``       — pool worker, before executing each shard.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LISTEN_PREFIX = "[serve] listening on "
+
+
+class DaemonError(AssertionError):
+    """The daemon did not behave as the harness expected."""
+
+
+class Daemon:
+    """One ``repro serve`` subprocess (ephemeral port, isolated state dir)."""
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        jobs: int = 1,
+        chaos: str | None = None,
+        chaos_flag: str | Path | None = None,
+        extra_args: list[str] | None = None,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env["PYTHONUNBUFFERED"] = "1"
+        env.pop("REPRO_CHAOS", None)
+        env.pop("REPRO_CHAOS_FLAG", None)
+        if chaos:
+            env["REPRO_CHAOS"] = chaos
+        if chaos_flag:
+            env["REPRO_CHAOS_FLAG"] = str(chaos_flag)
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--state-dir", str(state_dir),
+                "--jobs", str(jobs),
+                *(extra_args or []),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        self.url = self._wait_listening()
+
+    def _wait_listening(self, timeout: float = 30.0) -> str:
+        """Read stdout until the daemon prints its listen line."""
+        deadline = time.monotonic() + timeout
+        assert self.proc.stdout is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise DaemonError(
+                    f"daemon exited before listening "
+                    f"(rc={self.proc.poll()})"
+                )
+            if line.startswith(LISTEN_PREFIX):
+                return line[len(LISTEN_PREFIX):].strip()
+        raise DaemonError(f"daemon not listening within {timeout}s")
+
+    # -- death -----------------------------------------------------------------
+    def kill9(self) -> None:
+        """SIGKILL the daemon (the crash the service must survive)."""
+        if self.proc.poll() is None:
+            self.proc.kill()
+        self.proc.wait(timeout=10)
+        self._drain()
+
+    def wait_dead(self, timeout: float = 60.0) -> int:
+        """Wait for a chaos-armed daemon to kill itself; return its rc."""
+        try:
+            rc = self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.kill9()
+            raise DaemonError(
+                f"daemon still alive after {timeout}s (chaos point never "
+                "fired?)"
+            ) from None
+        self._drain()
+        return rc
+
+    def terminate(self) -> None:
+        """Graceful stop (SIGTERM): daemon requeues its current job."""
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.kill9()
+        self._drain()
+
+    def _drain(self) -> None:
+        if self.proc.stdout is not None:
+            try:
+                self.proc.stdout.read()
+            except (OSError, ValueError):
+                pass
+            self.proc.stdout.close()
+
+    def __enter__(self) -> Daemon:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.kill9()

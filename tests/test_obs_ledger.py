@@ -404,3 +404,52 @@ class TestInjectLedgerCLI:
         assert "repro_campaign_trials_total 5" in prom.read_text()
         kinds = [e["kind"] for e in read_events(events)]
         assert kinds[0] == "campaign-start" and kinds[-1] == "campaign-end"
+
+
+class TestStaleStageSweep:
+    """Orphaned ``.stage-*`` dirs (a publisher killed mid-record) are swept."""
+
+    def _orphan(self, root, age_s: float):
+        import os
+        import time
+
+        stage = root / f".stage-99999-{int(age_s)}"
+        stage.mkdir(parents=True)
+        (stage / "manifest.json").write_text("{}")
+        old = time.time() - age_s
+        os.utime(stage, (old, old))
+        return stage
+
+    def test_old_stage_swept_on_record(self, tmp_path, caplog):
+        root = tmp_path / "runs"
+        root.mkdir()
+        stale = self._orphan(root, age_s=7200)
+        with caplog.at_level(logging.WARNING, logger="repro.obs.ledger"):
+            RunLedger(root).record(_manifest())
+        assert not stale.exists()
+        assert any("stage" in r.message for r in caplog.records)
+
+    def test_fresh_stage_left_alone(self, tmp_path):
+        root = tmp_path / "runs"
+        root.mkdir()
+        live = self._orphan(root, age_s=10)  # a concurrent publisher
+        RunLedger(root).record(_manifest())
+        assert live.exists()
+
+    def test_sweep_on_list_runs(self, tmp_path):
+        root = tmp_path / "runs"
+        root.mkdir()
+        stale = self._orphan(root, age_s=7200)
+        assert RunLedger(root).list_runs() == []
+        assert not stale.exists()
+
+    def test_sweep_runs_once_per_instance(self, tmp_path):
+        root = tmp_path / "runs"
+        root.mkdir()
+        ledger = RunLedger(root)
+        ledger.list_runs()
+        stale = self._orphan(root, age_s=7200)
+        ledger.list_runs()  # second call on the same instance: no sweep
+        assert stale.exists()
+        RunLedger(root).list_runs()  # a fresh instance sweeps it
+        assert not stale.exists()

@@ -150,6 +150,22 @@ class TestCheckpointFile:
         assert got == {0: rec}
         # healed: the torn line is gone, so appends stay well-formed
         assert path.read_text().endswith(json.dumps(rec) + "\n")
+        # ...and preserved as evidence in the quarantine file
+        bad = path.with_name(f"{path.name}.bad")
+        assert bad.read_text().startswith('{"shard": 1, "trials": 2')
+
+    def test_torn_tail_quarantine_warns_once(self, tmp_path, caplog):
+        import logging
+
+        path = tmp_path / "c.jsonl"
+        ck = CampaignCheckpoint(path, HEADER)
+        ck.load(resume=False)
+        with open(path, "a") as f:
+            f.write('{"shard": 0, "tri')
+        with caplog.at_level(logging.WARNING, logger="repro.faults.checkpoint"):
+            CampaignCheckpoint(path, HEADER).load(resume=True)
+        warnings = [r for r in caplog.records if "torn" in r.message]
+        assert len(warnings) == 1
 
     def test_mid_file_corruption_raises(self, tmp_path):
         path = tmp_path / "c.jsonl"
@@ -233,7 +249,8 @@ class TestCampaignDegradation:
         """A parallel_map that computes inline but 'loses' one task."""
 
         def fake(fn, tasks, jobs=1, initializer=None, initargs=(),
-                 on_result=None, retries=0, retry_backoff=0.0, on_failure=None):
+                 on_result=None, retries=0, retry_backoff=0.0,
+                 timeout=None, on_failure=None, **kwargs):
             if initializer is not None:
                 initializer(*initargs)
             results = []
@@ -289,7 +306,7 @@ class TestCampaignDegradation:
     def test_all_shards_lost_yields_empty_partial(self, loop_injector, monkeypatch):
         def lose_all(fn, tasks, jobs=1, initializer=None, initargs=(),
                      on_result=None, retries=0, retry_backoff=0.0,
-                     on_failure=None):
+                     timeout=None, on_failure=None, **kwargs):
             for i in range(len(tasks)):
                 on_failure(i, RuntimeError("worker died"))
             return [None] * len(tasks)
@@ -300,3 +317,114 @@ class TestCampaignDegradation:
         assert res.trials == 0
         assert res.lost_trials == 50
         assert res.coverage == 0.0  # the empty-campaign fix, end to end
+
+
+def _sleep_forever(x):
+    import time as _time
+
+    if x == 3:
+        _time.sleep(3600)  # a hung worker: alive but never finishing
+    return x * 2
+
+
+def _sleep_once(task):
+    """Hang the first time the flag file is absent, then behave."""
+    import time as _time
+
+    x, flag = task
+    if x == 3 and not os.path.exists(flag):
+        open(flag, "w").close()
+        _time.sleep(3600)
+    return x * 2
+
+
+class TestHungWorkerTimeout:
+    """The ``timeout=`` watchdog: hung (not just dead) workers are killed."""
+
+    def test_hung_task_killed_and_charged(self):
+        failures = []
+        out = parallel_map(
+            _sleep_forever, [1, 2, 3, 4], jobs=2, retries=0, timeout=1.0,
+            on_failure=lambda i, exc: failures.append((i, type(exc).__name__)),
+        )
+        assert out[2] is None
+        assert failures == [(2, "TimeoutError")]
+        # bystanders sharing the killed pool are retried uncharged
+        assert [out[i] for i in (0, 1, 3)] == [2, 4, 8]
+
+    def test_hung_task_recovers_on_retry(self, tmp_path):
+        flag = str(tmp_path / "hung-once")
+        tasks = [(x, flag) for x in (1, 2, 3, 4)]
+        failures = []
+        out = parallel_map(
+            _sleep_once, tasks, jobs=2, retries=1, timeout=1.0,
+            on_failure=lambda i, exc: failures.append(i),
+        )
+        assert out == [2, 4, 6, 8]
+        assert failures == []
+
+    def test_no_timeout_means_no_watchdog(self):
+        # fast tasks with timeout=None keep the historical behaviour
+        assert parallel_map(_double, [1, 2, 3], jobs=2) == [2, 4, 6]
+
+    def test_campaign_shard_timeout_plumbed(self, loop_injector):
+        """shard_timeout on an all-healthy campaign changes nothing."""
+        base = loop_injector.run_campaign(trials=50, seed=3)
+        timed = loop_injector.run_campaign(
+            trials=50, seed=3, jobs=2, shard_timeout=120.0
+        )
+        assert timed.counts == base.counts
+        assert not timed.partial
+
+
+class TestRetryJitter:
+    def test_backoff_sleep_is_jittered(self, monkeypatch):
+        import repro.parallel as parallel_mod
+
+        naps = []
+        monkeypatch.setattr(parallel_mod.time, "sleep", naps.append)
+        out = parallel_map(
+            _raise_on_three, [1, 2, 3, 4], jobs=2, retries=2,
+            retry_backoff=1.0, retry_jitter=0.25,
+            on_failure=lambda i, exc: None,
+        )
+        assert out == [2, 4, None, 8]
+        assert len(naps) == 2  # one nap per retry round
+        for round_no, nap in enumerate(naps, start=1):
+            base = 1.0 * 2 ** (round_no - 1)  # exponential backoff
+            assert base <= nap <= base * 1.25
+
+    def test_zero_jitter_keeps_exact_backoff(self, monkeypatch):
+        import repro.parallel as parallel_mod
+
+        naps = []
+        monkeypatch.setattr(parallel_mod.time, "sleep", naps.append)
+        parallel_map(
+            _raise_on_three, [1, 2, 3, 4], jobs=2, retries=1,
+            retry_backoff=0.5, retry_jitter=0.0,
+            on_failure=lambda i, exc: None,
+        )
+        assert naps == [0.5]
+
+
+class TestChaosPoints:
+    """Seeded infrastructure chaos (REPRO_CHAOS) in pool workers."""
+
+    def test_unarmed_chaos_is_inert(self, monkeypatch):
+        from repro.chaos import chaos_point
+
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        chaos_point("worker.shard")  # must not raise or exit
+
+    def test_worker_shard_kill_once_retries_bit_identical(
+        self, loop_injector, tmp_path, monkeypatch
+    ):
+        """A worker SIGKILLed before a shard retries to exact counts."""
+        full = loop_injector.run_campaign(trials=50, seed=9)
+        flag = tmp_path / "chaos-fired"
+        monkeypatch.setenv("REPRO_CHAOS", "worker.shard:1:once")
+        monkeypatch.setenv("REPRO_CHAOS_FLAG", str(flag))
+        res = loop_injector.run_campaign(trials=50, seed=9, jobs=2, retries=2)
+        assert flag.exists(), "the chaos point must actually have fired"
+        assert res.counts == full.counts
+        assert not res.partial
