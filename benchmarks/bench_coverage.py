@@ -1,0 +1,171 @@
+"""Differential soundness gate: static coverage verdicts vs measured trials.
+
+For every workload x scheme cell (issue 2 / delay 2) and every registered
+fault model, the static prover classifies each fault site
+(detected / masked / sdc-possible) and the gate then runs attributed
+single-fault trials: each sampled fault is mapped back to its static site
+(:meth:`FaultInjector.site_of`) and its measured outcome checked against
+the verdict's admissible set.  A single inadmissible outcome — a measured
+detection on a statically-masked site, or a measured silent corruption on
+a statically-detected site — fails the gate: the prover, a scheme pass,
+or the injector is lying.
+
+The gate also asserts the headline accuracy criterion: for the protected
+schemes (SCED/DCED/CASTED) the weighted static coverage under the paper's
+``reg-bit`` model must land within 10 percentage points of the measured
+coverage over the attributed trials.  ``results/coverage_report.md`` gets
+the per-cell static-vs-measured table.
+
+``REPRO_TRIALS`` sizes the ``reg-bit`` trial budget per cell (default
+120); ``REPRO_XVAL_TRIALS`` sizes the soundness-only budget for the other
+models (default 30).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import RESULTS_DIR, TRIALS
+from repro.analysis.coverage import cross_validate, prove_compiled
+from repro.errors import SimError
+from repro.faults.injector import FaultInjector
+from repro.faults.models import fault_model_names
+from repro.machine.config import MachineConfig
+from repro.pipeline import Scheme, compile_program
+
+#: Attributed trials per cell for the non-default models (soundness only).
+SOUND_TRIALS = int(os.environ.get("REPRO_XVAL_TRIALS", "30"))
+
+#: Protected schemes held to the 10-point static-vs-measured criterion.
+ACCURACY_SCHEMES = (Scheme.SCED, Scheme.DCED, Scheme.CASTED)
+
+#: |static - measured| bound for the protected schemes under reg-bit.
+ACCURACY_POINTS = 0.10
+
+
+def test_coverage_gate(benchmark, workloads):
+    from repro.workloads import get_workload
+
+    machine = MachineConfig(issue_width=2, inter_cluster_delay=2)
+    models = fault_model_names()
+
+    def run():
+        cells = []
+        for w in workloads:
+            program = get_workload(w).program
+            for scheme in Scheme:
+                compiled = compile_program(program, scheme, machine)
+                for model in models:
+                    try:
+                        inj = FaultInjector(
+                            compiled.program,
+                            compiled.mem_words,
+                            compiled.frame_words,
+                            fault_model=model,
+                        )
+                    except SimError:
+                        # e.g. a branch-free program under the cf model.
+                        continue
+                    report = prove_compiled(
+                        compiled,
+                        fault_models=[model],
+                        weights=inj.visit_counts(),
+                    )
+                    proof = report.proofs[model]
+                    n = TRIALS if model == "reg-bit" else SOUND_TRIALS
+                    val = cross_validate(inj, proof, n_trials=n, seed=2013)
+                    cells.append((w, scheme, model, proof, val))
+        return cells
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # -- gate 1: soundness — every measured outcome admissible ---------------
+    violations = [
+        (w, scheme.value, model, str(v))
+        for (w, scheme, model, _proof, val) in cells
+        for v in val.violations
+    ]
+    assert violations == [], violations
+
+    # -- gate 2: accuracy — static within 10 points of measured --------------
+    accuracy_rows = []
+    for w, scheme, model, proof, val in cells:
+        if model != "reg-bit" or scheme not in ACCURACY_SCHEMES:
+            continue
+        gap = abs(proof.static_coverage - val.measured_coverage)
+        accuracy_rows.append((w, scheme.value, gap))
+        assert gap <= ACCURACY_POINTS, (
+            w,
+            scheme.value,
+            f"static {proof.static_coverage:.3f}",
+            f"measured {val.measured_coverage:.3f}",
+        )
+    assert len(accuracy_rows) == len(workloads) * len(ACCURACY_SCHEMES)
+
+    # -- report --------------------------------------------------------------
+    lines = [
+        "# Static coverage vs measured campaigns",
+        "",
+        "Per-site detectability verdicts from the static prover",
+        "(`repro prove`) cross-validated against attributed single-fault",
+        f"trials, issue 2 / delay 2, {TRIALS} reg-bit trials per cell",
+        f"({SOUND_TRIALS} for the other fault models). Every measured",
+        "outcome fell inside its site's admissible set — **zero soundness",
+        "violations** across the full matrix.",
+        "",
+        "`static` is the visit-weighted fraction of fault sites proven",
+        "detected or masked (a lower bound on coverage); `measured` is",
+        "`1 - SDC - timeout` over the attributed trials.",
+        "",
+        "| workload | scheme | detected | masked | sdc-possible | static | measured | gap |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for w, scheme, model, proof, val in cells:
+        if model != "reg-bit":
+            continue
+        counts = proof.counts()
+        gap = proof.static_coverage - val.measured_coverage
+        lines.append(
+            f"| {w} | {scheme.value} | {counts['detected']} "
+            f"| {counts['masked']} | {counts['sdc-possible']} "
+            f"| {proof.static_coverage:.3f} | {val.measured_coverage:.3f} "
+            f"| {gap:+.3f} |"
+        )
+
+    lines += [
+        "",
+        "## Per-scheme summary (reg-bit)",
+        "",
+        "| scheme | mean static | mean measured | max |gap| | sound cells |",
+        "|---|---|---|---|---|",
+    ]
+    for scheme in Scheme:
+        sel = [
+            (proof, val)
+            for w, s, model, proof, val in cells
+            if s is scheme and model == "reg-bit"
+        ]
+        stat = sum(p.static_coverage for p, _ in sel) / len(sel)
+        meas = sum(v.measured_coverage for _, v in sel) / len(sel)
+        worst = max(
+            abs(p.static_coverage - v.measured_coverage) for p, v in sel
+        )
+        lines.append(
+            f"| {scheme.value} | {stat:.3f} | {meas:.3f} | {worst:.3f} "
+            f"| {len(sel)}/{len(sel)} |"
+        )
+
+    n_models = len({model for _w, _s, model, _p, _v in cells})
+    lines += [
+        "",
+        f"Soundness checked for {n_models} fault models over "
+        f"{len(cells)} (workload, scheme, model) cells; the non-register",
+        "models (`cf`, `mem`) are statically all-exposed (no control-flow",
+        "signatures, no ECC), so every outcome is admissible by",
+        "construction and the gate exercises the attribution machinery.",
+        "",
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "coverage_report.md"
+    out.write_text("\n".join(lines))
+    print(f"\n[saved to results/coverage_report.md] {len(cells)} cells sound")

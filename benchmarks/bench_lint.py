@@ -10,6 +10,7 @@ Monte-Carlo campaigns.
 
 from benchmarks.conftest import JOBS, RESULTS_DIR, TRIALS
 from repro.analysis.lint import lint_program
+from repro.faults.classify import Outcome
 from repro.machine.config import MachineConfig
 from repro.pipeline import Scheme, collect_block_profile
 from repro.utils.stats import mean
@@ -71,7 +72,7 @@ def test_lint_report(benchmark, ev, workloads):
                     rep.windows.weighted_mean_window,
                     rep.windows.max_window,
                     cov.coverage,
-                    cov.fractions.get("data-corrupt", 0.0),
+                    cov.fraction(Outcome.SDC),
                     cov.mean_detection_latency,
                 )
             )

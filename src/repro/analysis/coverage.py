@@ -1,0 +1,697 @@
+"""Static fault-coverage prover: per-site detectability verdicts.
+
+For every fault site a registered fault model can hit, decide — by taint
+propagation over the scheduled IR (:mod:`repro.analysis.taint`) — whether
+a fault there is provably caught, provably harmless, or possibly a silent
+corruption:
+
+``DETECTED``
+    The corruption contacts a check (detector compare or ``CHKBR``) and
+    never reaches an ``OUT`` value or a conditional-branch predicate
+    unchecked.  The measured outcome can only be benign (logical
+    masking), detected, or an architectural exception.
+``MASKED``
+    Nothing ever reads the corrupt value.  The measured outcome must be
+    benign.
+``SDC_POSSIBLE``
+    Some path carries the corruption to an output, a branch decision, or
+    an unchecked trap.  Anything may happen.
+
+The verdicts are *sound over-approximations*: a site's measured outcome
+must fall inside :data:`repro.faults.classify.SITE_ADMISSIBLE` for its
+verdict.  ``benchmarks/bench_coverage.py`` enforces exactly that by
+attributing single-fault campaign trials back to their static site via
+:meth:`FaultInjector.site_of <repro.faults.injector.FaultInjector.site_of>`
+(:func:`cross_validate` below).
+
+Site enumeration mirrors the fault models' sampling domains
+(:data:`MODEL_SITE_KINDS`): register-corrupting models (``reg-bit``,
+``burst``, ``opcode``) hit every instruction that writes a register —
+the same population as the injector's ``n_dest_sites``; the ``cf`` model
+hits every ``BRT``/``BRF``/``JMP``; the ``mem`` model is a single
+program-level pseudo-site analyzed with whole-memory entry taint.  Sites
+are weighted by the dynamic visit count of their block (when a golden
+profile is supplied) so the weighted static coverage is directly
+comparable with a campaign's measured coverage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.protection import Finding, Severity
+from repro.analysis.taint import (
+    FP_ANY,
+    MEM,
+    TaintEvent,
+    TaintEvents,
+    find_detectors,
+    propagate,
+)
+from repro.errors import SimError
+from repro.faults.classify import SITE_ADMISSIBLE, Outcome, SiteClass
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.program import Program
+from repro.isa.opcodes import Opcode
+
+#: Which static site population each registered fault model draws from.
+MODEL_SITE_KINDS: dict[str, str] = {
+    "reg-bit": "reg",
+    "burst": "reg",
+    "opcode": "reg",
+    "cf": "cf",
+    "mem": "mem",
+}
+
+#: ``(block, index)`` key of the memory model's program-level pseudo-site.
+MEM_SITE: tuple[str, int] = ("", -1)
+
+#: Rules the prover can report, for formatters and SARIF metadata.
+COVERAGE_RULES: dict[str, str] = {
+    "site-sdc-possible": (
+        "a register fault at this site can reach an output, branch "
+        "decision, or unchecked trap without meeting a check"
+    ),
+    "cf-exposure": (
+        "control-flow faults (wrong branch target) are outside the sphere "
+        "of replication and cannot be statically ruled out"
+    ),
+    "mem-exposure": (
+        "data-memory faults bypass the sphere of replication (the paper "
+        "assumes ECC memory); corruption can reach outputs unchecked"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One statically enumerable injection point."""
+
+    function: str
+    block: str
+    index: int
+    uid: int
+    opcode: str
+    role: str
+    protectable: bool
+    #: Dynamic executions of the enclosing block in the golden run (or a
+    #: static 1/0 reachability weight when no profile is available).
+    weight: int
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.block, self.index)
+
+
+@dataclass
+class SiteVerdict:
+    """A site, its verdict, and the evidence behind it."""
+
+    site: FaultSite
+    verdict: SiteClass
+    #: Shortest block path from the site to its first escape (empty for
+    #: non-escaping sites).
+    witness: tuple[str, ...] = ()
+    #: Rendering of the first escaping instruction, if any.
+    escape: str | None = None
+    n_checks: int = 0
+    n_traps: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        rec: dict[str, Any] = {
+            "function": self.site.function,
+            "block": self.site.block,
+            "index": self.site.index,
+            "uid": self.site.uid,
+            "opcode": self.site.opcode,
+            "role": self.site.role,
+            "weight": self.site.weight,
+            "verdict": self.verdict.value,
+            "checks": self.n_checks,
+            "traps": self.n_traps,
+        }
+        if self.witness:
+            rec["witness"] = list(self.witness)
+        if self.escape is not None:
+            rec["escape"] = self.escape
+        return rec
+
+
+@dataclass
+class ModelProof:
+    """All verdicts for one fault model's site population."""
+
+    model: str
+    site_kind: str
+    verdicts: list[SiteVerdict] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        c = Counter(v.verdict.value for v in self.verdicts)
+        return {sc.value: c.get(sc.value, 0) for sc in SiteClass}
+
+    @property
+    def total_weight(self) -> int:
+        return sum(v.site.weight for v in self.verdicts)
+
+    @property
+    def covered_weight(self) -> int:
+        return sum(
+            v.site.weight
+            for v in self.verdicts
+            if v.verdict is not SiteClass.SDC_POSSIBLE
+        )
+
+    @property
+    def static_coverage(self) -> float:
+        """Weighted fraction of sites provably not silently corrupting.
+
+        A guaranteed lower bound on the campaign's measured coverage
+        (``1 - SDC - timeout``): detected sites can only measure
+        benign/detected/exception and masked sites only benign, all of
+        which count toward measured coverage.
+        """
+        total = self.total_weight
+        return self.covered_weight / total if total else 1.0
+
+    def by_key(self) -> dict[tuple[str, int], SiteVerdict]:
+        """Index main-function verdicts by ``(block, index)``."""
+        return {v.site.key: v for v in self.verdicts}
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "model": self.model,
+            "site_kind": self.site_kind,
+            "counts": self.counts(),
+            "total_weight": self.total_weight,
+            "static_coverage": self.static_coverage,
+            "sites": [v.to_json() for v in self.verdicts],
+        }
+
+
+@dataclass
+class CoverageReport:
+    """Program-level prover output (the ``repro prove`` payload)."""
+
+    scheme: str
+    machine: str | None
+    proofs: dict[str, ModelProof]
+    findings: list[Finding]
+
+    def counts(self) -> dict[str, int]:
+        c = Counter(f.severity.value for f in self.findings)
+        return {sev.value: c.get(sev.value, 0) for sev in Severity}
+
+    @property
+    def max_severity(self) -> Severity | None:
+        return max(
+            (f.severity for f in self.findings),
+            key=lambda s: s.rank,
+            default=None,
+        )
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        worst = self.max_severity
+        return 1 if worst is not None and worst.rank >= fail_on.rank else 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "machine": self.machine,
+            "counts": self.counts(),
+            "models": {m: p.to_json() for m, p in self.proofs.items()},
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+
+# ---------------------------------------------------------------------------
+# proving
+
+
+def _classify(events: TaintEvents) -> SiteClass:
+    if events.escapes:
+        return SiteClass.SDC_POSSIBLE
+    if events.traps and not events.checks:
+        # The run may trap (exception) but no check ever contacts the
+        # corruption — neither DETECTED's nor MASKED's contract holds.
+        return SiteClass.SDC_POSSIBLE
+    if events.checks:
+        return SiteClass.DETECTED
+    return SiteClass.MASKED
+
+
+def _shortest_path(
+    cfg: CFG, src: str, dst: str
+) -> tuple[str, ...]:
+    """Shortest block path ``src -> dst`` (BFS over CFG successors)."""
+    if src == dst:
+        return (src,)
+    prev: dict[str, str] = {}
+    queue = deque([src])
+    while queue:
+        label = queue.popleft()
+        for succ in cfg.succs.get(label, ()):
+            if succ in prev or succ == src:
+                continue
+            prev[succ] = label
+            if succ == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(prev[path[-1]])
+                return tuple(reversed(path))
+            queue.append(succ)
+    return (src, dst)  # dst unreachable from src: degenerate witness
+
+
+def _verdict_for(
+    site: FaultSite, events: TaintEvents, cfg: CFG, origin: str
+) -> SiteVerdict:
+    verdict = _classify(events)
+    witness: tuple[str, ...] = ()
+    escape: str | None = None
+    if verdict is SiteClass.SDC_POSSIBLE:
+        first: TaintEvent = (events.escapes or events.traps)[0]
+        witness = _shortest_path(cfg, origin, first.block)
+        escape = f"{first.kind} @ {first.block}[{first.index}]: {first.instruction}"
+    return SiteVerdict(
+        site=site,
+        verdict=verdict,
+        witness=witness,
+        escape=escape,
+        n_checks=len(events.checks),
+        n_traps=len(events.traps),
+    )
+
+
+def _block_weights(
+    function: Function, cfg: CFG, weights: Mapping[str, int] | None, is_main: bool
+) -> dict[str, int]:
+    if weights is not None:
+        return {b.label: int(weights.get(b.label, 0)) for b in function.blocks()}
+    if not is_main:
+        # No CALL opcode: only main executes.  Non-entry functions are
+        # proven for linter parity but carry no coverage weight.
+        return {b.label: 0 for b in function.blocks()}
+    reachable = cfg.reachable()
+    return {b.label: 1 if b.label in reachable else 0 for b in function.blocks()}
+
+
+def prove_function(
+    function: Function,
+    site_kind: str,
+    weights: Mapping[str, int] | None = None,
+    is_main: bool = True,
+) -> list[SiteVerdict]:
+    """Prove every ``site_kind`` site of one function.
+
+    ``weights`` maps block label to golden visit count; omitted blocks
+    weigh 0 (never executed).  Without a profile, statically reachable
+    blocks of ``main`` weigh 1.
+    """
+    cfg = CFG(function)
+    detectors = find_detectors(function)
+    block_weight = _block_weights(function, cfg, weights, is_main)
+    verdicts: list[SiteVerdict] = []
+
+    if site_kind == "mem":
+        site = FaultSite(
+            function=function.name,
+            block=MEM_SITE[0],
+            index=MEM_SITE[1],
+            uid=-1,
+            opcode="*memory*",
+            role="-",
+            protectable=False,
+            weight=1,
+        )
+        events = propagate(
+            function, detectors, cfg, entry_taint=frozenset((MEM, FP_ANY))
+        )
+        verdicts.append(_verdict_for(site, events, cfg, function.entry.label))
+        return verdicts
+
+    for block, idx, insn in function.all_instructions():
+        if site_kind == "reg":
+            if not insn.dests:
+                continue
+            site = FaultSite(
+                function=function.name,
+                block=block.label,
+                index=idx,
+                uid=insn.uid,
+                opcode=insn.opcode.name,
+                role=insn.role.value,
+                protectable=insn.protectable,
+                weight=block_weight[block.label],
+            )
+            events = propagate(function, detectors, cfg, seed_uid=insn.uid)
+            verdicts.append(_verdict_for(site, events, cfg, block.label))
+        elif site_kind == "cf":
+            if insn.opcode not in (Opcode.BRT, Opcode.BRF, Opcode.JMP):
+                continue
+            site = FaultSite(
+                function=function.name,
+                block=block.label,
+                index=idx,
+                uid=insn.uid,
+                opcode=insn.opcode.name,
+                role=insn.role.value,
+                protectable=insn.protectable,
+                weight=block_weight[block.label],
+            )
+            # A wrong-target transfer diverges from the golden path at
+            # once; no scheme in the repo checks control-flow signatures,
+            # so nothing can be ruled out (weight-0 sites never execute).
+            verdict = (
+                SiteClass.MASKED
+                if site.weight == 0
+                else SiteClass.SDC_POSSIBLE
+            )
+            verdicts.append(
+                SiteVerdict(
+                    site=site,
+                    verdict=verdict,
+                    witness=(block.label,) if verdict is not SiteClass.MASKED else (),
+                    escape=(
+                        f"cf @ {block.label}[{idx}]: {insn}"
+                        if verdict is not SiteClass.MASKED
+                        else None
+                    ),
+                )
+            )
+        else:
+            raise ValueError(f"unknown site kind {site_kind!r}")
+    return verdicts
+
+
+def prove_program(
+    program: Program,
+    scheme: str,
+    fault_models: Sequence[str] | None = None,
+    weights: Mapping[str, int] | None = None,
+    machine: str | None = None,
+) -> CoverageReport:
+    """Prove every function of ``program`` under each fault model.
+
+    ``weights`` (golden block visit counts) applies to ``main`` — pass
+    :meth:`FaultInjector.visit_counts` for campaign-comparable numbers.
+    """
+    from repro.schemes import get_scheme_info
+
+    info = get_scheme_info(scheme)
+    models = list(fault_models) if fault_models else list(MODEL_SITE_KINDS)
+    unknown = [m for m in models if m not in MODEL_SITE_KINDS]
+    if unknown:
+        raise ValueError(f"no site population for fault model(s) {unknown}")
+
+    proofs: dict[str, ModelProof] = {}
+    kind_cache: dict[str, list[SiteVerdict]] = {}
+    for model in models:
+        kind = MODEL_SITE_KINDS[model]
+        if kind not in kind_cache:
+            verdicts: list[SiteVerdict] = []
+            for function in program.functions():
+                is_main = function is program.main
+                verdicts.extend(
+                    prove_function(
+                        function,
+                        kind,
+                        weights=weights if is_main else None,
+                        is_main=is_main,
+                    )
+                )
+            kind_cache[kind] = verdicts
+        proofs[model] = ModelProof(
+            model=model, site_kind=kind, verdicts=kind_cache[kind]
+        )
+
+    findings = _collect_findings(proofs, replicates=info.replicates)
+    report = CoverageReport(
+        scheme=scheme, machine=machine, proofs=proofs, findings=findings
+    )
+    _publish_metrics(report)
+    return report
+
+
+def prove_compiled(
+    compiled: Any,
+    fault_models: Sequence[str] | None = None,
+    weights: Mapping[str, int] | None = None,
+) -> CoverageReport:
+    """Prove a :class:`~repro.pipeline.CompiledProgram` (post-regalloc IR)."""
+    machine = (
+        f"{compiled.machine.n_clusters}x{compiled.machine.issue_width}w "
+        f"d{compiled.machine.inter_cluster_delay}"
+    )
+    return prove_program(
+        compiled.program,
+        compiled.scheme.value,
+        fault_models=fault_models,
+        weights=weights,
+        machine=machine,
+    )
+
+
+def _collect_findings(
+    proofs: Mapping[str, ModelProof], replicates: bool
+) -> list[Finding]:
+    """Turn verdicts into linter-style findings.
+
+    Only register-fault proofs produce per-site findings: an
+    ``SDC_POSSIBLE`` verdict on a site the scheme claims to protect (a
+    protectable original under a replicating scheme) is a WARNING, other
+    exposed register sites are INFO.  The ``cf``/``mem`` exposures are
+    structural (no scheme here covers them) and collapse into one INFO
+    finding each.
+    """
+    findings: list[Finding] = []
+    seen_reg = False
+    for proof in proofs.values():
+        if proof.site_kind == "reg":
+            if seen_reg:
+                continue  # reg models share one site population
+            seen_reg = True
+            for v in proof.verdicts:
+                if v.verdict is not SiteClass.SDC_POSSIBLE or v.site.weight == 0:
+                    continue
+                severity = (
+                    Severity.WARNING
+                    if replicates and v.site.protectable
+                    else Severity.INFO
+                )
+                findings.append(
+                    Finding(
+                        rule="site-sdc-possible",
+                        severity=severity,
+                        message=(
+                            f"fault in {v.site.opcode} dest can escape "
+                            f"unchecked ({v.escape}; "
+                            f"path {' -> '.join(v.witness)})"
+                        ),
+                        function=v.site.function,
+                        block=v.site.block,
+                        index=v.site.index,
+                        uid=v.site.uid,
+                    )
+                )
+        elif proof.site_kind == "cf":
+            exposed = sum(
+                1
+                for v in proof.verdicts
+                if v.verdict is SiteClass.SDC_POSSIBLE
+            )
+            if exposed:
+                findings.append(
+                    Finding(
+                        rule="cf-exposure",
+                        severity=Severity.INFO,
+                        message=(
+                            f"{exposed} control-transfer site(s) exposed to "
+                            "wrong-target faults (no control-flow signatures)"
+                        ),
+                        function="-",
+                    )
+                )
+        elif proof.site_kind == "mem":
+            exposed = [
+                v
+                for v in proof.verdicts
+                if v.verdict is SiteClass.SDC_POSSIBLE
+            ]
+            if exposed:
+                findings.append(
+                    Finding(
+                        rule="mem-exposure",
+                        severity=Severity.INFO,
+                        message=(
+                            "data-memory faults can reach outputs unchecked "
+                            "(sphere of replication assumes ECC memory)"
+                        ),
+                        function="-",
+                    )
+                )
+    findings.sort(key=lambda f: -f.severity.rank)
+    return findings
+
+
+def _publish_metrics(report: CoverageReport) -> None:
+    """Mirror the report into the telemetry registry (no-op when disabled)."""
+    from repro.obs import get_telemetry
+
+    tel = get_telemetry()
+    if not tel.enabled:
+        return
+    for model, proof in report.proofs.items():
+        tel.gauge(
+            f"analysis.coverage.static.{model}", proof.static_coverage
+        )
+        for verdict, n in proof.counts().items():
+            if n:
+                tel.count(f"analysis.coverage.sites.{model}.{verdict}", n)
+    for severity, n in report.counts().items():
+        if n:
+            tel.count(f"analysis.coverage.findings.{severity}", n)
+
+
+# ---------------------------------------------------------------------------
+# differential cross-validation
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A measured outcome the static verdict does not admit."""
+
+    model: str
+    block: str
+    index: int
+    verdict: SiteClass
+    outcome: Outcome
+    dyn_index: int
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.model}] site {self.block}[{self.index}] statically "
+            f"{self.verdict.value} but trial at dyn {self.dyn_index} "
+            f"measured {self.outcome.value}"
+        )
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of attributing measured trials to static verdicts."""
+
+    model: str
+    n_trials: int
+    skipped: int
+    violations: list[Violation]
+    #: Measured outcome tallies bucketed by the hit site's verdict.
+    tallies: dict[SiteClass, Counter[Outcome]]
+
+    @property
+    def sound(self) -> bool:
+        return not self.violations
+
+    @property
+    def measured_coverage(self) -> float:
+        """``1 - SDC - timeout`` over the attributed trials."""
+        total = sum(sum(c.values()) for c in self.tallies.values())
+        if not total:
+            return 1.0
+        bad = sum(
+            c.get(Outcome.SDC, 0) + c.get(Outcome.TIMEOUT, 0)
+            for c in self.tallies.values()
+        )
+        return 1.0 - bad / total
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "model": self.model,
+            "trials": self.n_trials,
+            "skipped": self.skipped,
+            "sound": self.sound,
+            "measured_coverage": self.measured_coverage,
+            "violations": [str(v) for v in self.violations],
+            "tallies": {
+                sc.value: {o.value: n for o, n in c.items()}
+                for sc, c in self.tallies.items()
+            },
+        }
+
+
+def cross_validate(
+    injector: Any,
+    proof: ModelProof,
+    n_trials: int,
+    seed: int,
+) -> ValidationResult:
+    """Attribute ``n_trials`` single-fault trials to their static sites.
+
+    Each trial samples one fault from the proof's model, runs it, maps
+    its dynamic index back to the static ``(block, index)`` site via
+    :meth:`FaultInjector.site_of`, and checks the measured outcome
+    against :data:`SITE_ADMISSIBLE` for that site's verdict.  Uses a
+    fresh RNG stream (never the frozen campaign stream).
+    """
+    from repro.utils.rng import make_rng
+
+    if injector.fault_model != proof.model:
+        raise ValueError(
+            f"injector runs {injector.fault_model!r} "
+            f"but proof is for {proof.model!r}"
+        )
+    index = proof.by_key()
+    rng = make_rng(seed, "coverage-xval", proof.model)
+    tallies: dict[SiteClass, Counter[Outcome]] = {
+        sc: Counter() for sc in SiteClass
+    }
+    violations: list[Violation] = []
+    skipped = 0
+    for _ in range(n_trials):
+        try:
+            fault = injector.model.sample(injector, rng)
+        except SimError:
+            skipped += 1
+            continue
+        key = (
+            MEM_SITE
+            if proof.site_kind == "mem"
+            else injector.site_of(fault.dyn_index)
+        )
+        verdict = index.get(key)
+        if verdict is None:
+            # A sampled site the static enumeration missed is itself a
+            # soundness bug — surface it as a violation, not a skip.
+            outcome = injector.run_trial((fault,))
+            violations.append(
+                Violation(
+                    model=proof.model,
+                    block=key[0],
+                    index=key[1],
+                    verdict=SiteClass.MASKED,
+                    outcome=outcome,
+                    dyn_index=fault.dyn_index,
+                )
+            )
+            continue
+        outcome = injector.run_trial((fault,))
+        tallies[verdict.verdict][outcome] += 1
+        if outcome not in SITE_ADMISSIBLE[verdict.verdict]:
+            violations.append(
+                Violation(
+                    model=proof.model,
+                    block=key[0],
+                    index=key[1],
+                    verdict=verdict.verdict,
+                    outcome=outcome,
+                    dyn_index=fault.dyn_index,
+                )
+            )
+    return ValidationResult(
+        model=proof.model,
+        n_trials=n_trials,
+        skipped=skipped,
+        violations=violations,
+        tallies=tallies,
+    )

@@ -1,9 +1,10 @@
-"""Render a :class:`~repro.analysis.lint.LintReport` as text, JSON or SARIF.
+"""Render lint and prove reports as text, JSON or SARIF.
 
 The SARIF output follows the 2.1.0 schema closely enough for standard
 viewers (GitHub code scanning, VS Code SARIF viewer): one run, one driver
-(``repro-lint``), rule metadata from
-:data:`repro.analysis.protection.RULE_DESCRIPTIONS`, and findings anchored
+(``repro-lint`` for :class:`~repro.analysis.lint.LintReport`,
+``repro-prove`` for :class:`~repro.analysis.coverage.CoverageReport`),
+rule metadata from the owning module's rule table, and findings anchored
 to logical locations (``function.block[index]``) because the IR has no
 source files to point at.
 """
@@ -12,6 +13,7 @@ from __future__ import annotations
 
 import json
 
+from repro.analysis.coverage import COVERAGE_RULES, CoverageReport
 from repro.analysis.lint import LintReport
 from repro.analysis.protection import RULE_DESCRIPTIONS, Severity
 
@@ -117,4 +119,97 @@ FORMATTERS = {
     "text": format_text,
     "json": format_json,
     "sarif": format_sarif,
+}
+
+
+def format_prove_text(report: CoverageReport) -> str:
+    """Human-readable prover summary: per-model coverage, then findings."""
+    lines = [f"prove scheme={report.scheme} machine={report.machine}"]
+    for model, proof in report.proofs.items():
+        counts = proof.counts()
+        lines.append(
+            f"  [{model}] static coverage {proof.static_coverage * 100:.1f}% "
+            f"({proof.covered_weight}/{proof.total_weight} weighted) — "
+            + ", ".join(f"{n} {verdict}" for verdict, n in counts.items())
+        )
+    for f in sorted(
+        report.findings, key=lambda f: (-f.severity.rank, f.rule, f.location)
+    ):
+        lines.append(
+            f"  {f.severity.value.upper():7s} {f.rule}: {f.message} "
+            f"[{f.location}]"
+        )
+    counts = report.counts()
+    lines.append(
+        "  findings: " + ", ".join(f"{n} {sev}" for sev, n in counts.items())
+    )
+    return "\n".join(lines)
+
+
+def format_prove_json(report: CoverageReport) -> str:
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)
+
+
+def format_prove_sarif(report: CoverageReport) -> str:
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {"text": desc},
+        }
+        for rule, desc in sorted(COVERAGE_RULES.items())
+    ]
+    results = []
+    for f in report.findings:
+        result: dict[str, object] = {
+            "ruleId": f.rule,
+            "level": _SARIF_LEVEL[f.severity],
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {
+                            "fullyQualifiedName": f.location,
+                            "kind": "function",
+                        }
+                    ]
+                }
+            ],
+        }
+        if f.uid is not None:
+            result["partialFingerprints"] = {"insnUid": str(f.uid)}
+        results.append(result)
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-prove",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "properties": {
+                    "scheme": report.scheme,
+                    "machine": report.machine,
+                    "models": {
+                        model: {
+                            "static_coverage": proof.static_coverage,
+                            "counts": proof.counts(),
+                        }
+                        for model, proof in report.proofs.items()
+                    },
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+PROVE_FORMATTERS = {
+    "text": format_prove_text,
+    "json": format_prove_json,
+    "sarif": format_prove_sarif,
 }

@@ -59,8 +59,11 @@ CONSUMER_OPCODES = frozenset(
 #: Opcodes a check compare may use (GP and PR flavours).
 CHECK_CMP_OPCODES = frozenset({Opcode.CMPNE, Opcode.PNE})
 
-#: The four code-generation schemes the linter knows placement rules for.
-KNOWN_SCHEMES = ("noed", "sced", "dced", "casted")
+def _known_schemes() -> tuple[str, ...]:
+    """Schemes the linter knows placement rules for (registry-backed)."""
+    from repro.schemes import scheme_names
+
+    return tuple(scheme_names())
 
 
 class Severity(enum.Enum):
@@ -655,7 +658,17 @@ def check_duplicate_checks(model: SphereModel) -> list[Finding]:
 def check_cluster_placement(
     function: Function, scheme: str, n_clusters: int
 ) -> list[Finding]:
-    """Scheme placement audit, cross-checking schedule_check's home rule."""
+    """Scheme placement audit, cross-checking schedule_check's home rule.
+
+    Placement expectations come from the scheme's registered
+    ``cluster_policy`` (:mod:`repro.schemes`): ``unified`` pins every
+    instruction to the scheme's home cluster, ``role-split`` pins the
+    redundant stream to cluster 1 and originals to 0, and ``adaptive``
+    imposes only the universal single-home-per-register rule.
+    """
+    from repro.schemes import get_scheme_info
+
+    info = get_scheme_info(scheme)
     findings: list[Finding] = []
     homes: dict[Reg, tuple[int, Instruction]] = {}
     for block, idx, insn in function.all_instructions():
@@ -690,27 +703,28 @@ def check_cluster_placement(
                 )
             else:
                 homes[d] = (cluster, insn)
-        if scheme in ("noed", "sced") and cluster != 0:
+        if info.cluster_policy == "unified" and cluster != info.home_cluster:
             findings.append(
                 Finding(
                     "cluster-placement",
                     Severity.ERROR,
-                    f"{scheme.upper()} requires cluster 0, got {cluster}: "
-                    f"{insn}",
+                    f"{scheme.upper()} requires cluster {info.home_cluster}, "
+                    f"got {cluster}: {insn}",
                     function.name,
                     block.label,
                     idx,
                     insn.uid,
                 )
             )
-        elif scheme == "dced":
+        elif info.cluster_policy == "role-split":
             expected = 1 if insn.is_redundant else 0
             if cluster != expected:
                 findings.append(
                     Finding(
                         "cluster-placement",
                         Severity.ERROR,
-                        f"DCED expects {'redundant' if insn.is_redundant else 'original'} "
+                        f"{scheme.upper()} expects "
+                        f"{'redundant' if insn.is_redundant else 'original'} "
                         f"code on cluster {expected}, got {cluster}: {insn}",
                         function.name,
                         block.label,
@@ -747,11 +761,14 @@ def lint_function(
     partial_protection: bool = False,
 ) -> list[Finding]:
     """Run every protection rule over one function; return all findings."""
-    if scheme not in KNOWN_SCHEMES:
+    from repro.schemes import get_scheme_info
+
+    if scheme not in _known_schemes():
         raise ValueError(f"unknown scheme {scheme!r}")
+    info = get_scheme_info(scheme)
     findings: list[Finding] = []
     findings += check_cluster_placement(function, scheme, n_clusters)
-    if scheme == "noed":
+    if not info.replicates:
         findings += check_noed_purity(function)
         return findings
     cfg = CFG(function)

@@ -1,0 +1,377 @@
+"""Corruption-propagation (taint) analysis for the coverage prover.
+
+One :class:`TaintAnalysis` instance models the consequences of **one
+fault site**: the fact at a program point is the set of locations whose
+value *may differ from the golden execution* because of a fault injected
+at that site.  Locations are
+
+* :class:`~repro.isa.registers.Reg` objects — a (physical or virtual)
+  register holds a possibly-corrupt value;
+* ``("fp", slot)`` — a register-allocator frame slot (``STOREFP``
+  spilled a corrupt value there);
+* :data:`MEM` — at least one addressable data-memory word may be corrupt
+  (``STORE`` has no static address, so data memory is one cell);
+* :data:`FP_ANY` — a store through a corrupt *address* may have smashed
+  any frame slot, so per-slot strong updates are disabled.
+
+The analysis is a forward may-problem on the existing
+:func:`repro.analysis.dataflow.solve` framework (union meet, empty
+boundary).  The seed is injected *through the transfer function*: the
+fault model corrupts an instruction's destination after it commits
+(:mod:`repro.ir.interp` applies ``FaultSpec`` post-commit), so the
+transfer of the seed instruction unions its destinations into the
+outgoing fact.  Seeding every execution of the site over-approximates the
+single-visit fault of a real trial, which is sound for a may-analysis.
+
+Soundness of the two non-obvious transfer rules — both rest on the
+campaign precondition that the **golden run completes OK** (the injector
+refuses to run otherwise), so every check compare that executes has equal
+operands in the fault-free execution:
+
+* **one-sided detector kill** — at a :meth:`detector <find_detectors>`
+  check compare with exactly one tainted operand, either the operands
+  differ (the same-block ``CHKBR`` is then guaranteed to fire before the
+  block ends, and a fired check ends the run ``DETECTED`` — detection
+  preempts any later store or branch), or they are equal, in which case
+  the tainted operand equals the untainted one's golden value, which by
+  golden-equality is its *own* golden value: the corruption is gone.
+  Either way no continuing path carries the taint.
+* **CHKBR pred kill** — any path that continues past a ``CHKBR`` had a
+  false predicate, and the golden run's predicate there was also false,
+  so the predicate provably holds its golden value afterwards.
+
+Both rules only matter on paths without control divergence; any path
+where taint reaches a branch predicate records an *escape*
+(:class:`TaintEvents`) and the site is classified ``SDC_POSSIBLE``
+anyway, where every measured outcome is admissible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import EMPTY_FACT, Fact, _UnionMeet, solve
+from repro.analysis.protection import CHECK_CMP_OPCODES
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.isa.instruction import Instruction, Role
+from repro.isa.opcodes import Opcode
+
+#: Abstract token: some data-memory word may differ from golden.
+MEM = "mem"
+
+#: Abstract token: an unknown frame slot may differ from golden
+#: (disables per-slot strong updates on ``STOREFP``).
+FP_ANY = "fpany"
+
+#: Roles that belong to the redundant stream *and* produce values (the
+#: detector criterion requires the compared shadow to actually be
+#: computed by redundant code — see :func:`find_detectors`).
+_PRODUCER_ROLES = frozenset({Role.DUP, Role.SHADOW_COPY})
+
+
+def find_detectors(function: Function) -> frozenset[int]:
+    """Uids of check compares whose firing is *guaranteed* once executed.
+
+    A check compare qualifies as a detector when
+
+    1. it is a ``CHECK``-role ``CMPNE``/``PNE`` over two registers,
+    2. a ``CHKBR`` reading its predicate appears **later in the same
+       block**, with no redefinition of the predicate in between (a block
+       executes straight-line once entered — the only early exits are
+       other ``CHKBR``\\ s, which end the run detected, and traps, which
+       end it as an exception — so the consuming ``CHKBR`` is guaranteed
+       to execute), and
+    3. at least one compared register is written by a redundant-stream
+       producer (``DUP``/``SHADOW_COPY``) somewhere in the function — a
+       compare whose shadow operand nothing computes compares against
+       garbage and proves nothing — and
+    4. neither compared register may derive from a register the function
+       never defines (a ``drop-replica`` mutation leaves the rest of the
+       dup chain reading an undefined value, so the compare's
+       golden-equality guarantee is void).
+    """
+    redundant_defs: set[object] = set()
+    for _, _, insn in function.all_instructions():
+        if insn.role in _PRODUCER_ROLES:
+            redundant_defs.update(insn.writes())
+
+    contaminated = _contaminated_regs(function)
+    detectors: set[int] = set()
+    for block in function.blocks():
+        insns = block.instructions
+        for i, insn in enumerate(insns):
+            if (
+                insn.role is not Role.CHECK
+                or insn.opcode not in CHECK_CMP_OPCODES
+                or len(insn.srcs) != 2
+                or not insn.dests
+            ):
+                continue
+            if not (set(insn.srcs) & redundant_defs):
+                continue
+            if any(s in contaminated for s in insn.srcs):
+                continue
+            pred = insn.dests[0]
+            for later in insns[i + 1 :]:
+                if later.opcode is Opcode.CHKBR and later.srcs[0] == pred:
+                    detectors.add(insn.uid)
+                    break
+                if pred in later.writes():
+                    break
+    return frozenset(detectors)
+
+
+def _contaminated_regs(function: Function) -> set[object]:
+    """Registers whose value may derive from an uninitialized read.
+
+    A forward must-defined analysis finds reads a definition does not
+    reach on every path; the closure then propagates through def-use
+    (flow-insensitively — conservative is fine here).  Compiled programs
+    define everything they read, so this is empty outside mutated or
+    otherwise broken IR.
+    """
+    cfg = CFG(function)
+    order = cfg.reverse_postorder()
+    universe: set[object] = set()
+    writes_of: dict[str, set[object]] = {}
+    for block in function.blocks():
+        w: set[object] = set()
+        for insn in block.instructions:
+            universe.update(insn.srcs)
+            w.update(insn.writes())
+        writes_of[block.label] = w
+        universe.update(w)
+
+    # IN[b] = registers definitely written on every path reaching b.
+    in_facts: dict[str, set[object]] = {
+        label: set() if label == cfg.entry_label else set(universe)
+        for label in order
+    }
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label != cfg.entry_label:
+                preds = [p for p in cfg.preds.get(label, []) if p in in_facts]
+                fact = set(universe)
+                for p in preds:
+                    fact &= in_facts[p] | writes_of[p]
+                if fact != in_facts[label]:
+                    in_facts[label] = fact
+                    changed = True
+
+    suspects: set[object] = set()
+    for label in order:
+        cur = set(in_facts[label])
+        for insn in function.block(label).instructions:
+            suspects.update(s for s in insn.srcs if s not in cur)
+            cur.update(insn.writes())
+
+    contaminated = set(suspects)
+    changed = bool(contaminated)
+    while changed:
+        changed = False
+        for _, _, insn in function.all_instructions():
+            if any(s in contaminated for s in insn.srcs):
+                for d in insn.writes():
+                    if d not in contaminated:
+                        contaminated.add(d)
+                        changed = True
+    return contaminated
+
+
+class TaintAnalysis(_UnionMeet):
+    """May-corruption of one fault site (see the module docstring).
+
+    ``seed_uid`` taints the destinations of that instruction after its
+    transfer (a register fault); ``entry_taint`` taints the entry
+    boundary instead (the memory fault model corrupts state before/while
+    the program runs anywhere).
+    """
+
+    def __init__(
+        self,
+        detectors: frozenset[int],
+        seed_uid: int | None = None,
+        entry_taint: Fact = EMPTY_FACT,
+    ) -> None:
+        self._detectors = detectors
+        self._seed_uid = seed_uid
+        self._entry_taint = entry_taint
+
+    def boundary(self, function: Function) -> Fact:
+        return self._entry_taint
+
+    def transfer_insn(self, insn: Instruction, fact: Fact) -> Fact:
+        if not fact and insn.uid != self._seed_uid:
+            return fact  # nothing tainted and no seed here: fast path
+        out = self._transfer(insn, fact)
+        if insn.uid == self._seed_uid and insn.dests:
+            # The fault corrupts the destination after commit, clobbering
+            # whatever the transfer concluded about it.
+            out = out | frozenset(insn.dests)
+        return out
+
+    def _transfer(self, insn: Instruction, fact: Fact) -> Fact:
+        op = insn.opcode
+
+        if op is Opcode.LOAD:
+            tainted = insn.srcs[0] in fact or MEM in fact
+            return self._write(fact, insn, tainted)
+        if op is Opcode.LOADFP:
+            tainted = ("fp", insn.imm) in fact or FP_ANY in fact
+            return self._write(fact, insn, tainted)
+        if op is Opcode.STORE:
+            addr, value = insn.srcs
+            if addr in fact:
+                # Wild store: any data word or frame slot may be smashed.
+                return fact | frozenset((MEM, FP_ANY))
+            if value in fact:
+                return fact | frozenset((MEM,))
+            return fact
+        if op is Opcode.STOREFP:
+            slot = ("fp", insn.imm)
+            if insn.srcs[0] in fact:
+                return fact | frozenset((slot,))
+            # Strong update: an untainted value is the golden value, so
+            # the slot now provably matches golden — unless a wild store
+            # may have aliased it (FP_ANY stays regardless).
+            return fact - frozenset((slot,)) if slot in fact else fact
+        if op is Opcode.CHKBR:
+            # Continuing past a CHKBR proves the predicate false — its
+            # golden value (the golden run never fires checks).
+            return (
+                fact - frozenset((insn.srcs[0],))
+                if insn.srcs[0] in fact
+                else fact
+            )
+        if insn.uid in self._detectors:
+            tainted_ops = [s for s in insn.srcs if s in fact]
+            if len(tainted_ops) == 1:
+                # One-sided check: fires (run ends detected) or proves
+                # the operand golden.  The predicate is false on every
+                # continuing path, i.e. golden, so the dest is clean too.
+                return fact - frozenset((tainted_ops[0], *insn.dests))
+            # Two-sided (both streams corrupt, possibly identically): the
+            # compare may pass on equal-but-wrong values — operands stay
+            # tainted.  The predicate itself may still fire spuriously,
+            # so it is tainted until the same-block CHKBR consumes it.
+            return self._write(fact, insn, bool(tainted_ops))
+
+        # Default: destinations are corrupt iff any source is.
+        return self._write(fact, insn, any(s in fact for s in insn.srcs))
+
+    @staticmethod
+    def _write(fact: Fact, insn: Instruction, tainted: bool) -> Fact:
+        dests = insn.dests
+        if not dests:
+            return fact
+        if tainted:
+            return fact | frozenset(dests)
+        if any(d in fact for d in dests):
+            return fact - frozenset(dests)
+        return fact
+
+
+@dataclass(frozen=True)
+class TaintEvent:
+    """One observable contact between taint and the outside world."""
+
+    #: ``out-escape`` / ``branch-escape`` / ``trap`` / ``check``.
+    kind: str
+    block: str
+    index: int
+    uid: int
+    instruction: str
+
+
+@dataclass
+class TaintEvents:
+    """Every event of one site's taint, bucketed by consequence."""
+
+    #: Taint reached an ``OUT`` value or a ``BRT``/``BRF`` predicate:
+    #: silent corruption or control divergence cannot be ruled out.
+    escapes: list[TaintEvent]
+    #: Taint reached a detector compare operand or a ``CHKBR`` predicate:
+    #: a check can fire on the corruption.
+    checks: list[TaintEvent]
+    #: Taint reached a ``DIV``/``REM`` divisor or a memory address: the
+    #: run may end in an architectural exception.
+    traps: list[TaintEvent]
+
+
+def propagate(
+    function: Function,
+    detectors: frozenset[int],
+    cfg: CFG | None = None,
+    seed_uid: int | None = None,
+    entry_taint: Fact = EMPTY_FACT,
+) -> TaintEvents:
+    """Solve one site's taint problem and collect its events.
+
+    Events are gathered by replaying the transfer inside every reachable
+    block (``instruction_facts``), using the fact holding immediately
+    *before* each instruction — a fault corrupts its destination after
+    commit, so the seed instruction itself consumes clean inputs.
+    """
+    cfg = cfg or CFG(function)
+    analysis = TaintAnalysis(
+        detectors, seed_uid=seed_uid, entry_taint=entry_taint
+    )
+    facts = solve(function, analysis, cfg)
+
+    seed_block: str | None = None
+    if seed_uid is not None:
+        for block in function.blocks():
+            if any(i.uid == seed_uid for i in block.instructions):
+                seed_block = block.label
+                break
+
+    events = TaintEvents(escapes=[], checks=[], traps=[])
+    for label in cfg.reverse_postorder():
+        if (
+            not facts.entry[label]
+            and not facts.exit[label]
+            and label != seed_block
+        ):
+            # Taint neither enters nor survives this block, and it does
+            # not originate here either (the seed block must be replayed
+            # even when a same-block check kills the taint before the
+            # block ends): nothing to replay.
+            continue
+        for idx, insn, fact in facts.instruction_facts(label):
+            if not fact:
+                continue
+            op = insn.opcode
+            if op is Opcode.OUT:
+                if insn.srcs[0] in fact:
+                    events.escapes.append(
+                        _event("out-escape", label, idx, insn)
+                    )
+            elif op in (Opcode.BRT, Opcode.BRF):
+                if insn.srcs[0] in fact:
+                    events.escapes.append(
+                        _event("branch-escape", label, idx, insn)
+                    )
+            elif op is Opcode.CHKBR:
+                if insn.srcs[0] in fact:
+                    events.checks.append(_event("check", label, idx, insn))
+            elif insn.uid in detectors:
+                if any(s in fact for s in insn.srcs):
+                    events.checks.append(_event("check", label, idx, insn))
+            if op in (Opcode.LOAD, Opcode.STORE) and insn.srcs[0] in fact:
+                events.traps.append(_event("trap", label, idx, insn))
+            elif (
+                op in (Opcode.DIV, Opcode.REM)
+                and insn.imm is None
+                and insn.srcs[1] in fact
+            ):
+                events.traps.append(_event("trap", label, idx, insn))
+    return events
+
+
+def _event(kind: str, label: str, idx: int, insn: Instruction) -> TaintEvent:
+    return TaintEvent(
+        kind=kind, block=label, index=idx, uid=insn.uid, instruction=str(insn)
+    )

@@ -11,6 +11,12 @@ Commands
     Static protection audit: sphere-of-replication invariants, check
     coverage, cluster placement, vulnerability windows
     (``--format text|json|sarif``, severity-gated exit code).
+``prove FILE|workload:NAME``
+    Static fault-coverage prover: per-site detectability verdicts
+    (detected / masked / sdc-possible) for every registered fault model,
+    with optional ``--validate N`` attributed trials checking each
+    measured outcome against its site's verdict
+    (``--format text|json|sarif``, severity-gated exit code).
 ``run FILE|workload:NAME``
     Compile and execute on the cycle-level simulator.
 ``inject FILE|workload:NAME``
@@ -84,9 +90,11 @@ def _add_common(
     else:
         p.add_argument("program", help="minic source file or workload:NAME")
     if scheme:
+        from repro.schemes import scheme_names
+
         p.add_argument(
             "--scheme",
-            choices=[s.value for s in Scheme],
+            choices=scheme_names(),
             default="casted",
             help="protection scheme (default: casted)",
         )
@@ -245,7 +253,9 @@ def _run_worker(task: dict) -> tuple[str, int]:
     lines.append(
         f"L1 hit rate: {l1 * 100:.1f}% over {result.cache.accesses} accesses"
     )
-    return "\n".join(lines), 0 if result.kind.value == "ok" else 1
+    from repro.ir.interp import ExitKind
+
+    return "\n".join(lines), 0 if result.kind is ExitKind.OK else 1
 
 
 def cmd_run(args) -> int:
@@ -296,6 +306,60 @@ def cmd_lint(args) -> int:
     else:
         print(rendered)
     return report.exit_code(fail_on=Severity(args.fail_on))
+
+
+def cmd_prove(args) -> int:
+    from repro.analysis.coverage import cross_validate, prove_compiled
+    from repro.analysis.formats import PROVE_FORMATTERS
+    from repro.analysis.protection import Severity
+
+    program = _load_program(args.program)
+    machine = _machine(args)
+    compiled = compile_program(program, Scheme(args.scheme), machine)
+    injector = None
+    weights = None
+    if args.profile or args.validate:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            compiled.program,
+            compiled.mem_words,
+            compiled.frame_words,
+            fault_model=args.fault_model,
+        )
+        weights = injector.visit_counts()
+    report = prove_compiled(
+        compiled, fault_models=args.models or None, weights=weights
+    )
+    rendered = PROVE_FORMATTERS[args.format](report)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(rendered)
+    status = report.exit_code(fail_on=Severity(args.fail_on))
+    if args.validate:
+        proof = report.proofs.get(args.fault_model)
+        if proof is None:
+            raise ReproError(
+                f"--validate uses --fault-model {args.fault_model!r}, "
+                "which is not among the proved models"
+            )
+        val = cross_validate(
+            injector, proof, n_trials=args.validate, seed=args.seed
+        )
+        print()
+        print(
+            f"cross-validation [{val.model}]: {val.n_trials} trial(s), "
+            f"{len(val.violations)} violation(s), measured coverage "
+            f"{val.measured_coverage * 100:.1f}% vs static "
+            f"{proof.static_coverage * 100:.1f}%"
+        )
+        for v in val.violations[:20]:
+            print(f"  VIOLATION: {v}")
+        if not val.sound:
+            status = max(status, 2)
+    return status
 
 
 def _record_campaign_run(args, res, wall_s: float, jobs: int, batch: bool) -> None:
@@ -531,11 +595,15 @@ def cmd_recover(args) -> int:
         progress=progress,
         heartbeat=args.heartbeat,
     )
+    from repro.faults.classify import Outcome
+
     rows = [
         [key, res.counts.get(key, 0), f"{res.fraction(key) * 100:.1f}%"]
         for key in (
-            "benign", "recovered", "exception", "data-corrupt", "timeout",
-            "unrecovered",
+            # Recovery adds two outcomes of its own on top of the shared
+            # campaign taxonomy: "recovered" and "unrecovered".
+            Outcome.BENIGN.value, "recovered", Outcome.EXCEPTION.value,
+            Outcome.SDC.value, Outcome.TIMEOUT.value, "unrecovered",
         )
     ]
     print(
@@ -755,6 +823,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=cmd_lint)
 
+    from repro.faults.models import DEFAULT_FAULT_MODEL, fault_model_names
+
+    p = sub.add_parser(
+        "prove",
+        help="static fault-coverage prover (per-site detectability verdicts)",
+    )
+    _add_common(p)
+    _add_obs(p)
+    p.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info"],
+        default="error",
+        help="lowest severity that makes the exit status non-zero (default: error)",
+    )
+    p.add_argument(
+        "--output", metavar="FILE", help="write the report to FILE instead of stdout"
+    )
+    p.add_argument(
+        "--models", nargs="+", choices=fault_model_names(), default=None,
+        help="fault models to prove sites for (default: all registered)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="weight sites by golden-run block visit counts (runs the program "
+        "once) so static coverage is campaign-comparable",
+    )
+    p.add_argument(
+        "--validate", type=int, default=0, metavar="N",
+        help="run N attributed single-fault trials and check every measured "
+        "outcome against its site's static verdict (exit 2 on violation)",
+    )
+    p.add_argument(
+        "--fault-model", choices=fault_model_names(),
+        default=DEFAULT_FAULT_MODEL,
+        help=f"model used by --validate (default: {DEFAULT_FAULT_MODEL})",
+    )
+    p.add_argument("--seed", type=int, default=2013)
+    p.set_defaults(fn=cmd_prove)
+
     p = sub.add_parser("inject", help="fault-injection campaign")
     _add_common(p)
     _add_obs(p)
@@ -828,9 +941,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("mix", help="dynamic instruction-mix profile")
     p.add_argument("program", help="minic source file or workload:NAME")
+    from repro.schemes import scheme_names
+
     p.add_argument(
         "--schemes", nargs="+", default=["noed", "casted"],
-        choices=[s.value for s in Scheme],
+        choices=scheme_names(),
     )
     p.add_argument("--issue", type=int, default=2)
     p.add_argument("--delay", type=int, default=1)

@@ -36,6 +36,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.faults.classify import Outcome
+from repro.ir.interp import ExitKind
 from repro.faults.injector import CampaignResult, FaultInjector
 from repro.ir.printer import print_program
 from repro.machine.config import MachineConfig
@@ -86,7 +87,7 @@ class CoverageRecord:
     issue_width: int
     delay: int
     trials: int
-    fractions: dict  # outcome value -> fraction
+    fractions: dict[str, float]  # outcome value -> fraction
     total_faults: int
     # Defaults keep records loadable from cache entries written before the
     # fault-model / detection-latency fields existed.
@@ -102,8 +103,12 @@ class CoverageRecord:
 
 
 def _scheme_delay(scheme: Scheme, delay: int) -> int:
-    """NOED/SCED run on one cluster: the inter-cluster delay is irrelevant."""
-    return 0 if scheme in (Scheme.NOED, Scheme.SCED) else delay
+    """Single-cluster schemes never pay the inter-cluster delay.
+
+    Normalising the delay axis to 0 for them collapses equivalent cache
+    keys; the fact itself (``uses_delay``) comes from the scheme registry.
+    """
+    return delay if scheme.info.uses_delay else 0
 
 
 #: Process-wide golden-run dedupe for fault campaigns (LRU, content-keyed).
@@ -295,7 +300,7 @@ class Evaluator:
         if data is None:
             cp = self.compiled(workload, scheme, issue_width, delay)
             result = VLIWExecutor(cp).run()
-            if result.kind.value != "ok":
+            if result.kind is not ExitKind.OK:
                 raise RuntimeError(
                     f"{workload}/{scheme.value} failed: {result.kind} {result}"
                 )

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimError
-from repro.ir.interp import Interpreter
+from repro.ir.interp import ExitKind, Interpreter
 from repro.ir.program import Program
 from repro.isa.opcodes import LatencyClass, Opcode
 from repro.utils.tables import format_table
@@ -76,7 +76,7 @@ def dynamic_mix(
         program, mem_words=mem_words, frame_words=frame_words, max_steps=max_steps
     )
     result = interp.run(record_trace=True)
-    if result.kind.value not in ("ok", "detected"):
+    if result.kind not in (ExitKind.OK, ExitKind.DETECTED):
         raise SimError(f"profiling run ended with {result.kind}")
 
     # Per-block static histograms, weighted by visit counts.

@@ -34,6 +34,7 @@ import json
 import logging
 import os
 from pathlib import Path
+from typing import Any
 
 from repro.errors import ReproError
 from repro.faults.classify import Outcome
@@ -57,7 +58,7 @@ class CheckpointError(ReproError):
 class CampaignCheckpoint:
     """Reader/writer for one campaign's checkpoint file."""
 
-    def __init__(self, path: str | Path, header: dict) -> None:
+    def __init__(self, path: str | Path, header: dict[str, Any]) -> None:
         self.path = Path(path)
         self.header = {
             "format": FORMAT_NAME,
@@ -66,7 +67,7 @@ class CampaignCheckpoint:
         }
 
     # -- reading ---------------------------------------------------------------
-    def load(self, resume: bool) -> dict[int, dict]:
+    def load(self, resume: bool) -> dict[int, dict[str, Any]]:
         """Return completed shards (``index -> shard record``).
 
         With ``resume=False`` (or no file yet) the file is truncated to a
@@ -100,7 +101,7 @@ class CampaignCheckpoint:
             "record", self.path, bad,
         )
 
-    def _read_records(self) -> tuple[dict[int, dict], str | None]:
+    def _read_records(self) -> tuple[dict[int, dict[str, Any]], str | None]:
         lines = self.path.read_text().splitlines()
         if not lines:
             raise CheckpointError(f"checkpoint {self.path} is empty")
@@ -123,7 +124,7 @@ class CampaignCheckpoint:
                     f"checkpoint {self.path} belongs to a different campaign: "
                     f"{key}={header.get(key)!r} != {self.header[key]!r}"
                 )
-        records: dict[int, dict] = {}
+        records: dict[int, dict[str, Any]] = {}
         torn_line: str | None = None
         for lineno, line in enumerate(lines[1:], start=2):
             if not line.strip():
@@ -152,7 +153,7 @@ class CampaignCheckpoint:
         return records, torn_line
 
     # -- writing ---------------------------------------------------------------
-    def _rewrite(self, records: list[dict]) -> None:
+    def _rewrite(self, records: list[dict[str, Any]]) -> None:
         """Atomically (re)write header + ``records`` via temp + replace."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
@@ -167,7 +168,7 @@ class CampaignCheckpoint:
         finally:
             tmp.unlink(missing_ok=True)
 
-    def append(self, record: dict) -> None:
+    def append(self, record: dict[str, Any]) -> None:
         """Durably append one completed-shard record (single atomic write)."""
         line = json.dumps(record) + "\n"
         with open(self.path, "a") as f:

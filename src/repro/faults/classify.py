@@ -7,13 +7,23 @@
    system would catch them in a handler;
 4. **Data corrupt** (SDC) — the run completed with wrong output/exit code;
 5. **Timeout** — the watchdog expired (e.g. a corrupted loop bound).
+
+This module is the single home of the outcome taxonomy, shared by the
+dynamic side (campaign classification, right here) and the static side
+(:class:`SiteClass`, the per-site verdicts of the coverage prover in
+:mod:`repro.analysis.coverage`).  :data:`SITE_ADMISSIBLE` is the bridge:
+for each static verdict, the set of measured outcomes that verdict
+permits.  A measured outcome outside its site's admissible set is a
+soundness violation — a bug in the prover, a scheme, or the injector —
+which the differential gate (``benchmarks/bench_coverage.py``) hunts for.
 """
 
 from __future__ import annotations
 
 import enum
+from typing import Sequence
 
-from repro.ir.interp import ExitKind, RunResult
+from repro.ir.interp import ExitKind, FaultSpec, RunResult
 
 
 class Outcome(enum.Enum):
@@ -37,6 +47,44 @@ OUTCOME_ORDER = (
 )
 
 
+class SiteClass(enum.Enum):
+    """Static verdict for one fault site (the prover's taxonomy).
+
+    * ``DETECTED`` — on every path, corruption reaches a check comparing a
+      tainted original/shadow pair before any store/branch/OUT consumes it
+      (and cannot trap first);
+    * ``MASKED`` — the corruption is provably dead or overwritten before
+      anything reads it;
+    * ``SDC_POSSIBLE`` — some path lets a tainted value escape to a store,
+      branch, or output unchecked (or trap), so silent corruption cannot
+      be ruled out.
+    """
+
+    DETECTED = "detected"
+    MASKED = "masked"
+    SDC_POSSIBLE = "sdc-possible"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SiteClass.{self.name}"
+
+
+#: Which measured outcomes each static verdict admits.
+#:
+#: ``DETECTED`` sites may measure benign (logically-masked corruption the
+#: static analysis cannot see) or exception (the fault perturbs an address
+#: before the check executes) but never silent corruption or a hang;
+#: ``MASKED`` sites must measure benign — a detection on a masked site
+#: means the prover killed taint it shouldn't have; ``SDC_POSSIBLE`` is
+#: the "anything can happen" verdict.
+SITE_ADMISSIBLE: dict[SiteClass, frozenset[Outcome]] = {
+    SiteClass.DETECTED: frozenset(
+        {Outcome.BENIGN, Outcome.DETECTED, Outcome.EXCEPTION}
+    ),
+    SiteClass.MASKED: frozenset({Outcome.BENIGN}),
+    SiteClass.SDC_POSSIBLE: frozenset(OUTCOME_ORDER),
+}
+
+
 def classify(golden: RunResult, trial: RunResult) -> Outcome:
     """Compare a faulted run against the golden run."""
     if trial.kind is ExitKind.DETECTED:
@@ -50,7 +98,9 @@ def classify(golden: RunResult, trial: RunResult) -> Outcome:
     return Outcome.SDC
 
 
-def detection_latency(trial: RunResult, faults) -> int | None:
+def detection_latency(
+    trial: RunResult, faults: Sequence[FaultSpec]
+) -> int | None:
     """Dynamic instructions from the first *applied* fault to detection.
 
     RepTFD argues detection *latency* matters as much as detection rate: a

@@ -50,10 +50,13 @@ import logging
 import os
 import time
 from bisect import bisect_right
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import SimError
 from repro.faults.checkpoint import CampaignCheckpoint
@@ -67,7 +70,7 @@ from repro.faults.models import DEFAULT_FAULT_MODEL, get_fault_model
 from repro.ir.interp import FaultSpec, Interpreter, RunResult, Snapshot
 from repro.ir.program import Program
 from repro.isa.registers import RegClass
-from repro.obs import get_telemetry
+from repro.obs import Telemetry, get_telemetry
 from repro.obs.progress import ProgressCallback, ProgressTracker
 from repro.parallel import (
     SHARD_TRIALS,
@@ -80,6 +83,9 @@ from repro.sim.batch import BatchRunner, GroupStats, TrialPlan
 from repro.utils.rng import make_rng
 
 logger = logging.getLogger(__name__)
+
+#: Per-trial completion callback: ``(outcome, n_faults, detection_latency)``.
+OnTrial = Callable[[Outcome, int, int | None], None]
 
 #: Watchdog budget = factor x golden dynamic instruction count.
 WATCHDOG_FACTOR = 25
@@ -122,7 +128,7 @@ class ShardResult:
     #: detected trial in the shard, in trial order.
     latencies: tuple[int, ...]
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         return {
             "shard": self.index,
             "trials": self.trials,
@@ -132,7 +138,7 @@ class ShardResult:
         }
 
     @classmethod
-    def from_json(cls, rec: dict) -> "ShardResult":
+    def from_json(cls, rec: dict[str, Any]) -> "ShardResult":
         return cls(
             index=int(rec["shard"]),
             trials=int(rec["trials"]),
@@ -299,11 +305,11 @@ class FaultInjector:
         # Per-block static tables.
         func = program.main
         self._block_len: dict[str, int] = {}
-        self._block_dest_positions: dict[str, np.ndarray] = {}
-        self._block_dest_is_pr: dict[str, np.ndarray] = {}
+        self._block_dest_positions: dict[str, npt.NDArray[np.int64]] = {}
+        self._block_dest_is_pr: dict[str, npt.NDArray[np.bool_]] = {}
         for block in func.blocks():
-            positions = []
-            is_pr = []
+            positions: list[int] = []
+            is_pr: list[bool] = []
             for i, insn in enumerate(block.instructions):
                 if insn.dests:
                     positions.append(i)
@@ -318,11 +324,15 @@ class FaultInjector:
         dests = np.array(
             [len(self._block_dest_positions[lb]) for lb in trace], dtype=np.int64
         )
-        self._visit_dyn_start = np.concatenate(([0], np.cumsum(lens)[:-1]))
-        self._visit_dest_cum = np.cumsum(dests)
+        self._visit_dyn_start: npt.NDArray[np.int64] = np.concatenate(
+            ([0], np.cumsum(lens)[:-1])
+        )
+        self._visit_dest_cum: npt.NDArray[np.int64] = np.cumsum(dests)
         self.n_dest_sites = int(self._visit_dest_cum[-1]) if len(trace) else 0
-        self._trace = trace
-        self.max_steps = self.golden.dyn_instructions * WATCHDOG_FACTOR + 10_000
+        self._trace: list[str] = trace
+        self.max_steps: int = (
+            self.golden.dyn_instructions * WATCHDOG_FACTOR + 10_000
+        )
 
         self.fault_model = fault_model
         self.model = get_fault_model(fault_model)
@@ -375,6 +385,36 @@ class FaultInjector:
         else:
             per_trial = golden
         return SHARD_TRIALS * per_trial
+
+    # -- fault-site enumeration ----------------------------------------------
+    def site_of(self, dyn_index: int) -> tuple[str, int]:
+        """Map a dynamic fault position back to its static fault site.
+
+        Returns ``(block label, instruction index within the block)`` of
+        the golden instruction committing at ``dyn_index`` — the inverse
+        of :meth:`sample_fault`'s site -> ``dyn_index`` mapping.  This is
+        how the static coverage prover (:mod:`repro.analysis.coverage`)
+        attributes a measured trial outcome to the per-site verdict it
+        cross-validates against.
+        """
+        if dyn_index < 0 or dyn_index >= self.golden.dyn_instructions:
+            raise SimError(
+                f"dyn_index {dyn_index} outside the golden run "
+                f"(0..{self.golden.dyn_instructions - 1})"
+            )
+        visit = (
+            int(np.searchsorted(self._visit_dyn_start, dyn_index, side="right"))
+            - 1
+        )
+        label = self._trace[visit]
+        return label, dyn_index - int(self._visit_dyn_start[visit])
+
+    def visit_counts(self) -> dict[str, int]:
+        """Golden execution count of every block (static-site weights)."""
+        counts: dict[str, int] = {}
+        for label in self._trace:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
 
     # -- sampling ------------------------------------------------------------
     def sample_fault(self, rng: np.random.Generator) -> FaultSpec:
@@ -439,7 +479,7 @@ class FaultInjector:
         shard_trials: int,
         seed: int,
         reference_dyn: int | None = None,
-        on_trial=None,
+        on_trial: OnTrial | None = None,
         batch: bool | None = None,
     ) -> ShardResult:
         """Run one campaign shard.
@@ -507,7 +547,12 @@ class FaultInjector:
         )
 
     def _run_shard_batched(
-        self, shard_index, shard_trials, seed, reference_dyn, on_trial
+        self,
+        shard_index: int,
+        shard_trials: int,
+        seed: int,
+        reference_dyn: int | None,
+        on_trial: OnTrial | None,
     ) -> ShardResult:
         """Batched variant of :meth:`run_shard` — same contract, same bits.
 
@@ -520,7 +565,7 @@ class FaultInjector:
         """
         tel = get_telemetry()
         rng = make_rng(seed, "fault-campaign", shard_index)
-        plans = []
+        plans: list[TrialPlan] = []
         total_faults = 0
         for t in range(shard_trials):
             faults = self.faults_for_trial(rng, reference_dyn)
@@ -744,8 +789,17 @@ class FaultInjector:
         )
 
     def _run_shards_serial(
-        self, remaining, seed, reference_dyn, tracker, counts, tel,
-        state, ckpt, progress_on: bool, batch: bool = False,
+        self,
+        remaining: list[tuple[int, int]],
+        seed: int,
+        reference_dyn: int | None,
+        tracker: ProgressTracker,
+        counts: dict[Outcome, int],
+        tel: Telemetry,
+        state: dict[str, int],
+        ckpt: CampaignCheckpoint | None,
+        progress_on: bool,
+        batch: bool = False,
     ) -> None:
         """In-process shard loop with per-trial telemetry + heartbeats.
 
@@ -759,7 +813,9 @@ class FaultInjector:
 
         for shard_index, shard_trials in remaining:
 
-            def on_trial(outcome: Outcome, n_faults: int, latency) -> None:
+            def on_trial(
+                outcome: Outcome, n_faults: int, latency: int | None
+            ) -> None:
                 nonlocal trial_index
                 counts[outcome] = counts.get(outcome, 0) + 1
                 if emit_trials:
@@ -789,9 +845,17 @@ class FaultInjector:
             )
 
     def _run_shards_pool(
-        self, remaining, seed, reference_dyn, jobs, absorb, lost_shards,
-        retries: int, retry_backoff: float,
-        shard_timeout: float | None = None, batch: bool = False,
+        self,
+        remaining: list[tuple[int, int]],
+        seed: int,
+        reference_dyn: int | None,
+        jobs: int,
+        absorb: Callable[[ShardResult, bool], None],
+        lost_shards: list[int],
+        retries: int,
+        retry_backoff: float,
+        shard_timeout: float | None = None,
+        batch: bool = False,
     ) -> None:
         """Fan shards out over a process pool; merge as they complete.
 
@@ -849,8 +913,13 @@ _worker_injector: FaultInjector | None = None
 
 
 def _init_campaign_worker(
-    program, mem_words, frame_words, fault_model,
-    backend=None, snapshots=True, snapshot_count=SNAPSHOT_COUNT,
+    program: Program,
+    mem_words: int | None,
+    frame_words: int,
+    fault_model: str,
+    backend: str | None = None,
+    snapshots: bool = True,
+    snapshot_count: int = SNAPSHOT_COUNT,
 ) -> None:
     global _worker_injector
     # The init span makes pool spin-up cost explicit on each worker's trace
@@ -866,7 +935,7 @@ def _init_campaign_worker(
         sp.set(fault_model=fault_model, snapshots=snapshots)
 
 
-def _campaign_shard_worker(task) -> ShardResult:
+def _campaign_shard_worker(task: tuple[int, int, int, int | None]) -> ShardResult:
     shard_index, shard_trials, seed, reference_dyn = task
     assert _worker_injector is not None, "worker initializer did not run"
     return _worker_injector.run_shard(
@@ -874,12 +943,14 @@ def _campaign_shard_worker(task) -> ShardResult:
     )
 
 
-def _campaign_task_worker(task) -> list[ShardResult]:
+def _campaign_task_worker(
+    task: list[tuple[int, int, int, int | None, bool]],
+) -> list[ShardResult]:
     """Run a cost-calibrated group of shards in one pool dispatch."""
     from repro.chaos import chaos_point
 
     assert _worker_injector is not None, "worker initializer did not run"
-    out = []
+    out: list[ShardResult] = []
     for shard_index, shard_trials, seed, reference_dyn, batch in task:
         chaos_point("worker.shard")
         out.append(

@@ -35,11 +35,16 @@ pure function of the (seed, shard) RNG stream.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import SimError
 from repro.ir.interp import ALT_OPS, FaultSpec
 from repro.isa.opcodes import Opcode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.faults.injector import FaultInjector
 
 #: Registry of fault-model classes keyed by their public name.
 FAULT_MODELS: dict[str, type["FaultModel"]] = {}
@@ -82,10 +87,10 @@ class FaultModel:
     #: One-line description for docs and ``--help``.
     description = ""
 
-    def prepare(self, injector) -> None:
+    def prepare(self, injector: FaultInjector) -> None:
         """Build per-binary tables (called once, after profiling)."""
 
-    def sample(self, injector, rng: np.random.Generator) -> FaultSpec:
+    def sample(self, injector: FaultInjector, rng: np.random.Generator) -> FaultSpec:
         raise NotImplementedError
 
 
@@ -96,7 +101,7 @@ class RegBitModel(FaultModel):
     name = "reg-bit"
     description = "single bit flip in a sampled instruction's output register"
 
-    def sample(self, injector, rng: np.random.Generator) -> FaultSpec:
+    def sample(self, injector: FaultInjector, rng: np.random.Generator) -> FaultSpec:
         # The legacy sampling path: do not touch — its RNG draw sequence is
         # part of the reproducibility contract for default campaigns.
         return injector.sample_fault(rng)
@@ -109,7 +114,7 @@ class BurstModel(FaultModel):
     name = "burst"
     description = "2-4 adjacent-bit burst in a sampled output register"
 
-    def sample(self, injector, rng: np.random.Generator) -> FaultSpec:
+    def sample(self, injector: FaultInjector, rng: np.random.Generator) -> FaultSpec:
         base = injector.sample_fault(rng)
         width = int(rng.integers(2, 5))
         return FaultSpec(
@@ -126,7 +131,7 @@ class ControlFlowModel(FaultModel):
     name = "cf"
     description = "invert a sampled branch decision / redirect a sampled jump"
 
-    def prepare(self, injector) -> None:
+    def prepare(self, injector: FaultInjector) -> None:
         program = injector.program
         func = program.main
         self._labels = sorted(b.label for b in func.blocks())
@@ -136,7 +141,9 @@ class ControlFlowModel(FaultModel):
         block_cf_is_jmp: dict[str, list[bool]] = {}
         block_cf_target: dict[str, list[str]] = {}
         for block in func.blocks():
-            positions, is_jmp, target = [], [], []
+            positions: list[int] = []
+            is_jmp: list[bool] = []
+            target: list[str] = []
             for i, insn in enumerate(block.instructions):
                 if insn.opcode in (Opcode.BRT, Opcode.BRF):
                     positions.append(i)
@@ -162,7 +169,7 @@ class ControlFlowModel(FaultModel):
         if self.n_cf_sites == 0:
             raise SimError("program executes no branches — cf model unusable")
 
-    def sample(self, injector, rng: np.random.Generator) -> FaultSpec:
+    def sample(self, injector: FaultInjector, rng: np.random.Generator) -> FaultSpec:
         site = int(rng.integers(self.n_cf_sites))
         visit = int(np.searchsorted(self._cf_cum, site, side="right"))
         label = injector.golden.block_trace[visit]
@@ -186,12 +193,12 @@ class MemoryModel(FaultModel):
     name = "mem"
     description = "single bit flip in a sampled data-memory word"
 
-    def prepare(self, injector) -> None:
+    def prepare(self, injector: FaultInjector) -> None:
         self._mem_words = injector.interp.mem_words
         if self._mem_words <= 1:
             raise SimError("program has no addressable data memory")
 
-    def sample(self, injector, rng: np.random.Generator) -> FaultSpec:
+    def sample(self, injector: FaultInjector, rng: np.random.Generator) -> FaultSpec:
         dyn_index = int(rng.integers(max(1, injector.golden.dyn_instructions)))
         addr = int(rng.integers(1, self._mem_words))
         bit = int(rng.integers(64))
@@ -205,7 +212,7 @@ class OpcodeModel(FaultModel):
     name = "opcode"
     description = "replace a sampled instruction's result with another op's"
 
-    def sample(self, injector, rng: np.random.Generator) -> FaultSpec:
+    def sample(self, injector: FaultInjector, rng: np.random.Generator) -> FaultSpec:
         base = injector.sample_fault(rng)
         alt = int(rng.integers(len(ALT_OPS)))
         return FaultSpec(

@@ -28,17 +28,18 @@ from repro.passes.dce import DeadCodeEliminationPass
 from repro.passes.licm import LoopInvariantCodeMotion
 from repro.passes.simplify_cfg import SimplifyCFGPass
 from repro.passes.error_detection import ErrorDetectionInfo, ErrorDetectionPass
-from repro.passes.assignment import (
-    CastedAssignmentPass,
-    DcedAssignmentPass,
-    ScedAssignmentPass,
-)
 from repro.passes.regalloc import LinearScanAllocator, RegAllocResult
 from repro.passes.scheduler import ListScheduler, ScheduleResult
+from repro.schemes import SchemeInfo, get_scheme_info
 
 
 class Scheme(enum.Enum):
-    """The four code-generation policies the paper evaluates."""
+    """The four code-generation policies the paper evaluates.
+
+    The enum is the typed handle; the per-scheme *facts* (replication,
+    check placement, cluster policy, assignment pass) live in the
+    :mod:`repro.schemes` registry and are reached through :attr:`info`.
+    """
 
     NOED = "noed"  # no error detection, single cluster
     SCED = "sced"  # error detection, everything on one cluster
@@ -46,8 +47,13 @@ class Scheme(enum.Enum):
     CASTED = "casted"  # error detection, adaptive BUG placement
 
     @property
+    def info(self) -> SchemeInfo:
+        """This scheme's :class:`repro.schemes.SchemeInfo` record."""
+        return get_scheme_info(self.value)
+
+    @property
     def protected(self) -> bool:
-        return self is not Scheme.NOED
+        return self.info.replicates
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Scheme.{self.name}"
@@ -113,16 +119,14 @@ def _assignment_pass(
     casted_safety_net: bool,
     block_profile: dict[str, int] | None,
 ) -> FunctionPass:
-    if scheme in (Scheme.NOED, Scheme.SCED):
-        return ScedAssignmentPass(cluster=0)
-    if scheme is Scheme.DCED:
-        return DcedAssignmentPass()
-    if scheme is Scheme.CASTED:
-        kwargs = {"safety_net": casted_safety_net, "block_profile": block_profile}
-        if casted_candidates is not None:
-            kwargs["candidates"] = casted_candidates
-        return CastedAssignmentPass(**kwargs)
-    raise PassError(f"unknown scheme {scheme}")  # pragma: no cover
+    factory = scheme.info.make_assignment
+    if factory is None:  # pragma: no cover - every registered scheme has one
+        raise PassError(f"scheme {scheme} has no assignment pass")
+    return factory(
+        casted_candidates=casted_candidates,
+        casted_safety_net=casted_safety_net,
+        block_profile=block_profile,
+    )
 
 
 def compile_program(
@@ -163,8 +167,10 @@ def compile_program(
       pre-regalloc IR on the result (``CompiledProgram.pre_regalloc``) for
       the protection linter (:mod:`repro.analysis.lint`).
     """
-    if scheme is not Scheme.NOED and machine.n_clusters < 2 and scheme is not Scheme.SCED:
-        raise PassError(f"{scheme} needs at least 2 clusters")
+    if machine.n_clusters < scheme.info.min_clusters:
+        raise PassError(
+            f"{scheme} needs at least {scheme.info.min_clusters} clusters"
+        )
 
     program = source.clone()
     ctx = PassContext(machine=machine)

@@ -100,7 +100,7 @@ class RecoveryCampaignResult:
     @property
     def correct_completion_rate(self) -> float:
         """Runs that finished with the right answer (benign or recovered)."""
-        return self.fraction("benign") + self.fraction("recovered")
+        return self.fraction(Outcome.BENIGN.value) + self.fraction("recovered")
 
     @property
     def recovery_overhead(self) -> float:
@@ -162,7 +162,7 @@ def run_recovery_campaign(
                 key = (
                     "recovered"
                     if classify(golden, rec.final) is Outcome.BENIGN
-                    else "data-corrupt"
+                    else Outcome.SDC.value
                 )
             else:
                 key = classify(golden, rec.final).value

@@ -8,6 +8,7 @@ and stacked coverage bars like Fig. 9/10.  Used by the examples, the CLI
 
 from __future__ import annotations
 
+from repro.faults.classify import OUTCOME_ORDER, Outcome
 from repro.ir.basic_block import BasicBlock
 from repro.machine.config import MachineConfig
 from repro.passes.scheduler import BlockSchedule
@@ -128,13 +129,9 @@ def dfg_to_dot(block: BasicBlock, name: str | None = None) -> str:
     return "\n".join(lines)
 
 
-#: Glyph per outcome, in the canonical stacking order.
-_BAR_GLYPHS = {
-    "benign": ".",
-    "detected": "D",
-    "exception": "E",
-    "data-corrupt": "X",
-    "timeout": "T",
+#: Glyph per outcome value, in the taxonomy's canonical stacking order.
+_BAR_GLYPHS: dict[str, str] = {
+    o.value: glyph for o, glyph in zip(OUTCOME_ORDER, ".DEXT")
 }
 
 
@@ -154,6 +151,8 @@ def render_coverage_bars(
         for outcome, glyph in _BAR_GLYPHS.items():
             bar += glyph * round(fractions.get(outcome, 0.0) * width)
         bar = (bar + " " * width)[:width]
-        sdc = fractions.get("data-corrupt", 0.0) + fractions.get("timeout", 0.0)
+        sdc = fractions.get(Outcome.SDC.value, 0.0) + fractions.get(
+            Outcome.TIMEOUT.value, 0.0
+        )
         lines.append(f"{label.ljust(label_w)} |{bar}| SDC+TO {sdc * 100:4.1f}%")
     return "\n".join(lines)

@@ -8,6 +8,7 @@ output — the three cases the paper's coverage discussion rests on.
 
 import pytest
 
+from repro.faults.classify import Outcome
 from repro.frontend import compile_source
 from repro.ir.interp import ExitKind, FaultSpec, Interpreter
 from repro.isa.instruction import Role
@@ -64,13 +65,15 @@ def outcomes_for_role(compiled, interp, role, bit=13):
         if insn.role is role and insn.dests:
             r = interp.run(faults=(FaultSpec(dyn, bit),))
             if r.kind is ExitKind.DETECTED:
-                results.append("detected")
+                results.append(Outcome.DETECTED)
             elif r.kind is ExitKind.EXCEPTION:
-                results.append("exception")
+                results.append(Outcome.EXCEPTION)
             elif r.architectural_state == golden.architectural_state:
-                results.append("benign")
+                # Stricter than classify(): full architectural equality,
+                # not just output equality.
+                results.append(Outcome.BENIGN)
             else:
-                results.append("sdc")
+                results.append(Outcome.SDC)
     return results
 
 
@@ -91,18 +94,18 @@ class TestMechanism:
             )
             if not insn_is_lib(insn)
         ]
-        assert "sdc" not in protected
+        assert Outcome.SDC not in protected
 
     def test_replica_stream_faults_never_silent(self, compiled, interp):
         outcomes = outcomes_for_role(compiled, interp, Role.DUP)
         assert outcomes  # replicas exist
-        assert set(outcomes) <= {"detected", "benign", "exception"}
+        assert set(outcomes) <= {Outcome.DETECTED, Outcome.BENIGN, Outcome.EXCEPTION}
 
     def test_check_predicate_faults_cause_detection_not_sdc(self, compiled, interp):
         outcomes = outcomes_for_role(compiled, interp, Role.CHECK)
         # flipping a check predicate fires the check (false positive) or is
         # benign (the CHKBR already consumed it); never silent corruption
-        assert set(outcomes) <= {"detected", "benign"}
+        assert set(outcomes) <= {Outcome.DETECTED, Outcome.BENIGN}
 
     def test_library_faults_can_slip_through(self, compiled, interp):
         golden = interp.run()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.frontend import compile_source
 from repro.ir.basic_block import DETECT_LABEL
-from repro.ir.interp import Interpreter
+from repro.ir.interp import ExitKind, Interpreter
 from repro.ir.program import Program
 from repro.ir.verifier import verify_program
 from repro.isa.instruction import Role
@@ -236,7 +236,7 @@ class TestSemanticsAndStats:
 
     def test_no_checks_fire_fault_free(self, protected_loop):
         prog, _ = protected_loop
-        assert Interpreter(prog).run().kind.value == "ok"
+        assert Interpreter(prog).run().kind is ExitKind.OK
 
     def test_second_run_refused(self, protected_loop):
         # Double protection is meaningless; the pass must refuse to re-run.

@@ -65,12 +65,13 @@ class TestPipelineEdges:
     def test_sced_works_on_single_cluster(self):
         from repro.machine.config import MachineConfig
         from repro.pipeline import Scheme, compile_program
+        from repro.ir.interp import ExitKind
         from repro.sim.executor import VLIWExecutor
         from tests.conftest import build_loop_program
 
         machine = MachineConfig(n_clusters=1, issue_width=2, inter_cluster_delay=0)
         cp = compile_program(build_loop_program(), Scheme.SCED, machine)
-        assert VLIWExecutor(cp).run().kind.value == "ok"
+        assert VLIWExecutor(cp).run().kind is ExitKind.OK
 
     def test_bad_casted_candidates_rejected(self):
         from repro.errors import PassError

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults.classify import Outcome
 from repro.eval.experiment import Evaluator
 from repro.eval.metrics import ilp_scaling, slowdown, summarize_scheme_slowdowns
 from repro.eval.figures import (
@@ -131,7 +132,7 @@ class TestRenderers:
     def test_fig9(self, ev):
         data = fig9_data(ev, ["mcf"], trials=20)
         text = render_fig9(data)
-        assert "benign" in text and "data-corrupt" in text
+        assert Outcome.BENIGN.value in text and Outcome.SDC.value in text
         assert "%" in text
 
     def test_table1(self):

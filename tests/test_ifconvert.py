@@ -3,7 +3,7 @@
 import pytest
 
 from repro.frontend import compile_source
-from repro.ir.interp import Interpreter
+from repro.ir.interp import ExitKind, Interpreter
 from repro.ir.verifier import verify_program
 from repro.isa.opcodes import Opcode
 from repro.machine.config import MachineConfig
@@ -175,7 +175,7 @@ class TestPipelineIntegration:
         def inner(source):
             prog = compile_source(source)
             golden = Interpreter(prog).run(max_steps=2_000_000)
-            if golden.kind.value != "ok":
+            if golden.kind is not ExitKind.OK:
                 return
             machine = MachineConfig(issue_width=2, inter_cluster_delay=2)
             cp = compile_program(prog, Scheme.CASTED, machine, if_convert=True)

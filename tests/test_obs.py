@@ -13,6 +13,7 @@ from repro.obs.progress import ProgressEvent, ProgressTracker
 from repro.obs.report import summarize_trace
 from repro.obs.telemetry import NULL_SPAN, Telemetry
 from repro.obs.trace import Tracer, read_trace
+from repro.ir.interp import ExitKind
 from repro.machine.config import MachineConfig
 from repro.pipeline import Scheme, compile_program
 from repro.sim.executor import VLIWExecutor
@@ -394,7 +395,7 @@ class TestFunctionalRun:
         compiled = compile_program(build_loop_program(4), Scheme.DCED, machine)
         executor = VLIWExecutor(compiled)
         result = executor.functional_run(record_trace=True)
-        assert result.kind.value == "ok"
+        assert result.kind is ExitKind.OK
         assert result.block_trace
         assert result.block_trace[0] == compiled.program.main.entry.label
         # without the flag no trace is recorded

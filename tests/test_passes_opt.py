@@ -2,7 +2,7 @@
 
 
 from repro.ir.builder import IRBuilder
-from repro.ir.interp import Interpreter
+from repro.ir.interp import ExitKind, Interpreter
 from repro.ir.program import Program
 from repro.ir.verifier import verify_program
 from repro.isa.instruction import Role
@@ -85,7 +85,7 @@ class TestConstFold:
         prog = Program(b.function)
         run_pass(ConstFoldPass(), prog)
         assert count_ops(prog, Opcode.DIV) == 1  # trap preserved
-        assert Interpreter(prog).run().kind.value == "exception"
+        assert Interpreter(prog).run().kind is ExitKind.EXCEPTION
 
     def test_tracking_invalidated_on_redefinition(self):
         b = IRBuilder("main")

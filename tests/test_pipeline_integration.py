@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir.interp import Interpreter
+from repro.ir.interp import ExitKind, Interpreter
 from repro.isa.instruction import Role
 from repro.machine.config import MachineConfig
 from repro.pipeline import Scheme, compile_program
@@ -59,7 +59,7 @@ class TestAllWorkloadsAllSchemes:
     def test_functional_equivalence(self, name):
         machine = MachineConfig(issue_width=2, inter_cluster_delay=2)
         golden = Interpreter(get_workload(name).program).run()
-        assert golden.kind.value == "ok"
+        assert golden.kind is ExitKind.OK
         for scheme in Scheme:
             cp = compile_program(get_workload(name).program, scheme, machine)
             r = VLIWExecutor(cp).run()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import RegAllocError
 from repro.ir.builder import IRBuilder
-from repro.ir.interp import Interpreter
+from repro.ir.interp import ExitKind, Interpreter
 from repro.ir.program import Program
 from repro.ir.verifier import verify_program
 from repro.isa.instruction import Role
@@ -142,5 +142,5 @@ class TestEDInteraction:
         ErrorDetectionPass().run(prog, PassContext())
         result = allocate(prog, tiny_machine(gp=10, pr=8))
         r = Interpreter(prog, frame_words=result.frame_words).run()
-        assert r.kind.value == "ok"
+        assert r.kind is ExitKind.OK
         assert r.output == golden.output

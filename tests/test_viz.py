@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.faults.classify import Outcome
 from repro.machine.config import MachineConfig
 from repro.pipeline import Scheme, compile_program
 from repro.viz import render_block_schedule, render_coverage_bars, render_occupancy
@@ -63,9 +64,17 @@ class TestOccupancy:
 
 class TestCoverageBars:
     DATA = {
-        "noed": {"benign": 0.2, "exception": 0.3, "data-corrupt": 0.5},
-        "casted": {"benign": 0.1, "detected": 0.7, "exception": 0.15,
-                   "data-corrupt": 0.05},
+        "noed": {
+            Outcome.BENIGN.value: 0.2,
+            Outcome.EXCEPTION.value: 0.3,
+            Outcome.SDC.value: 0.5,
+        },
+        "casted": {
+            Outcome.BENIGN.value: 0.1,
+            Outcome.DETECTED.value: 0.7,
+            Outcome.EXCEPTION.value: 0.15,
+            Outcome.SDC.value: 0.05,
+        },
     }
 
     def test_bars_render(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir.interp import Interpreter
+from repro.ir.interp import ExitKind, Interpreter
 from repro.isa.opcodes import Opcode
 from repro.workloads import all_workloads, get_workload, workload_names
 
@@ -45,7 +45,7 @@ class TestExecution:
     @pytest.mark.parametrize("name", sorted(EXPECTED))
     def test_runs_clean(self, name):
         r = Interpreter(get_workload(name).program).run()
-        assert r.kind.value == "ok"
+        assert r.kind is ExitKind.OK
         assert r.exit_code == 0
         assert len(r.output) >= 3, "needs enough output for SDC detection"
 
