@@ -54,7 +54,12 @@ from pathlib import Path
 from repro.eval.experiment import Evaluator
 from repro.faults.injector import FaultInjector
 from repro.machine.config import MachineConfig
-from repro.parallel import SHARD_TRIALS, effective_cores, resolve_jobs
+from repro.parallel import (
+    SHARD_TRIALS,
+    WorkerPool,
+    effective_cores,
+    resolve_jobs,
+)
 from repro.pipeline import Scheme, compile_program
 from repro.sim.executor import VLIWExecutor
 from repro.workloads import get_workload
@@ -194,6 +199,60 @@ def bench_campaign(trials: int, jobs: int, seed: int = 2013) -> dict:
         f"  + jobs={jobs}                  {parallel_s:6.2f}s "
         f"({trials / parallel_s:7.1f}/s)  {speedup_pool:.2f}x over serial"
     )
+
+    # Pool-warm scale cohort: the parallel layer measured the way real
+    # campaigns now run — one persistent WorkerPool reused across reps, at
+    # a trial count large enough (>= 4 full task waves per worker) that the
+    # adaptive shard grouping has something to amortize.  Comparing against
+    # the serial *batched* engine at the same scale isolates what the pool
+    # itself buys; ``pool_efficiency`` normalizes by the worker count the
+    # scheduler can actually run side by side.
+    pool_report: dict = {}
+    if jobs >= 2:
+        scale_trials = max(trials, jobs * 4 * SHARD_TRIALS)
+        scale_serial, scale_serial_s = _median3(
+            lambda: full_inj.run_campaign(
+                scale_trials, seed, jobs=1, batch=True
+            )
+        )
+        with WorkerPool(jobs) as pool:
+            warm = full_inj.run_campaign(scale_trials, seed, jobs=jobs)
+            scale_parallel, scale_parallel_s = _median3(
+                lambda: full_inj.run_campaign(scale_trials, seed, jobs=jobs)
+            )
+            spawns, reuses = pool.spawns, pool.reuses
+        assert signature(warm) == signature(scale_parallel) == signature(
+            scale_serial
+        ), (
+            "determinism contract violated: pool-warm campaign differs from "
+            "the serial batched campaign at the same scale"
+        )
+        assert spawns == 1, (
+            f"persistent pool regressed: {spawns} worker-pool spawns across "
+            f"4 campaign runs (expected exactly 1)"
+        )
+        speedup_warm = (
+            scale_serial_s / scale_parallel_s if scale_parallel_s > 0 else 0.0
+        )
+        workers = min(jobs, effective_cores())
+        pool_efficiency = speedup_warm / workers
+        print(
+            f"  pool-warm, {scale_trials} trials  "
+            f"serial {scale_serial_s:6.2f}s  jobs={jobs} "
+            f"{scale_parallel_s:6.2f}s  {speedup_warm:.2f}x "
+            f"({pool_efficiency:.0%} of {workers} workers; "
+            f"spawns={spawns} reuses={reuses})"
+        )
+        pool_report = {
+            "scale_trials": scale_trials,
+            "scale_serial_s": round(scale_serial_s, 3),
+            "scale_parallel_s": round(scale_parallel_s, 3),
+            "speedup_warm": round(speedup_warm, 2),
+            "pool_efficiency": round(pool_efficiency, 2),
+            "pool_spawns": spawns,
+            "pool_reuses": reuses,
+        }
+
     return {
         "workload": "parser",
         "scheme": "casted",
@@ -215,6 +274,7 @@ def bench_campaign(trials: int, jobs: int, seed: int = 2013) -> dict:
         "speedup_batch_vs_baseline": round(speedup_batch_vs_baseline, 2),
         "speedup": round(speedup_pool, 2),
         "deterministic": True,
+        **pool_report,
     }
 
 
@@ -285,6 +345,14 @@ def main(argv: list[str] | None = None) -> int:
         "--assert-batch-speedup", type=float, default=None, metavar="X",
         help="fail unless the batched engine is at least X times faster "
         "than the interp/replay baseline (serial, same campaign)",
+    )
+    parser.add_argument(
+        "--assert-pool-efficiency", type=float, default=None, metavar="F",
+        help="fail unless the pool-warm campaign reaches at least F x "
+        "min(jobs, cores) speedup over the serial batched engine; only "
+        "enforced when the parallel timings are meaningful (>= 4 effective "
+        "cores, >= 4 jobs, no oversubscription) — skipped with a note "
+        "otherwise",
     )
     parser.add_argument(
         "--out", default="BENCH_speed.json", help="output JSON path"
@@ -358,6 +426,26 @@ def main(argv: list[str] | None = None) -> int:
             f"batched speedup gate passed: {got}x >= "
             f"{args.assert_batch_speedup}x"
         )
+
+    if args.assert_pool_efficiency is not None:
+        if parallel_meaningful and cores >= 4 and jobs >= 4:
+            got = report["campaign"]["pool_efficiency"]
+            assert got >= args.assert_pool_efficiency, (
+                f"parallel efficiency regressed: the pool-warm campaign "
+                f"reaches only {got:.0%} of {min(jobs, cores)} workers "
+                f"(required >= {args.assert_pool_efficiency:.0%})"
+            )
+            print(
+                f"pool efficiency gate passed: {got:.0%} >= "
+                f"{args.assert_pool_efficiency:.0%}"
+            )
+        else:
+            print(
+                "note: pool-efficiency gate skipped "
+                f"(jobs={jobs}, effective_cores={cores}; needs >= 4 of "
+                "each without oversubscription)",
+                file=sys.stderr,
+            )
 
     if not parallel_meaningful:
         print(

@@ -19,6 +19,9 @@ cohort.  Ratio checks are hardware-independent and always apply:
 * the pool speedup floor applies only when the report says the parallel
   measurement was meaningful (``parallel_meaningful``: enough effective
   cores for the worker count — see bench_speed.py) on a >= 4-core box;
+* under the same conditions, the pool-warm cohort's parallel efficiency
+  (``pool_efficiency``: speedup over the serial batched engine normalized
+  by min(jobs, cores)) must stay >= ``MIN_POOL_EFFICIENCY``;
 * within the cohort, serial campaign trials/s and executor insn/s must not
   drop more than ``MAX_DROP_FRAC`` below the cohort median.
 
@@ -58,6 +61,10 @@ MIN_BATCH_SPEEDUP = 3.0
 #: Pool speedup floor, applied only to meaningful parallel measurements on
 #: a >= 4-core machine.
 MIN_POOL_SPEEDUP = 1.5
+#: Parallel-efficiency floor for the pool-warm cohort (speedup over the
+#: serial batched engine, normalized by min(jobs, cores)); applied under
+#: the same meaningful-parallel conditions as the pool speedup floor.
+MIN_POOL_EFFICIENCY = 0.7
 #: Maximum tolerated drop of an absolute throughput below its same-cohort
 #: historical median.
 MAX_DROP_FRAC = 0.15
@@ -93,6 +100,9 @@ def entry_from_report(report: dict) -> dict:
         "speedup_batch": campaign.get("speedup_batch"),
         "speedup_batch_vs_baseline": campaign.get("speedup_batch_vs_baseline"),
         "speedup_pool": campaign.get("speedup"),
+        # Pool-warm cohort (absent in pre-pool reports and jobs<2 runs).
+        "speedup_warm": campaign.get("speedup_warm"),
+        "pool_efficiency": campaign.get("pool_efficiency"),
         "speedup_sweep": sweep.get("speedup"),
     }
 
@@ -145,6 +155,20 @@ def check(candidate: dict, history: list[dict]) -> list[str]:
             f"pool speedup {pool}x is below the {MIN_POOL_SPEEDUP}x floor "
             f"on a {candidate['effective_cores']}-core machine "
             f"(jobs={candidate['jobs']})"
+        )
+    eff = candidate.get("pool_efficiency")
+    if (
+        candidate.get("parallel_meaningful")
+        and (candidate.get("effective_cores") or 0) >= 4
+        and (candidate.get("jobs") or 0) >= 4
+        and eff is not None
+        and eff < MIN_POOL_EFFICIENCY
+    ):
+        failures.append(
+            f"parallel efficiency {eff:.0%} is below the "
+            f"{MIN_POOL_EFFICIENCY:.0%} floor (pool-warm campaign vs serial "
+            f"batched engine on a {candidate['effective_cores']}-core "
+            f"machine, jobs={candidate['jobs']})"
         )
 
     # -- same-cohort absolute throughput -----------------------------------
@@ -216,6 +240,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"serial {e.get('trials_per_s_serial', '?')}/s  "
                 f"batched {e.get('trials_per_s_serial_batched', '?')}/s  "
                 f"pool {e.get('speedup_pool', '?')}x  "
+                f"warm-eff {e.get('pool_efficiency', '?')}  "
                 f"vs-baseline {e.get('speedup_vs_baseline', '?')}x"
             )
         print(f"{len(history)} entries in {history_path}")

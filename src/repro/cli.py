@@ -449,12 +449,17 @@ def cmd_inject(args) -> int:
         progress = print_progress
     jobs = _jobs(args)
     t0 = time.perf_counter()
-    res = injector.run_campaign(
-        args.trials, args.seed, reference_dyn=reference,
-        progress=progress, heartbeat=args.heartbeat, jobs=jobs,
-        checkpoint=args.checkpoint, resume=args.resume,
-        batch=args.batch,
-    )
+    # The CLI owns the pool scope: everything this command fans out —
+    # calibration wave, adaptive wave, retry rounds — shares one spawn.
+    from repro.parallel import ensure_pool
+
+    with ensure_pool(jobs):
+        res = injector.run_campaign(
+            args.trials, args.seed, reference_dyn=reference,
+            progress=progress, heartbeat=args.heartbeat, jobs=jobs,
+            checkpoint=args.checkpoint, resume=args.resume,
+            batch=args.batch,
+        )
     wall_s = time.perf_counter() - t0
     if args.ledger:
         _record_campaign_run(
@@ -502,7 +507,7 @@ def _sweep_cell_worker(task) -> dict[str, int]:
 
 def cmd_sweep(args) -> int:
     from repro.obs.telemetry import get_telemetry
-    from repro.parallel import parallel_map
+    from repro.parallel import ensure_pool, parallel_map
 
     tasks = [
         (args.program, iw, d, args.backend)
@@ -510,10 +515,12 @@ def cmd_sweep(args) -> int:
         for d in args.delays
     ]
     tel = get_telemetry()
+    jobs = _jobs(args)
     tel.event(
-        "sweep-start", program=args.program, points=len(tasks), jobs=_jobs(args)
+        "sweep-start", program=args.program, points=len(tasks), jobs=jobs
     )
-    cells = parallel_map(_sweep_cell_worker, tasks, jobs=_jobs(args))
+    with ensure_pool(jobs):
+        cells = parallel_map(_sweep_cell_worker, tasks, jobs=jobs)
     tel.event("sweep-end", program=args.program, points=len(tasks))
     rows = []
     for (_, iw, d, _backend), cycles in zip(tasks, cells):

@@ -27,7 +27,6 @@ it.
 from __future__ import annotations
 
 import hashlib
-import re
 import json
 import logging
 import os
@@ -38,7 +37,7 @@ from pathlib import Path
 from repro.faults.classify import Outcome
 from repro.ir.interp import ExitKind
 from repro.faults.injector import CampaignResult, FaultInjector
-from repro.ir.printer import print_program
+from repro.ir.printer import canonical_program_text
 from repro.machine.config import MachineConfig
 from repro.obs import get_telemetry
 from repro.obs.progress import ProgressCallback, ProgressTracker
@@ -125,20 +124,10 @@ def _scheme_delay(scheme: Scheme, delay: int) -> int:
 _INJECTOR_CACHE: OrderedDict[tuple, FaultInjector] = OrderedDict()
 _INJECTOR_CACHE_MAX = 8
 
-#: ``!of<uid>`` tags print process-global instruction uids, which differ
-#: between otherwise-identical compiles of the same source.  ``dup_of`` is
-#: compiler-pass metadata the simulator and injector never read, so hashing
-#: a first-appearance renumbering keeps the key content-exact while letting
-#: repeated compiles of the same program share one golden run.
-_DUP_OF_TAG = re.compile(r"!of(\d+)")
-
-
-def _canonical_program_text(program) -> str:
-    ids: dict[str, str] = {}
-    return _DUP_OF_TAG.sub(
-        lambda m: "!of" + ids.setdefault(m.group(1), str(len(ids))),
-        print_program(program),
-    )
+#: Content-exact program identity (``!of<uid>`` tags renumbered); lives in
+#: :mod:`repro.ir.printer` now that the worker pool's content-addressed
+#: cache shares it.  Kept under the old private name for callers/tests.
+_canonical_program_text = canonical_program_text
 
 
 def _cached_injector(cp: CompiledProgram, fault_model: str) -> FaultInjector:

@@ -46,8 +46,10 @@ Sharding also buys **resilience** (``docs/fault_injection.md``):
 
 from __future__ import annotations
 
+import hashlib
 import logging
 import os
+import statistics
 import time
 from bisect import bisect_right
 from collections.abc import Callable
@@ -67,19 +69,30 @@ from repro.faults.classify import (
     detection_latency,
 )
 from repro.faults.models import DEFAULT_FAULT_MODEL, get_fault_model
-from repro.ir.interp import FaultSpec, Interpreter, RunResult, Snapshot
+from repro.ir.interp import (
+    ConvergenceIndex,
+    FaultSpec,
+    Interpreter,
+    RunResult,
+    Snapshot,
+)
+from repro.ir.printer import canonical_program_text
 from repro.ir.program import Program
 from repro.isa.registers import RegClass
 from repro.obs import Telemetry, get_telemetry
 from repro.obs.progress import ProgressCallback, ProgressTracker
 from repro.parallel import (
     SHARD_TRIALS,
+    PickledOnce,
+    ensure_pool,
     parallel_map,
     plan_shards,
     plan_task_groups,
     resolve_jobs,
+    worker_cached,
 )
 from repro.sim.batch import BatchRunner, GroupStats, TrialPlan
+from repro.sim.shared import SharedSnapshots
 from repro.utils.rng import make_rng
 
 logger = logging.getLogger(__name__)
@@ -241,6 +254,67 @@ class CampaignResult:
         )
 
 
+@dataclass(frozen=True)
+class WorkerProfile:
+    """A parent injector's profiling results, packaged for pool workers.
+
+    Everything :class:`FaultInjector` computes by *executing* the program —
+    the golden run, its wall cost, and the architectural snapshots — so a
+    worker-side rebuild only re-decodes the program (the compiled closures
+    don't pickle) and skips both golden replays.  Snapshots travel as a
+    :class:`~repro.sim.shared.SharedSnapshots` shared-memory handle, never
+    as pickled register/memory arrays.
+    """
+
+    golden: RunResult
+    golden_run_seconds: float
+    snapshots: SharedSnapshots | None
+
+
+class CampaignWorkerSpec:
+    """A content-addressed recipe for building a campaign injector in a worker.
+
+    ``key`` digests everything the built injector depends on (canonical
+    program text, geometry, fault model, resolved backend, snapshot
+    config), so :func:`repro.parallel.worker_cached` can reuse one injector
+    across every task — of every map — that shares the key.  ``payload``
+    is pickled once in the parent (:class:`~repro.parallel.PickledOnce`):
+    tasks ship the same immutable bytes, and a worker whose cache already
+    holds ``key`` never even unpickles them.
+    """
+
+    __slots__ = ("key", "payload")
+
+    def __init__(self, key: str, payload: PickledOnce) -> None:
+        self.key = key
+        self.payload = payload
+
+    def build(self) -> "FaultInjector":
+        # The init span marks worker-cache misses on each worker's trace
+        # lane: with the persistent pool it appears once per (workload,
+        # scheme) per worker, not once per map.
+        with get_telemetry().span("worker:init", cat="worker") as sp:
+            ctor_args, profile = self.payload.load()
+            (
+                program, mem_words, frame_words, fault_model,
+                backend, snapshots, snapshot_count,
+            ) = ctor_args
+            injector = FaultInjector(
+                program, mem_words=mem_words, frame_words=frame_words,
+                fault_model=fault_model, backend=backend,
+                snapshots=snapshots, snapshot_count=snapshot_count,
+                profile=profile,
+            )
+            sp.set(fault_model=fault_model, snapshots=snapshots)
+        return injector
+
+    def __getstate__(self) -> tuple[str, PickledOnce]:
+        return (self.key, self.payload)
+
+    def __setstate__(self, state: tuple[str, PickledOnce]) -> None:
+        self.key, self.payload = state
+
+
 class FaultInjector:
     """Profile once, inject many times."""
 
@@ -253,6 +327,7 @@ class FaultInjector:
         backend: str | None = None,
         snapshots: bool = True,
         snapshot_count: int = SNAPSHOT_COUNT,
+        profile: WorkerProfile | None = None,
     ) -> None:
         # Kept so campaign shards can rebuild an identical injector inside
         # pool workers (the interpreter's compiled closures don't pickle).
@@ -262,45 +337,71 @@ class FaultInjector:
         )
         self.program = program
         tel = get_telemetry()
-        # The profile span covers program decode (the compiled backend's
-        # superblock generation happens on first run) plus the golden run —
-        # in a pool worker this is the per-worker re-decode cost the merged
-        # trace makes visible on that worker's lane.
-        with tel.span(
-            "injector:profile", cat="campaign", timer="campaign.profile.seconds"
-        ) as sp:
-            self.interp = Interpreter(
-                program, mem_words=mem_words, frame_words=frame_words, backend=backend
-            )
-            t0 = time.perf_counter()
-            self.golden: RunResult = self.interp.run(record_trace=True)
-            #: Wall cost of one fault-free execution — the calibration input
-            #: for adaptive pool task sizing (estimated_shard_seconds).
-            self.golden_run_seconds = time.perf_counter() - t0
-            if not self.golden.block_trace:
-                raise SimError("profiling run produced no trace")
-            sp.set(golden_dyn=self.golden.dyn_instructions)
-
-        # Checkpointed injection: replay the golden run once more, recording
-        # architectural snapshots at ~snapshot_count evenly spaced points.
-        # Each trial then restores the nearest snapshot at or before its
-        # earliest fault and executes only the suffix — bit-identical to a
-        # replay from zero, because the pre-fault prefix of every trial *is*
-        # the golden execution.
-        self._snapshots: list[Snapshot] = []
-        self._snap_keys: list[int] = []
-        golden_dyn = self.golden.dyn_instructions
-        if snapshots and snapshot_count > 0 and golden_dyn >= SNAPSHOT_MIN_DYN:
-            with tel.span(
-                "injector:snapshots", cat="campaign",
-                timer="campaign.snapshot_record.seconds",
-            ) as sp:
-                interval = max(1, golden_dyn // snapshot_count)
-                self.interp.run(
-                    snapshot_every=interval, snapshot_sink=self._snapshots
+        if profile is not None:
+            # Worker-side rebuild from a shipped profile: decode the program
+            # but adopt the parent's golden run and attach its snapshots
+            # from shared memory instead of re-executing anything.
+            with tel.span("worker:attach-profile", cat="worker") as sp:
+                self.interp = Interpreter(
+                    program, mem_words=mem_words, frame_words=frame_words,
+                    backend=backend,
                 )
-                self._snap_keys = [s.dyn for s in self._snapshots]
-                sp.set(snapshots=len(self._snapshots))
+                self.golden: RunResult = profile.golden
+                self.golden_run_seconds = profile.golden_run_seconds
+                if not self.golden.block_trace:
+                    raise SimError("shipped golden profile carries no trace")
+                self._snapshots: list[Snapshot] = (
+                    list(profile.snapshots.load())
+                    if profile.snapshots is not None
+                    else []
+                )
+                self._snap_keys: list[int] = [s.dyn for s in self._snapshots]
+                sp.set(
+                    golden_dyn=self.golden.dyn_instructions,
+                    snapshots=len(self._snapshots),
+                )
+        else:
+            # The profile span covers program decode (the compiled backend's
+            # superblock generation happens in the interpreter constructor)
+            # plus the golden run — in a pool worker this is the per-worker
+            # cost the worker cache exists to amortize away.
+            with tel.span(
+                "injector:profile", cat="campaign", timer="campaign.profile.seconds"
+            ) as sp:
+                self.interp = Interpreter(
+                    program, mem_words=mem_words, frame_words=frame_words,
+                    backend=backend,
+                )
+                t0 = time.perf_counter()
+                self.golden = self.interp.run(record_trace=True)
+                #: Wall cost of one fault-free execution — the calibration
+                #: input for adaptive pool task sizing
+                #: (estimated_shard_seconds).
+                self.golden_run_seconds = time.perf_counter() - t0
+                if not self.golden.block_trace:
+                    raise SimError("profiling run produced no trace")
+                sp.set(golden_dyn=self.golden.dyn_instructions)
+
+            # Checkpointed injection: replay the golden run once more,
+            # recording architectural snapshots at ~snapshot_count evenly
+            # spaced points.  Each trial then restores the nearest snapshot
+            # at or before its earliest fault and executes only the suffix —
+            # bit-identical to a replay from zero, because the pre-fault
+            # prefix of every trial *is* the golden execution.
+            self._snapshots = []
+            self._snap_keys = []
+            golden_dyn = self.golden.dyn_instructions
+            if snapshots and snapshot_count > 0 and golden_dyn >= SNAPSHOT_MIN_DYN:
+                with tel.span(
+                    "injector:snapshots", cat="campaign",
+                    timer="campaign.snapshot_record.seconds",
+                ) as sp:
+                    interval = max(1, golden_dyn // snapshot_count)
+                    self.interp.run(
+                        snapshot_every=interval, snapshot_sink=self._snapshots
+                    )
+                    self._snap_keys = [s.dyn for s in self._snapshots]
+                    sp.set(snapshots=len(self._snapshots))
 
         # Per-block static tables.
         func = program.main
@@ -338,6 +439,14 @@ class FaultInjector:
         self.model = get_fault_model(fault_model)
         self.model.prepare(self)
         self._batch_runner: BatchRunner | None = None
+        self._converge_index: ConvergenceIndex | None = None
+        self._worker_spec: CampaignWorkerSpec | None = None
+        #: Parent-side keepalive for exported shared-memory snapshots —
+        #: workers attach by name, and the segment is unlinked when this
+        #: handle (i.e. the injector) is collected.
+        self._shared_snapshots: SharedSnapshots | None = (
+            profile.snapshots if profile is not None else None
+        )
 
     # -- batched execution -------------------------------------------------------
     def resolve_batch(self, batch: bool | None = None) -> bool:
@@ -356,14 +465,24 @@ class FaultInjector:
         return bool(batch)
 
     def batch_runner(self) -> BatchRunner:
-        """The (lazily built) batched group runner over this golden run."""
+        """The (lazily built) batched group runner over this golden run.
+
+        The injector owns the :class:`ConvergenceIndex` (per-snapshot state
+        hashes) and hands the same handle to every runner it builds, so a
+        runner rebuild never re-hashes the snapshots.
+        """
         if self._batch_runner is None:
+            if self._converge_index is None and self._snapshots:
+                self._converge_index = ConvergenceIndex(
+                    self._snapshots, self.golden
+                )
             self._batch_runner = BatchRunner(
                 self.interp,
                 self.golden,
                 self._snapshots,
                 self._visit_dyn_start,
                 self.max_steps,
+                converge=self._converge_index,
             )
         return self._batch_runner
 
@@ -385,6 +504,49 @@ class FaultInjector:
         else:
             per_trial = golden
         return SHARD_TRIALS * per_trial
+
+    def worker_spec(self) -> CampaignWorkerSpec:
+        """The content-addressed build recipe pool workers cache this injector by.
+
+        Memoized: the snapshots are exported to shared memory and the
+        constructor payload pickled exactly once per injector, no matter
+        how many campaigns, dispatch waves, or retry rounds ship it.  The
+        key hashes the *resolved* backend (not the ``None`` the caller may
+        have passed) so a worker rebuild can never resolve differently
+        from the parent.
+        """
+        if self._worker_spec is None:
+            (
+                program, mem_words, frame_words, fault_model,
+                _backend, snapshots, snapshot_count,
+            ) = self._ctor_args
+            digest = hashlib.sha256()
+            digest.update(canonical_program_text(program).encode())
+            digest.update(
+                repr((
+                    mem_words, frame_words, fault_model, self.interp.backend,
+                    snapshots, snapshot_count, len(self._snapshots),
+                )).encode()
+            )
+            shared = (
+                SharedSnapshots.export(self._snapshots)
+                if self._snapshots
+                else None
+            )
+            self._shared_snapshots = shared
+            profile = WorkerProfile(
+                golden=self.golden,
+                golden_run_seconds=self.golden_run_seconds,
+                snapshots=shared,
+            )
+            ctor_args = (
+                program, mem_words, frame_words, fault_model,
+                self.interp.backend, snapshots, snapshot_count,
+            )
+            self._worker_spec = CampaignWorkerSpec(
+                digest.hexdigest(), PickledOnce((ctor_args, profile))
+            )
+        return self._worker_spec
 
     # -- fault-site enumeration ----------------------------------------------
     def site_of(self, dyn_index: int) -> tuple[str, int]:
@@ -859,106 +1021,111 @@ class FaultInjector:
     ) -> None:
         """Fan shards out over a process pool; merge as they complete.
 
-        Shards are grouped into pool *tasks* by estimated cost (see
-        :data:`MIN_TASK_SECONDS`): batching makes individual shards cheap
-        enough that one IPC round trip per shard would dominate, so each
-        task carries enough contiguous shards to be worth dispatching.  The
-        shard remains the RNG / checkpoint / retry-accounting unit — a lost
-        task reports every shard it carried.
+        Dispatch happens in two waves over one :func:`ensure_pool` scope
+        (reusing an ambient :class:`~repro.parallel.WorkerPool` when the
+        caller installed one — CLI, serve, bench — and spawning exactly
+        once otherwise):
+
+        1. a *calibration* wave of up to ``jobs`` single-shard tasks, whose
+           measured wall cost replaces the golden-run-derived estimate;
+        2. the rest, grouped by :func:`~repro.parallel.plan_task_groups`
+           around the **median measured** per-shard cost (see
+           :data:`MIN_TASK_SECONDS`), so dispatch granularity tracks what
+           shards actually cost on this machine rather than a static
+           guess.
+
+        Grouping and wave boundaries only decide *dispatch*; the shard
+        remains the RNG / checkpoint / retry-accounting unit — a lost task
+        reports every shard it carried, and results are bit-identical for
+        any grouping.  Workers build (or fetch from their content-addressed
+        cache) the injector from :meth:`worker_spec`, so profiling happens
+        at most once per worker per (program, scheme) — not per task.
         """
-        groups = plan_task_groups(
-            len(remaining),
-            self.estimated_shard_seconds(batch),
-            jobs,
-            min_task_seconds=MIN_TASK_SECONDS,
-        )
-        tasks = [
-            [
-                (remaining[i][0], remaining[i][1], seed, reference_dyn, batch)
-                for i in g
+        spec = self.worker_spec()
+        measured: list[float] = []
+
+        def run_wave(
+            shards: list[tuple[int, int]], groups: list[range]
+        ) -> None:
+            tasks = [
+                (spec, [shards[i] for i in g], seed, reference_dyn, batch)
+                for g in groups
             ]
-            for g in groups
-        ]
 
-        def on_result(index: int, srs: list[ShardResult]) -> None:
-            for sr in srs:
-                absorb(sr, fresh=True)
+            def on_result(
+                index: int, payload: tuple[float, list[ShardResult]]
+            ) -> None:
+                elapsed, srs = payload
+                if srs:
+                    measured.append(elapsed / len(srs))
+                for sr in srs:
+                    absorb(sr, fresh=True)
 
-        def on_failure(index: int, exc: BaseException) -> None:
-            for i in groups[index]:
-                shard_index = remaining[i][0]
-                logger.warning("shard %d lost: %s", shard_index, exc)
-                get_telemetry().event(
-                    "shard-lost", shard=shard_index, error=str(exc)
+            def on_failure(index: int, exc: BaseException) -> None:
+                for i in groups[index]:
+                    shard_index = shards[i][0]
+                    logger.warning("shard %d lost: %s", shard_index, exc)
+                    get_telemetry().event(
+                        "shard-lost", shard=shard_index, error=str(exc)
+                    )
+                    lost_shards.append(shard_index)
+
+            parallel_map(
+                _campaign_task_worker,
+                tasks,
+                jobs=jobs,
+                on_result=on_result,
+                retries=retries,
+                retry_backoff=retry_backoff,
+                timeout=shard_timeout,
+                on_failure=on_failure,
+            )
+
+        with ensure_pool(jobs):
+            first = min(jobs, len(remaining))
+            run_wave(
+                remaining[:first], [range(i, i + 1) for i in range(first)]
+            )
+            rest = remaining[first:]
+            if rest:
+                est = (
+                    statistics.median(measured)
+                    if measured
+                    else self.estimated_shard_seconds(batch)
                 )
-                lost_shards.append(shard_index)
-
-        parallel_map(
-            _campaign_task_worker,
-            tasks,
-            jobs=jobs,
-            initializer=_init_campaign_worker,
-            initargs=self._ctor_args,
-            on_result=on_result,
-            retries=retries,
-            retry_backoff=retry_backoff,
-            timeout=shard_timeout,
-            on_failure=on_failure,
-        )
-
-
-#: Per-process injector cache for campaign shard workers: the binary is
-#: profiled once per worker, then reused for every shard that lands there.
-_worker_injector: FaultInjector | None = None
-
-
-def _init_campaign_worker(
-    program: Program,
-    mem_words: int | None,
-    frame_words: int,
-    fault_model: str,
-    backend: str | None = None,
-    snapshots: bool = True,
-    snapshot_count: int = SNAPSHOT_COUNT,
-) -> None:
-    global _worker_injector
-    # The init span makes pool spin-up cost explicit on each worker's trace
-    # lane: every worker re-profiles the binary (the compiled closures
-    # don't pickle), which is exactly the per-worker re-decode overhead the
-    # parallelism roadmap item is chasing.
-    with get_telemetry().span("worker:init", cat="worker") as sp:
-        _worker_injector = FaultInjector(
-            program, mem_words=mem_words, frame_words=frame_words,
-            fault_model=fault_model, backend=backend,
-            snapshots=snapshots, snapshot_count=snapshot_count,
-        )
-        sp.set(fault_model=fault_model, snapshots=snapshots)
-
-
-def _campaign_shard_worker(task: tuple[int, int, int, int | None]) -> ShardResult:
-    shard_index, shard_trials, seed, reference_dyn = task
-    assert _worker_injector is not None, "worker initializer did not run"
-    return _worker_injector.run_shard(
-        shard_index, shard_trials, seed, reference_dyn
-    )
+                run_wave(
+                    rest,
+                    plan_task_groups(
+                        len(rest), est, jobs, min_task_seconds=MIN_TASK_SECONDS
+                    ),
+                )
 
 
 def _campaign_task_worker(
-    task: list[tuple[int, int, int, int | None, bool]],
-) -> list[ShardResult]:
-    """Run a cost-calibrated group of shards in one pool dispatch."""
+    task: tuple[CampaignWorkerSpec, list[tuple[int, int]], int, int | None, bool],
+) -> tuple[float, list[ShardResult]]:
+    """Run a cost-calibrated group of shards in one pool dispatch.
+
+    The injector comes from the worker-resident content-addressed cache:
+    the first task per (program, scheme) on a worker builds it from the
+    spec's shipped profile (decode only — no golden replays), every later
+    task reuses it.  Returns the wall seconds spent alongside the shard
+    results so the parent can calibrate adaptive task sizing.
+    """
     from repro.chaos import chaos_point
 
-    assert _worker_injector is not None, "worker initializer did not run"
+    spec, shards, seed, reference_dyn, batch = task
+    injector: FaultInjector = worker_cached(spec.key, spec.build)
     out: list[ShardResult] = []
-    for shard_index, shard_trials, seed, reference_dyn, batch in task:
+    t0 = time.perf_counter()
+    for shard_index, shard_trials in shards:
         chaos_point("worker.shard")
         out.append(
-            _worker_injector.run_shard(
+            injector.run_shard(
                 shard_index, shard_trials, seed, reference_dyn, batch=batch
             )
         )
-    return out
+    return (time.perf_counter() - t0, out)
 
 
 def run_campaign(

@@ -19,6 +19,8 @@ is lossless for everything the pipeline cares about.
 
 from __future__ import annotations
 
+import re
+
 from repro.ir.function import Function
 from repro.ir.program import Program
 from repro.isa.instruction import Instruction, Role
@@ -70,3 +72,27 @@ def print_program(program: Program) -> str:
         lines += ["  " + line for line in body.splitlines()]
     lines.append("}")
     return "\n".join(lines)
+
+
+#: ``!of<uid>`` tags print process-global instruction uids, which differ
+#: between otherwise-identical compiles of the same source.  ``dup_of`` is
+#: compiler-pass metadata the simulator and injector never read, so a
+#: first-appearance renumbering keeps canonical text content-exact while
+#: letting repeated compiles of the same program share one identity.
+_DUP_OF_TAG = re.compile(r"!of(\d+)")
+
+
+def canonical_program_text(program: Program) -> str:
+    """Printed program text with ``!of<uid>`` tags renumbered canonically.
+
+    The content-addressed identity everything that caches per-program state
+    hashes: the evaluator's golden-injector cache and the worker pool's
+    worker-resident cache both key off a digest of this text, so two
+    compiles of the same source land on the same cache entry even though
+    their raw instruction uids differ.
+    """
+    ids: dict[str, str] = {}
+    return _DUP_OF_TAG.sub(
+        lambda m: "!of" + ids.setdefault(m.group(1), str(len(ids))),
+        print_program(program),
+    )

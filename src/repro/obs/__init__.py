@@ -50,6 +50,7 @@ from repro.obs.telemetry import (
     configure,
     configure_worker_capture,
     drain_worker_snapshot,
+    ensure_worker_capture,
     get_telemetry,
     reset,
     set_telemetry,
@@ -75,6 +76,7 @@ __all__ = [
     "convert_trace_file",
     "diff_runs",
     "drain_worker_snapshot",
+    "ensure_worker_capture",
     "export_chrome_trace",
     "get_telemetry",
     "git_revision",

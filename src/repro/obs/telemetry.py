@@ -187,9 +187,10 @@ def configure(
 
 def reset() -> None:
     """Close any active tracer/event log and restore the disabled default."""
-    global _current
+    global _current, _capture_active
     _current.close()
     _current = NULL_TELEMETRY
+    _capture_active = False
 
 
 # -- worker-side capture -------------------------------------------------------
@@ -204,13 +205,36 @@ def reset() -> None:
 # the trial hot path.
 
 
+#: Whether this process currently runs a capture telemetry installed by
+#: :func:`configure_worker_capture` (as opposed to any other live telemetry).
+_capture_active = False
+
+
 def configure_worker_capture() -> Telemetry:
     """Install an in-memory capture telemetry in a pool worker."""
+    global _capture_active
     telemetry = Telemetry(
         metrics=MetricsRegistry(), tracer=Tracer(keep_events=True)
     )
     set_telemetry(telemetry)
+    _capture_active = True
     return telemetry
+
+
+def ensure_worker_capture(on: bool) -> None:
+    """Align this worker's capture state with the parent's map-time decision.
+
+    Workers in a *persistent* pool outlive the telemetry configuration they
+    were spawned under: the parent may run one map with telemetry live and
+    the next without (or vice versa — a serve daemon swaps per-job
+    telemetries in and out).  Called at the top of every pooled task, this
+    turns capture on or off to match, and is a no-op when already aligned —
+    in particular it never clears an active capture's pending buffers.
+    """
+    if on and not _capture_active:
+        configure_worker_capture()
+    elif not on and _capture_active:
+        reset()
 
 
 def drain_worker_snapshot() -> dict | None:

@@ -35,18 +35,20 @@ costs nothing because the checkpoint is written shard-by-shard.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, ContextManager
 
 from repro.chaos import chaos_point
 from repro.machine.config import MachineConfig
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import Telemetry, get_telemetry, set_telemetry
+from repro.parallel import WorkerPool
 from repro.pipeline import Scheme, compile_program
 from repro.serve.queue import JobQueue
 from repro.serve.store import Job, JobState, JobStore
@@ -276,6 +278,12 @@ class JobRunner(threading.Thread):
         self._current: tuple[Job, float | None] | None = None
         #: job_id -> (reason, requeue) cancellation requests.
         self._cancel: dict[str, tuple[str, bool]] = {}
+        #: One persistent worker pool for the daemon's whole lifetime —
+        #: spawned lazily by the first parallel job, reused by every later
+        #: one (a serve daemon is the textbook case for pool reuse: many
+        #: jobs, often over the same few workloads, so worker-resident
+        #: caches stay hot across jobs too).
+        self._pool: WorkerPool | None = None
 
     # -- control surface (called from HTTP / watchdog / shutdown threads) ------
     def current_job(self) -> tuple[Job, float | None] | None:
@@ -306,6 +314,25 @@ class JobRunner(threading.Thread):
         if self.metrics is not None:
             self.metrics.count(name, n)
 
+    def _pool_context(self) -> ContextManager:
+        """The ambient-pool scope a job's handler executes under.
+
+        Serial runners (``jobs <= 1``) never create a pool.  Parallel
+        runners lazily construct one :class:`WorkerPool` and *activate* it
+        around each job — workers spawn on the first map that needs them
+        and survive until :meth:`close_pool` at daemon shutdown.
+        """
+        if self.jobs <= 1:
+            return contextlib.nullcontext()
+        if self._pool is None:
+            self._pool = WorkerPool(self.jobs)
+        return self._pool.activate()
+
+    def close_pool(self) -> None:
+        """Shut the persistent pool down (daemon shutdown path)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+
     def _check_for(self, job: Job) -> Callable[[], None]:
         def check() -> None:
             with self._lock:
@@ -322,6 +349,7 @@ class JobRunner(threading.Thread):
             if job is not None:
                 self.execute(job)
         # Drain nothing further: queued jobs stay durable for the next run.
+        self.close_pool()
 
     def execute(self, job: Job) -> None:
         """Walk one job through the state machine, persisting every step."""
@@ -354,7 +382,8 @@ class JobRunner(threading.Thread):
                 shard_timeout=self.shard_timeout,
                 check=self._check_for(job),
             )
-            result = HANDLERS[job.kind](job, ctx)
+            with self._pool_context():
+                result = HANDLERS[job.kind](job, ctx)
         except JobInterrupted as exc:
             self._finish_interrupted(job, job_tel, exc)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary

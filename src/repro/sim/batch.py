@@ -139,6 +139,7 @@ class BatchRunner:
         snapshots: list[Snapshot],
         visit_dyn_start: np.ndarray,
         max_steps: int,
+        converge: ConvergenceIndex | None = None,
     ) -> None:
         self.interp = interp
         self.golden = golden
@@ -148,8 +149,13 @@ class BatchRunner:
         self.max_steps = max_steps
         self._trace = golden.block_trace
         self._advancer = TraceAdvancer(interp, golden.block_trace)
+        # An owner that rebuilds runners (e.g. an injector whose batch
+        # runner is recreated) can pass its ConvergenceIndex handle so the
+        # per-snapshot state hashing is paid once, not per rebuild.
         self._converge = (
-            ConvergenceIndex(snapshots, golden) if snapshots else None
+            converge
+            if converge is not None
+            else (ConvergenceIndex(snapshots, golden) if snapshots else None)
         )
         # Trace-guided suffix execution needs the fused (compiled) backend;
         # the interp backend stays the plain differential oracle.

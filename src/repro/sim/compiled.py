@@ -44,10 +44,12 @@ per-instruction closure loop for that block alone.
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable
 
 from repro.errors import MemoryFault
 from repro.ir.interp import _DETECT, _div_s, _rem_s, _signed_const
+from repro.ir.printer import print_program
 from repro.isa.opcodes import LatencyClass, Opcode
 from repro.obs import get_telemetry
 
@@ -272,14 +274,38 @@ def _loop_fallback(fns) -> Callable[[], object]:
     return run
 
 
-def fuse_functional_blocks(interp) -> dict[str, Callable[[], object]]:
-    """Fuse every block of ``interp`` for its fault-free fast path.
+#: Per-program memo of generated functional-fusion sources, keyed weakly by
+#: the Program object with a (printed IR text, frame_base, mem_words)
+#: subkey.  Programs are mutable — transform passes rewrite ``main`` in
+#: place — so object identity alone cannot key generated code; the printed
+#: text is an exact content fingerprint (it embeds every opcode, operand,
+#: label and duplicate tag the generator reads), and the geometry pair
+#: covers the only interpreter state the source embeds besides the program
+#: (register slots derive deterministically from the program).  A ``None``
+#: source marks a block that cannot be fused (closure fallback).  Saves the
+#: per-block source *generation* walk when several interpreters share one
+#: Program — e.g. a pool worker's profile-path injector, or a bench harness
+#: building interp/compiled/batched injectors over one compile.  The code
+#: objects themselves are still deduplicated by the source-keyed decode
+#: cache above.
+_FUSE_SOURCE_CACHE: "weakref.WeakKeyDictionary[object, dict]" = (
+    weakref.WeakKeyDictionary()
+)
 
-    The returned callables close over the interpreter's live register /
-    memory / output arrays, so they observe ``reset_state`` and snapshot
-    restores for free.
-    """
-    fused: dict[str, Callable[[], object]] = {}
+
+def _functional_sources(interp) -> dict[str, str | None]:
+    """Generated (or memoized) per-block sources for ``interp``'s program."""
+    tel = get_telemetry()
+    per_program = _FUSE_SOURCE_CACHE.setdefault(interp.program, {})
+    geometry = (
+        print_program(interp.program), interp.frame_base, interp.mem_words
+    )
+    sources = per_program.get(geometry)
+    if sources is not None:
+        tel.count("sim.fuse_cache.hits")
+        return sources
+    tel.count("sim.fuse_cache.misses")
+    sources = {}
     slot_of = interp._slot_of
     for block in interp.program.main.blocks():
         try:
@@ -287,15 +313,35 @@ def fuse_functional_blocks(interp) -> dict[str, Callable[[], object]]:
                 block, slot_of, interp.frame_base, interp.mem_words
             )
         except UnsupportedOpcode:
-            fused[block.label] = _loop_fallback(interp._blocks[block.label].fns)
+            sources[block.label] = None
             continue
         if not body:
             body = ["return None"]
         source = "def _factory(R, M, O, D, div, rem, MF):\n    def _block():\n"
         source += "".join(f"        {line}\n" for line in body)
         source += "        return None\n    return _block\n"
+        sources[block.label] = source
+    per_program[geometry] = sources
+    return sources
+
+
+def fuse_functional_blocks(interp) -> dict[str, Callable[[], object]]:
+    """Fuse every block of ``interp`` for its fault-free fast path.
+
+    The returned callables close over the interpreter's live register /
+    memory / output arrays, so they observe ``reset_state`` and snapshot
+    restores for free.  Source generation is memoized per (program,
+    geometry) — ``sim.fuse_cache.{hits,misses}`` — and compiled code
+    objects per source (``sim.decode_cache.*``); only the closure binding
+    is re-done per interpreter.
+    """
+    fused: dict[str, Callable[[], object]] = {}
+    for label, source in _functional_sources(interp).items():
+        if source is None:
+            fused[label] = _loop_fallback(interp._blocks[label].fns)
+            continue
         factory = _compile_factory(source)
-        fused[block.label] = factory(
+        fused[label] = factory(
             interp._R, interp._M, interp._O, _DETECT, _div_s, _rem_s, MemoryFault
         )
     return fused

@@ -3,9 +3,10 @@
 The determinism contract extends to observability: a parallel campaign's
 worker-merged ``campaign.*`` counters (and the detection-latency
 histogram) must be bit-identical to a serial run's at any ``--jobs``.
-Timing histograms (``*.seconds``) are exempt — every worker re-profiles
-the golden run and re-replays snapshots, so parallel runs legitimately
-record more of those.
+Timing histograms (``*.seconds``) are exempt — worker-side init work
+depends on pool reuse and worker-cache state (a fresh worker decodes the
+shipped spec and attaches shared snapshots; a warm one skips it), so
+parallel runs legitimately record different amounts of those.
 """
 
 from __future__ import annotations
